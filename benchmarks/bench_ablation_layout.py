@@ -1,0 +1,63 @@
+"""Ablation: block size and lookahead batch sensitivity (§4.3).
+
+The paper fixes 25-row blocks and 1024-block lookahead batches.  This
+ablation re-runs a sparse-group query (F-q9's shape) across block sizes:
+smaller blocks make bitmap skipping more surgical (fewer wasted rows per
+fetched block) but multiply index and per-block overhead; larger blocks
+approach plain scanning because almost every block contains some active
+group's tuple.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_DELTA, BENCH_SEED
+from repro.bounders import get_bounder
+from repro.datasets import make_flights_scramble
+from repro.experiments import build_query, warm_metadata
+from repro.fastframe import ApproximateExecutor, get_strategy
+
+ROWS = 400_000
+
+_scramble_cache: dict = {}
+
+
+def scramble_with_block_size(block_size: int):
+    if block_size not in _scramble_cache:
+        scramble = make_flights_scramble(
+            rows=ROWS, seed=BENCH_SEED, block_size=block_size
+        )
+        warm_metadata(scramble, build_query("F-q5"))
+        _scramble_cache[block_size] = scramble
+    return _scramble_cache[block_size]
+
+
+@pytest.mark.parametrize("block_size", [10, 25, 100, 400])
+def test_block_size(benchmark, block_size):
+    scramble = scramble_with_block_size(block_size)
+    query = build_query("F-q5")
+    results = []
+
+    def run():
+        executor = ApproximateExecutor(
+            scramble,
+            get_bounder("bernstein+rt"),
+            strategy=get_strategy("activepeek"),
+            delta=BENCH_DELTA,
+            rng=np.random.default_rng(len(results)),
+        )
+        result = executor.execute(query)
+        results.append(result)
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    last = results[-1]
+    benchmark.extra_info["rows_read"] = last.metrics.rows_read
+    benchmark.extra_info["blocks_fetched"] = last.metrics.blocks_fetched
+    benchmark.extra_info["skip_fraction"] = round(
+        last.metrics.blocks_skipped
+        / max(last.metrics.blocks_fetched + last.metrics.blocks_skipped, 1),
+        4,
+    )

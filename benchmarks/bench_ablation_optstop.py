@@ -1,0 +1,83 @@
+"""Ablation: OptStop round size B and the δ-decay's cost (§4.2).
+
+The paper fixes B = 40,000 and leaves alternatives to future work; this
+ablation quantifies the trade-off: smaller rounds stop closer to the
+minimal sample size but recompute bounds more often and burn error budget
+faster (δ′ = (6/π²)·δ/k² shrinks with every recomputation), while larger
+rounds overshoot.  Also measures the δ-decay overhead itself by comparing
+OptStop's stopped width against a single fixed-size interval at the same
+sample count (condition Ê's full-budget shortcut).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bounders import get_bounder
+from repro.stopping import fixed_size_interval, optional_stopping
+
+DATA_SIZE = 400_000
+TARGET_WIDTH = 0.6
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(31)
+    return np.minimum(rng.lognormal(0.0, 1.0, DATA_SIZE), 40.0)
+
+
+@pytest.mark.parametrize("batch_size", [2_500, 10_000, 40_000, 160_000])
+def test_round_size(benchmark, data, batch_size):
+    def run():
+        return optional_stopping(
+            data,
+            get_bounder("bernstein+rt"),
+            0.0,
+            40.0,
+            delta=1e-9,
+            should_stop=lambda interval, est: interval.width < TARGET_WIDTH,
+            batch_size=batch_size,
+            rng=np.random.default_rng(5),
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.interval.width < TARGET_WIDTH or not result.stopped_early
+    benchmark.extra_info["samples"] = result.samples
+    benchmark.extra_info["rounds"] = result.rounds
+    benchmark.extra_info["stopped_early"] = result.stopped_early
+
+
+def test_delta_decay_overhead(benchmark, data):
+    """How much width does the anytime guarantee cost at a fixed sample
+    count?  (Condition Ê's full-budget one-shot vs. round-k's decayed δ.)"""
+
+    def run():
+        stopped = optional_stopping(
+            data,
+            get_bounder("bernstein+rt"),
+            0.0,
+            40.0,
+            delta=1e-9,
+            should_stop=lambda interval, est: interval.width < TARGET_WIDTH,
+            batch_size=40_000,
+            rng=np.random.default_rng(6),
+        )
+        one_shot = fixed_size_interval(
+            data,
+            get_bounder("bernstein+rt"),
+            stopped.samples,
+            0.0,
+            40.0,
+            1e-9,
+            rng=np.random.default_rng(6),
+        )
+        return stopped, one_shot
+
+    stopped, one_shot = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The anytime interval is looser, but only by a modest factor: the
+    # k² decay costs log-factor width, not rate.
+    assert one_shot.interval.width <= stopped.interval.width
+    assert stopped.interval.width <= 2.0 * one_shot.interval.width
+    benchmark.extra_info["optstop_width"] = round(stopped.interval.width, 4)
+    benchmark.extra_info["one_shot_width"] = round(one_shot.interval.width, 4)

@@ -1,0 +1,54 @@
+"""Figure 6: effect of query selectivity on wall time and blocks fetched.
+
+F-q1[ε = .5] is run with origin airports spanning the selectivity
+spectrum (the Zipf popularity of the synthetic airports mirrors the
+paper's sweep over origin filters).  Expected shape (§5.4.3): wall time
+decreases as selectivity increases; blocks fetched first increases (the
+sparsest filters force near-full passes) then decreases (early stopping
+kicks in); the RangeTrim gap is largest at intermediate selectivity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_DELTA
+from repro.bounders import EVALUATED_BOUNDERS
+from repro.experiments import fq1, run_query_once
+from repro.experiments.sweeps import airports_by_selectivity
+
+NUM_AIRPORTS = 5
+
+_airports_cache: dict = {}
+
+
+def _airports(scramble):
+    key = id(scramble)
+    if key not in _airports_cache:
+        _airports_cache[key] = airports_by_selectivity(scramble, NUM_AIRPORTS)
+    return _airports_cache[key]
+
+
+@pytest.mark.parametrize("bounder_name", EVALUATED_BOUNDERS)
+@pytest.mark.parametrize("rank", range(NUM_AIRPORTS))
+def test_selectivity_point(benchmark, bench_scramble, rank, bounder_name):
+    airports = _airports(bench_scramble)
+    if rank >= len(airports):
+        pytest.skip("airport rank out of range at this scale")
+    airport, selectivity = airports[rank]
+    query = fq1(airport=airport, epsilon=0.5)
+    results = []
+
+    def run():
+        result = run_query_once(
+            bench_scramble, query, bounder_name, delta=BENCH_DELTA, seed=len(results)
+        )
+        results.append(result)
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    last = results[-1]
+    benchmark.extra_info["airport"] = airport
+    benchmark.extra_info["selectivity"] = round(float(selectivity), 6)
+    benchmark.extra_info["blocks_fetched"] = last.metrics.blocks_fetched
+    benchmark.extra_info["rows_read"] = last.metrics.rows_read

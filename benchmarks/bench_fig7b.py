@@ -1,0 +1,67 @@
+"""Figure 7(b): blocks fetched vs. the HAVING threshold of F-q2.
+
+The x-axis sweeps the threshold across the range of airline aggregates;
+expected shape (§5.4.3): thresholds far from every airline's mean (near
+0) terminate almost immediately, and blocks fetched spikes whenever the
+threshold approaches a group aggregate — with Bernstein-based bounders
+more robust (needing the threshold much closer before being affected)
+than Hoeffding-based ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_DELTA
+from repro.bounders import EVALUATED_BOUNDERS
+from repro.experiments import build_query, fq2, run_query_once
+from repro.fastframe import ExactExecutor
+
+_aggregates_cache: dict = {}
+
+
+def _thresholds(scramble):
+    """One easy threshold (0), one mid-gap, one adjacent to an aggregate."""
+    key = id(scramble)
+    if key not in _aggregates_cache:
+        exact = ExactExecutor(scramble).execute(build_query("F-q2"))
+        _aggregates_cache[key] = sorted(
+            group.estimate for group in exact.groups.values()
+        )
+    aggregates = _aggregates_cache[key]
+    lowest = aggregates[0]
+    mid_gap = 0.5 * (aggregates[4] + aggregates[5])
+    near_aggregate = aggregates[3] + 0.05
+    return {
+        "easy(0)": 0.0,
+        f"below-min({lowest - 2:.1f})": lowest - 2.0,
+        f"mid-gap({mid_gap:.2f})": mid_gap,
+        f"near-agg({near_aggregate:.2f})": near_aggregate,
+    }
+
+
+@pytest.mark.parametrize("bounder_name", EVALUATED_BOUNDERS)
+@pytest.mark.parametrize("threshold_kind", ["easy", "below-min", "mid-gap", "near-agg"])
+def test_having_threshold(benchmark, bench_scramble, threshold_kind, bounder_name):
+    thresholds = _thresholds(bench_scramble)
+    label, threshold = next(
+        (label, value)
+        for label, value in thresholds.items()
+        if label.startswith(threshold_kind)
+    )
+    query = fq2(thresh=float(threshold))
+    results = []
+
+    def run():
+        result = run_query_once(
+            bench_scramble, query, bounder_name, delta=BENCH_DELTA, seed=len(results)
+        )
+        results.append(result)
+        return result
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    last = results[-1]
+    benchmark.extra_info["threshold"] = label
+    benchmark.extra_info["blocks_fetched"] = last.metrics.blocks_fetched
+    benchmark.extra_info["stopped_early"] = last.metrics.stopped_early

@@ -1,0 +1,82 @@
+"""Ablation: OptStop round schedules — Algorithm 5 vs geometric doubling.
+
+§4.2 leaves "development of alternative approaches to future work".  This
+bench prices the alternative the implementation ships: after a full-data
+run with many rounds, the arithmetic schedule's binding error probability
+has decayed like δ/k² (k = m/B rounds) while the geometric schedule's has
+decayed only like δ/2^{log₂(m/B)} = δ·B/m — exponentially less decay —
+yielding strictly tighter final intervals at identical total sample
+counts, in exchange for power-of-two stopping granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bounders import get_bounder
+from repro.stopping.optstop import optional_stopping
+
+ROWS = 200_000
+BATCH = 500  # small rounds → many arithmetic rounds → visible decay cost
+DELTA = 1e-9
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(0)
+    return rng.lognormal(2.0, 1.0, size=ROWS)
+
+
+@pytest.mark.parametrize("schedule", ["arithmetic", "geometric"])
+def test_schedule_exhaustion_width(benchmark, dataset, schedule):
+    a, b = float(dataset.min()), float(dataset.max())
+
+    def run():
+        return optional_stopping(
+            dataset,
+            get_bounder("bernstein+rt"),
+            a=a,
+            b=b,
+            delta=DELTA,
+            should_stop=lambda interval, estimate: False,  # run to exhaustion
+            batch_size=BATCH,
+            rng=np.random.default_rng(1),
+            schedule=schedule,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["rounds"] = result.rounds
+    benchmark.extra_info["final_width"] = round(result.interval.width, 5)
+    assert result.samples == ROWS
+    assert result.interval.lo <= float(dataset.mean()) <= result.interval.hi
+
+
+def test_geometric_tighter_fewer_rounds(benchmark, dataset):
+    a, b = float(dataset.min()), float(dataset.max())
+
+    def run_both():
+        outcomes = {}
+        for schedule in ("arithmetic", "geometric"):
+            outcomes[schedule] = optional_stopping(
+                dataset,
+                get_bounder("bernstein+rt"),
+                a=a,
+                b=b,
+                delta=DELTA,
+                should_stop=lambda interval, estimate: False,
+                batch_size=BATCH,
+                rng=np.random.default_rng(1),
+                schedule=schedule,
+            )
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    arithmetic, geometric = outcomes["arithmetic"], outcomes["geometric"]
+    benchmark.extra_info["arithmetic_rounds"] = arithmetic.rounds
+    benchmark.extra_info["geometric_rounds"] = geometric.rounds
+    benchmark.extra_info["width_ratio"] = round(
+        arithmetic.interval.width / geometric.interval.width, 3
+    )
+    assert geometric.rounds < arithmetic.rounds / 10
+    assert geometric.interval.width < arithmetic.interval.width

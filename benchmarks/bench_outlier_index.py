@@ -1,0 +1,112 @@
+"""Ablation: outlier indexing [18] vs RangeTrim vs both (§6 related work).
+
+The paper frames the outlier index as "an offline analogy of our own
+RangeTrim technique" and notes that for simple aggregates the two are
+orthogonal and "could be leveraged together".  This bench measures the
+interval width each combination achieves on Figure 2's salary regime at a
+fixed sampling budget:
+
+* plain Hoeffding on the full scramble (range-driven, PMA+PHOS);
+* Hoeffding over an outlier-indexed store (offline range shrink);
+* Hoeffding+RT on the full scramble (online range shrink);
+* Bernstein+RT with and without the index (the paper's best, combined).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bounders import get_bounder
+from repro.fastframe import AggregateFunction, ApproximateExecutor, Query, Scramble, Table
+from repro.fastframe.outlier_index import OutlierIndexedStore
+from repro.stopping import SamplesTaken
+
+ROWS = 200_000
+SAMPLES = SamplesTaken(20_000)
+DELTA = 1e-9
+
+
+def _salary_table(seed: int = 0) -> Table:
+    rng = np.random.default_rng(seed)
+    salaries = rng.normal(50.0, 5.0, size=ROWS)
+    outliers = rng.choice(ROWS, size=ROWS // 500, replace=False)
+    salaries[outliers] = 5_000.0
+    return Table(continuous={"salary": salaries})
+
+
+@pytest.fixture(scope="module")
+def salary_table():
+    return _salary_table()
+
+
+@pytest.fixture(scope="module")
+def plain_scramble(salary_table):
+    return Scramble(salary_table, rng=np.random.default_rng(1))
+
+
+@pytest.fixture(scope="module")
+def indexed_store(salary_table):
+    return OutlierIndexedStore(
+        salary_table, "salary", outlier_fraction=0.005,
+        rng=np.random.default_rng(1),
+    )
+
+
+def _plain_width(scramble, bounder_name: str) -> float:
+    executor = ApproximateExecutor(
+        scramble, get_bounder(bounder_name), delta=DELTA,
+        rng=np.random.default_rng(2),
+    )
+    query = Query(AggregateFunction.AVG, "salary", SAMPLES)
+    return executor.execute(query, start_block=0).scalar().interval.width
+
+
+def _indexed_width(store, bounder_name: str) -> float:
+    result = store.execute_avg(
+        SAMPLES, get_bounder(bounder_name), delta=DELTA,
+        rng=np.random.default_rng(2), start_block=0,
+    )
+    return result.interval.width
+
+
+@pytest.mark.parametrize(
+    "variant",
+    ["hoeffding", "hoeffding+index", "hoeffding+rt", "bernstein+rt", "bernstein+rt+index"],
+)
+def test_outlier_ablation(benchmark, plain_scramble, indexed_store, variant):
+    if variant.endswith("+index"):
+        bounder = variant[: -len("+index")]
+        width = benchmark.pedantic(
+            _indexed_width, args=(indexed_store, bounder), rounds=1, iterations=1
+        )
+    else:
+        width = benchmark.pedantic(
+            _plain_width, args=(plain_scramble, variant), rounds=1, iterations=1
+        )
+    benchmark.extra_info["interval_width"] = round(width, 4)
+    # Structural sanity: every width is positive and finite at this budget.
+    assert 0.0 < width < 10_000.0
+
+
+def test_outlier_ablation_ordering(benchmark, plain_scramble, indexed_store):
+    """The paper-shape ordering: offline and online range shrinking each
+    beat plain Hoeffding by a large factor, and combining them with the
+    PMA-free Bernstein bounder is the tightest of all."""
+
+    def widths():
+        return {
+            "hoeffding": _plain_width(plain_scramble, "hoeffding"),
+            "hoeffding+index": _indexed_width(indexed_store, "hoeffding"),
+            "hoeffding+rt": _plain_width(plain_scramble, "hoeffding+rt"),
+            "bernstein+rt": _plain_width(plain_scramble, "bernstein+rt"),
+            "bernstein+rt+index": _indexed_width(indexed_store, "bernstein+rt"),
+        }
+
+    result = benchmark.pedantic(widths, rounds=1, iterations=1)
+    for name, width in result.items():
+        benchmark.extra_info[name] = round(width, 4)
+    assert result["hoeffding+index"] < result["hoeffding"] / 5.0
+    assert result["hoeffding+rt"] < result["hoeffding"]
+    assert result["bernstein+rt"] < result["hoeffding"]
+    assert result["bernstein+rt+index"] <= result["bernstein+rt"]

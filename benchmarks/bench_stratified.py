@@ -1,0 +1,87 @@
+"""Offline stratified samples vs the scramble (§6 online-vs-offline AQP).
+
+On the *declared* workload the stratified store answers from its
+materialized per-stratum samples without scanning anything, so sparse
+groups get full-budget intervals immediately; the scramble must scan far
+enough to accumulate the same per-group sample counts.  The flip side —
+the strata refusing ad-hoc queries — is asserted in the test suite
+(tests/fastframe/test_stratified.py); this bench measures the declared-
+workload side of the tradeoff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bounders import get_bounder
+from repro.fastframe import (
+    AggregateFunction,
+    ApproximateExecutor,
+    Query,
+    Scramble,
+    StratifiedSampleStore,
+    Table,
+)
+from repro.stopping import SamplesTaken
+
+ROWS = 400_000
+PER_STRATUM = 1_000
+DELTA = 1e-9
+
+
+@pytest.fixture(scope="module")
+def airline_table():
+    rng = np.random.default_rng(0)
+    airlines = rng.choice(
+        ["WN", "AA", "UA", "F9", "HA"], size=ROWS, p=[0.7, 0.15, 0.1, 0.04, 0.01]
+    )
+    base = {"WN": 8.0, "AA": 10.0, "UA": 12.0, "F9": 14.0, "HA": 4.0}
+    delays = rng.normal([base[a] for a in airlines], 20.0)
+    return Table(continuous={"DepDelay": delays}, categorical={"Airline": airlines})
+
+
+@pytest.fixture(scope="module")
+def declared_query():
+    return Query(
+        AggregateFunction.AVG, "DepDelay", SamplesTaken(PER_STRATUM),
+        group_by=("Airline",),
+    )
+
+
+def test_stratified_store(benchmark, airline_table, declared_query):
+    store = StratifiedSampleStore(
+        airline_table, ("Airline",), per_stratum=PER_STRATUM,
+        rng=np.random.default_rng(1),
+    )
+
+    def answer():
+        return store.execute_avg(declared_query, get_bounder("bernstein+rt"), DELTA)
+
+    results = benchmark(answer)
+    benchmark.extra_info["rows_materialized"] = store.rows_materialized
+    sparse = results[("HA",)]
+    benchmark.extra_info["sparse_group_samples"] = sparse.samples
+    benchmark.extra_info["sparse_group_width"] = round(sparse.interval.width, 3)
+    assert sparse.samples == PER_STRATUM
+
+
+def test_scramble_scan(benchmark, airline_table, declared_query):
+    scramble = Scramble(airline_table, rng=np.random.default_rng(1))
+
+    def answer():
+        executor = ApproximateExecutor(
+            scramble, get_bounder("bernstein+rt"), delta=DELTA,
+            rng=np.random.default_rng(2),
+        )
+        return executor.execute(declared_query, start_block=0)
+
+    result = benchmark.pedantic(answer, rounds=3, iterations=1)
+    benchmark.extra_info["rows_read"] = result.metrics.rows_read
+    sparse = result.groups[("HA",)]
+    benchmark.extra_info["sparse_group_samples"] = sparse.samples
+    benchmark.extra_info["sparse_group_width"] = round(sparse.interval.width, 3)
+    # The sparse stratum (1% selectivity) forces the scan to read ~100x the
+    # per-stratum budget in table rows — the cost stratification avoids on
+    # declared workloads.
+    assert result.metrics.rows_read > 20 * PER_STRATUM

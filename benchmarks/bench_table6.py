@@ -1,0 +1,59 @@
+"""Table 6: sampling-strategy ablation (Scan vs ActiveSync vs ActivePeek).
+
+Regenerates the paper's architecture ablation: GROUP BY queries run with
+the best error bounder (Bernstein+RT) under the three block-selection
+strategies.  The paper's findings to reproduce: ActivePeek ≥ ActiveSync ≥
+Scan everywhere, with the largest gains on queries bottlenecked by sparse
+groups (F-q5, F-q8) where block skipping is crucial.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_DELTA
+from repro.experiments import GROUP_BY_QUERIES, build_query, check_correctness, run_query_once
+from repro.fastframe import EVALUATED_STRATEGIES, ExactExecutor
+
+_exact_cache: dict = {}
+
+
+def _exact(scramble, query_name):
+    if query_name not in _exact_cache:
+        _exact_cache[query_name] = ExactExecutor(scramble).execute(
+            build_query(query_name)
+        )
+    return _exact_cache[query_name]
+
+
+@pytest.mark.parametrize("strategy_name", EVALUATED_STRATEGIES)
+@pytest.mark.parametrize("query_name", GROUP_BY_QUERIES)
+def test_strategy(benchmark, bench_scramble, query_name, strategy_name):
+    query = build_query(query_name)
+    exact = _exact(bench_scramble, query_name)
+    runs = []
+
+    def run():
+        result = run_query_once(
+            bench_scramble,
+            query,
+            "bernstein+rt",
+            strategy_name=strategy_name,
+            delta=BENCH_DELTA,
+            seed=len(runs),
+        )
+        runs.append(result)
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    last = runs[-1]
+    benchmark.extra_info["rows_read"] = last.metrics.rows_read
+    benchmark.extra_info["blocks_fetched"] = last.metrics.blocks_fetched
+    benchmark.extra_info["blocks_skipped"] = last.metrics.blocks_skipped
+    benchmark.extra_info["index_probes"] = last.metrics.index_probes
+    benchmark.extra_info["batch_probes"] = last.metrics.batch_probes
+    for result in runs:
+        assert check_correctness(query, result, exact, epsilon_slack=1e-9), (
+            query_name,
+            strategy_name,
+        )

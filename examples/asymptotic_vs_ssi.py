@@ -1,0 +1,73 @@
+"""Why guarantees matter: asymptotic CIs silently fail on skewed data.
+
+The paper's introduction (§1) argues that CLT/bootstrap confidence
+intervals are "compact without correctness": they are much tighter than
+conservative SSI intervals, but on skewed data at small sample sizes they
+miss the true aggregate far more often than the promised δ — which, when a
+downstream HAVING clause consumes the interval, turns into subset/superset
+errors [52].
+
+This script measures exactly that tradeoff on a salary-like distribution
+(almost all mass small, a handful of large outliers — Figure 2's regime):
+the empirical miss rate and mean interval width of each bounder at a 95%
+confidence target.
+
+Run:  python examples/asymptotic_vs_ssi.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.coverage import run_coverage_experiment, skewed_dataset
+
+DELTA = 0.05  # 95% confidence target
+BOUNDERS = ("hoeffding", "bernstein+rt", "clt", "student-t", "bootstrap")
+SAMPLE_SIZES = (20, 50, 100, 300)
+
+
+def main() -> None:
+    data = skewed_dataset(
+        n=2_000, outlier_fraction=0.005, outlier_value=1_000.0,
+        rng=np.random.default_rng(0),
+    )
+    print(
+        f"dataset: {data.size} salaries, mean={data.mean():.2f}, "
+        f"max={data.max():.0f} (0.5% outliers)"
+    )
+    print(f"target: 1 - delta = {1 - DELTA:.0%} coverage\n")
+
+    cells = run_coverage_experiment(
+        bounder_names=BOUNDERS,
+        sample_sizes=SAMPLE_SIZES,
+        delta=DELTA,
+        trials=400,
+        data=data,
+        seed=0,
+    )
+
+    header = f"{'bounder':<16} {'SSI':<5} " + " ".join(
+        f"{'m=' + str(m):>14}" for m in SAMPLE_SIZES
+    )
+    print(header)
+    print("-" * len(header))
+    by_bounder: dict[str, list] = {}
+    for cell in cells:
+        by_bounder.setdefault(cell.bounder, []).append(cell)
+    for name, row in by_bounder.items():
+        row.sort(key=lambda c: c.sample_size)
+        misses = " ".join(
+            f"{c.miss_rate:>6.1%}/{c.mean_width:>6.1f}" for c in row
+        )
+        print(f"{name:<16} {'yes' if row[0].ssi else 'NO':<5} {misses}")
+
+    print("\n(each cell: empirical miss rate / mean CI width)")
+    print(
+        "\nSSI bounders never exceed the 5% miss budget; the asymptotic\n"
+        "bounders buy their narrow intervals with silent failures at small m\n"
+        "- precisely the subset/superset error the paper's guarantees rule out."
+    )
+
+
+if __name__ == "__main__":
+    main()

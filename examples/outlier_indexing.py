@@ -1,0 +1,105 @@
+"""Outlier indexing [18] and RangeTrim, separately and together.
+
+The paper frames Chaudhuri et al.'s outlier index as "an offline analogy of
+our own RangeTrim technique": both shrink the range that drives a
+conservative bounder's width — the index by physically separating the tail
+rows (answered exactly), RangeTrim by substituting the observed sample
+extremes for the catalog bounds online.  For simple aggregates "the two
+approaches are orthogonal, and could be leveraged together" (§6).
+
+This script measures all four combinations on Figure 2's salary regime
+(a tight body, a few enormous outliers) at a fixed sampling budget.
+
+Run:  python examples/outlier_indexing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bounders import get_bounder
+from repro.fastframe import (
+    AggregateFunction,
+    ApproximateExecutor,
+    OutlierIndexedStore,
+    Query,
+    Scramble,
+    Table,
+)
+from repro.stopping import SamplesTaken
+
+ROWS = 200_000
+BUDGET = SamplesTaken(20_000)
+DELTA = 1e-9
+
+
+def build_salaries(seed: int = 0) -> Table:
+    rng = np.random.default_rng(seed)
+    salaries = rng.normal(50.0, 5.0, size=ROWS)          # the body
+    outliers = rng.choice(ROWS, size=ROWS // 500, replace=False)
+    salaries[outliers] = 5_000.0                          # the executives
+    return Table(continuous={"salary": salaries})
+
+
+def plain_width(scramble: Scramble, bounder_name: str) -> float:
+    executor = ApproximateExecutor(
+        scramble, get_bounder(bounder_name), delta=DELTA,
+        rng=np.random.default_rng(2),
+    )
+    query = Query(AggregateFunction.AVG, "salary", BUDGET)
+    return executor.execute(query, start_block=0).scalar().interval.width
+
+
+def indexed_width(store: OutlierIndexedStore, bounder_name: str) -> float:
+    result = store.execute_avg(
+        BUDGET, get_bounder(bounder_name), delta=DELTA,
+        rng=np.random.default_rng(2), start_block=0,
+    )
+    return result.interval.width
+
+
+def main() -> None:
+    table = build_salaries()
+    truth = float(table.continuous("salary").mean())
+    print(
+        f"salaries: {ROWS:,} rows, mean {truth:.2f}, "
+        f"range [{table.continuous('salary').min():.0f}, "
+        f"{table.continuous('salary').max():.0f}] (0.2% outliers at 5,000)"
+    )
+
+    scramble = Scramble(table, rng=np.random.default_rng(1))
+    store = OutlierIndexedStore(
+        table, "salary", outlier_fraction=0.005, rng=np.random.default_rng(1)
+    )
+    tight = store.inlier_bounds()
+    print(
+        f"outlier index: {store.outlier_rows} rows stored exactly; inlier "
+        f"range tightened to [{tight.a:.1f}, {tight.b:.1f}]\n"
+    )
+
+    combos = {
+        "Hoeffding (plain)": lambda: plain_width(scramble, "hoeffding"),
+        "Hoeffding + outlier index": lambda: indexed_width(store, "hoeffding"),
+        "Hoeffding + RangeTrim": lambda: plain_width(scramble, "hoeffding+rt"),
+        "Bernstein + RangeTrim": lambda: plain_width(scramble, "bernstein+rt"),
+        "Bernstein + RT + index": lambda: indexed_width(store, "bernstein+rt"),
+    }
+    print(f"{'technique':<28} {'CI width at 20k samples':>24}")
+    print("-" * 54)
+    for name, run in combos.items():
+        print(f"{name:<28} {run():>24.3f}")
+
+    print(
+        "\nthe split of labour: when outliers are PRESENT in the sampled "
+        "view, only\nphysically removing them helps - RangeTrim's observed "
+        "max IS the outlier,\nso Hoeffding+RT matches plain Hoeffding, while "
+        "the index collapses the\nwidth 100x.  (RangeTrim's own wins come on "
+        "filtered views that happen to\ncontain no outliers, where the "
+        "catalog range is phantom - Figure 2.)\nBernstein helps either way "
+        "(no PMA), and index+RT+Bernstein is tightest:\nthe orthogonality "
+        "the paper points out in Section 6."
+    )
+
+
+if __name__ == "__main__":
+    main()

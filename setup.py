@@ -1,0 +1,6 @@
+"""Legacy setup shim: offline environments lack the `wheel` package that
+PEP 660 editable installs require, so `pip install -e . --no-build-isolation`
+falls back to this classic setuptools path."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""repro: reproduction of "Rapid Approximate Aggregation with
+Distribution-Sensitive Interval Guarantees" (Macke et al., ICDE 2021).
+
+The package implements the paper's confidence-interval techniques for
+approximate query processing with sample-size-independent (SSI) guarantees:
+
+* :mod:`repro.bounders` — Hoeffding-Serfling, empirical Bernstein-Serfling,
+  and Anderson/DKW error bounders; the **RangeTrim** meta-bounder (§3) that
+  eliminates phantom outlier sensitivity; PMA/PHOS pathology detectors.
+* :mod:`repro.stopping` — the OptStop optional-stopping meta-algorithm
+  (Algorithm 5) and stopping conditions Ê-Ï (§4.2).
+* :mod:`repro.fastframe` — the FastFrame sampling-optimized column store:
+  scrambles, block bitmap indexes, Scan/ActiveSync/ActivePeek strategies,
+  COUNT/SUM interval composition, and the approximate query executor.
+* :mod:`repro.expressions` — derived range bounds for aggregates over
+  arbitrary expressions (Appendix B).
+* :mod:`repro.datasets` — the synthetic Flights substitute and
+  microbenchmark distributions.
+* :mod:`repro.experiments` — queries F-q1..F-q9 and runners regenerating
+  every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.datasets import make_flights_scramble
+    from repro.bounders import get_bounder
+    from repro.fastframe import ApproximateExecutor, Query, AggregateFunction, Eq
+    from repro.stopping import RelativeAccuracy
+
+    scramble = make_flights_scramble(rows=500_000, seed=0)
+    executor = ApproximateExecutor(scramble, get_bounder("bernstein+rt"))
+    query = Query(AggregateFunction.AVG, "DepDelay", RelativeAccuracy(0.5),
+                  predicate=Eq("Origin", "ORD"))
+    result = executor.execute(query)
+    print(result.scalar().interval)
+"""
+
+from repro.bounders import ErrorBounder, Interval, RangeTrimBounder, get_bounder
+from repro.fastframe import (
+    AggregateFunction,
+    ApproximateExecutor,
+    ExactExecutor,
+    Query,
+    QueryPlanner,
+    QueryResult,
+    Scramble,
+    Session,
+    Table,
+)
+from repro.sql import parse_query
+from repro.stats import DEFAULT_DELTA, DeltaBudget
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateFunction",
+    "ApproximateExecutor",
+    "DEFAULT_DELTA",
+    "DeltaBudget",
+    "ErrorBounder",
+    "ExactExecutor",
+    "Interval",
+    "Query",
+    "QueryPlanner",
+    "QueryResult",
+    "RangeTrimBounder",
+    "Scramble",
+    "Session",
+    "Table",
+    "__version__",
+    "get_bounder",
+    "parse_query",
+]

@@ -1,0 +1,47 @@
+"""Error bounders: the paper's core algorithmic contribution (S1-S7).
+
+This subpackage implements the full §2.2.2 bounder interface, the three
+surveyed SSI bounders (Hoeffding-Serfling, empirical Bernstein-Serfling,
+Anderson/DKW), the RangeTrim meta-bounder of §3, pathology detectors for
+PMA and PHOS, and closed-form width/planning helpers.
+"""
+
+from repro.bounders.anderson import AndersonBounder
+from repro.bounders.asymptotic import BootstrapBounder, CLTBounder, StudentTBounder
+from repro.bounders.base import ErrorBounder, Interval
+from repro.bounders.bernstein import (
+    BernsteinSerflingBounder,
+    EmpiricalBernsteinBounder,
+    EmpiricalBernsteinSerflingBounder,
+)
+from repro.bounders.hoeffding import HoeffdingBounder, HoeffdingSerflingBounder
+from repro.bounders.pathology import exhibits_phos, exhibits_pma, pathology_profile
+from repro.bounders.range_trim import RangeTrimBounder
+from repro.bounders.registry import (
+    EVALUATED_BOUNDERS,
+    available_bounders,
+    get_bounder,
+    register_bounder,
+)
+
+__all__ = [
+    "AndersonBounder",
+    "BernsteinSerflingBounder",
+    "BootstrapBounder",
+    "CLTBounder",
+    "StudentTBounder",
+    "EmpiricalBernsteinBounder",
+    "EmpiricalBernsteinSerflingBounder",
+    "ErrorBounder",
+    "EVALUATED_BOUNDERS",
+    "HoeffdingBounder",
+    "HoeffdingSerflingBounder",
+    "Interval",
+    "RangeTrimBounder",
+    "available_bounders",
+    "exhibits_phos",
+    "exhibits_pma",
+    "get_bounder",
+    "pathology_profile",
+    "register_bounder",
+]

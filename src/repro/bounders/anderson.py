@@ -1,0 +1,136 @@
+"""Anderson/DKW error bounder (Algorithm 3, §2.2.3).
+
+Anderson [10] observed that high-probability bounds on a distribution's CDF
+translate to bounds on its mean via ``μ = b − ∫ F`` (Lemma 2), and used the
+DKW inequality (Lemma 3) to obtain the CDF bounds.  The paper's Theorem 1
+shows DKW remains valid for without-replacement samples from a finite
+dataset, so the bounder applies unchanged in the AQP setting.
+
+Algorithm 3's lower bound trims the ε-fraction largest observed points and
+re-allocates mass ε to the lower range endpoint ``a``:
+
+    Lbound = ε·a + (1 − ε)·AVG({x ∈ S : F̂(x) <= 1 − ε}),
+    ε = sqrt(log(1/δ) / (2m)).
+
+Because the unseen mass is pinned to the range *endpoint* rather than
+guided by the observed values, this bounder exhibits **PMA**; but since the
+lower bound never consults ``b`` (the trimmed mass *comes from* the largest
+observed points), it is free of **PHOS** — the mirror image of Bernstein's
+pathology profile (Table 2).  Its state is the full sample, O(m) memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bounders.base import ErrorBounder, validate_bound_args
+from repro.cdfbounds.dkw import dkw_epsilon
+
+__all__ = ["AndersonBounder", "SampleState", "anderson_lower_bound"]
+
+
+@dataclass
+class SampleState:
+    """O(m) state holding every observed value (Table 2's "Memory" column).
+
+    Values are kept in an amortized-growth buffer so batch appends are O(1)
+    amortized per element.
+    """
+
+    _buffer: np.ndarray = field(default_factory=lambda: np.empty(16, dtype=np.float64))
+    count: int = 0
+
+    def append(self, value: float) -> None:
+        """Append one value."""
+        self._reserve(self.count + 1)
+        self._buffer[self.count] = value
+        self.count += 1
+
+    def extend(self, values: np.ndarray) -> None:
+        """Append a batch of values."""
+        values = np.asarray(values, dtype=np.float64)
+        self._reserve(self.count + values.size)
+        self._buffer[self.count : self.count + values.size] = values
+        self.count += values.size
+
+    def _reserve(self, capacity: int) -> None:
+        if capacity <= self._buffer.size:
+            return
+        new_size = max(capacity, 2 * self._buffer.size)
+        grown = np.empty(new_size, dtype=np.float64)
+        grown[: self.count] = self._buffer[: self.count]
+        self._buffer = grown
+
+    @property
+    def values(self) -> np.ndarray:
+        """View of the observed values (do not mutate)."""
+        return self._buffer[: self.count]
+
+    def copy(self) -> "SampleState":
+        state = SampleState()
+        state.extend(self.values)
+        return state
+
+
+def anderson_lower_bound(sample: np.ndarray, a: float, delta: float) -> float:
+    """Algorithm 3's Lbound: trimmed mean with ε mass pinned at ``a``.
+
+    Note the bound depends on ``a`` but *not* on the upper range bound — the
+    defining PHOS-free property.  When ε >= 1 (tiny samples at small δ) the
+    trivial bound ``a`` is returned.
+    """
+    sample = np.asarray(sample, dtype=np.float64)
+    m = sample.size
+    if m == 0:
+        return a
+    eps = dkw_epsilon(m, delta, two_sided=False)
+    if eps >= 1.0:
+        return a
+    # Keep values whose empirical CDF rank satisfies rank/m <= 1 - eps,
+    # i.e. the floor((1 - eps) * m) smallest values.
+    keep = int(math.floor((1.0 - eps) * m))
+    if keep <= 0:
+        return a
+    kept = np.partition(sample, keep - 1)[:keep]
+    return eps * a + (1.0 - eps) * float(kept.mean())
+
+
+class AndersonBounder(ErrorBounder):
+    """Anderson/DKW error bounder (Algorithm 3).
+
+    Works for sampling both with and without replacement (Theorem 1), and
+    — unlike the other bounders in this package — does not consult the
+    dataset size ``N`` at all, so it has no finite-population tightening.
+    """
+
+    name = "Anderson"
+    requires_sample_memory = True
+
+    def init_state(self) -> SampleState:
+        return SampleState()
+
+    def update(self, state: SampleState, value: float) -> None:
+        state.append(value)
+
+    def update_batch(self, state: SampleState, values: np.ndarray) -> None:
+        state.extend(values)
+
+    def sample_count(self, state: SampleState) -> int:
+        return state.count
+
+    def estimate(self, state: SampleState) -> float:
+        if state.count == 0:
+            raise ValueError("no samples observed yet")
+        return float(state.values.mean())
+
+    def lbound(self, state: SampleState, a: float, b: float, n: int, delta: float) -> float:
+        validate_bound_args(a, b, n, delta)
+        return anderson_lower_bound(state.values, a, delta)
+
+    def rbound(self, state: SampleState, a: float, b: float, n: int, delta: float) -> float:
+        validate_bound_args(a, b, n, delta)
+        # Algorithm 3 line 11: reflect the sample about (a + b)/2.
+        return (a + b) - anderson_lower_bound((a + b) - state.values, a, delta)

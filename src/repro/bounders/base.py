@@ -1,0 +1,187 @@
+"""The error-bounder interface of §2.2.2.
+
+The paper presents every conservative error bounder in terms of a small
+interface so that bounders can be maintained incrementally inside a DBMS
+aggregation pipeline:
+
+* ``init_state()``       — initialize the state needed for error bounds;
+* ``update_state(S, v)`` — fold a newly-seen value into the state;
+* ``Lbound(S, a, b, N, δ)`` — confidence lower bound for the dataset AVG;
+* ``Rbound(S, a, b, N, δ)`` — confidence upper bound, typically implemented
+  in terms of ``Lbound`` after reflecting the state about ``(a + b) / 2``.
+
+:class:`ErrorBounder` is the abstract base class realizing this interface.
+A bounder is **SSI** (sample-size independent, Definition 1) when, for every
+sample size, the probability that ``[Lbound, Rbound]`` fails to enclose
+``AVG(D)`` is below the requested ``delta``.  All bounders in this package
+are SSI; the test-suite verifies this with Monte-Carlo coverage tests.
+
+All bounders here additionally satisfy the *dataset-size monotonicity*
+property of §3.3: for ``N' > N``, ``Lbound(..., N', δ) <= Lbound(..., N, δ)``
+and ``Rbound(..., N', δ) >= Rbound(..., N, δ)``, so that an upper bound on
+the (possibly unknown) dataset size can be used safely (Theorem 3).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Any, NamedTuple
+
+import numpy as np
+
+__all__ = ["Interval", "ErrorBounder", "validate_bound_args"]
+
+
+class Interval(NamedTuple):
+    """A closed confidence interval ``[lo, hi]`` for an aggregate."""
+
+    lo: float
+    hi: float
+
+    @property
+    def width(self) -> float:
+        """Interval width ``hi - lo`` (the paper's compactness metric)."""
+        return self.hi - self.lo
+
+    @property
+    def midpoint(self) -> float:
+        """Interval midpoint."""
+        return 0.5 * (self.lo + self.hi)
+
+    def __contains__(self, value: object) -> bool:
+        return self.lo <= float(value) <= self.hi  # type: ignore[arg-type]
+
+    def intersects(self, other: "Interval") -> bool:
+        """True if this interval overlaps ``other`` (closed intervals)."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def relative_error(self) -> float:
+        """The paper's relative-accuracy statistic for stopping condition Ì.
+
+        ``max{(hi - mid)/hi, (mid - lo)/lo}`` — the worst-case relative
+        deviation of the midpoint estimate from any value in the interval.
+        Returns ``inf`` when a bound touches zero or the signs disagree, in
+        which case no relative guarantee is possible.
+        """
+        mid = self.midpoint
+        if self.lo <= 0.0 <= self.hi:
+            return math.inf
+        return max(abs(self.hi - mid) / abs(self.hi), abs(mid - self.lo) / abs(self.lo))
+
+
+def validate_bound_args(a: float, b: float, n: int, delta: float) -> None:
+    """Validate the shared ``(a, b, N, δ)`` arguments of Lbound/Rbound.
+
+    Raises
+    ------
+    ValueError
+        If the range is inverted, the dataset size is non-positive, or the
+        error probability is outside (0, 1).
+    """
+    if not a <= b:
+        raise ValueError(f"range bounds must satisfy a <= b, got a={a}, b={b}")
+    if n < 1:
+        raise ValueError(f"dataset size N must be >= 1, got {n}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+
+
+class ErrorBounder(ABC):
+    """Abstract base class for SSI error bounders (§2.2.2 interface).
+
+    Subclasses implement :meth:`init_state`, :meth:`update`, and
+    :meth:`lbound`; :meth:`rbound` has a default implementation via state
+    reflection that subclasses may override.  States are plain objects owned
+    by the bounder; callers treat them as opaque.
+
+    The convention for *empty* states (no samples yet) is that bounds are
+    trivial: ``lbound -> a`` and ``rbound -> b``.
+    """
+
+    #: Human-readable name used in experiment tables (e.g. "Bernstein+RT").
+    name: str = "bounder"
+
+    #: True if the bounder needs memory growing with the sample (Table 2's
+    #: "Memory" column distinguishes O(1) from O(m) bounders).
+    requires_sample_memory: bool = False
+
+    #: True for sample-size-independent bounders (Definition 1), whose
+    #: failure probability is below δ at *every* sample size.  Asymptotic
+    #: bounders (:mod:`repro.bounders.asymptotic`) set this to False: their
+    #: coverage only converges to 1 − δ as the sample grows, so they must
+    #: never drive early termination when correctness guarantees are
+    #: required (§1, "compactness without correctness").
+    ssi: bool = True
+
+    @abstractmethod
+    def init_state(self) -> Any:
+        """Return a fresh, empty state object."""
+
+    @abstractmethod
+    def update(self, state: Any, value: float) -> None:
+        """Fold a single newly-seen value into ``state`` (in place)."""
+
+    def update_batch(self, state: Any, values: np.ndarray) -> None:
+        """Fold a batch of values into ``state`` (in place).
+
+        Semantically equivalent to calling :meth:`update` per element in
+        order; subclasses override with vectorized implementations.
+        """
+        for value in np.asarray(values, dtype=np.float64):
+            self.update(state, float(value))
+
+    @abstractmethod
+    def lbound(self, state: Any, a: float, b: float, n: int, delta: float) -> float:
+        """(1 − δ) confidence lower bound for ``AVG(D)``.
+
+        Parameters
+        ----------
+        state:
+            State produced by :meth:`init_state` / :meth:`update`.
+        a, b:
+            A-priori range bounds with ``[a, b] ⊇ [MIN(D), MAX(D)]``.
+        n:
+            Size of the finite dataset ``D`` (or any upper bound on it;
+            see the dataset-size monotonicity property, §3.3).
+        delta:
+            Maximum allowed probability that the returned value exceeds
+            ``AVG(D)``.
+        """
+
+    @abstractmethod
+    def rbound(self, state: Any, a: float, b: float, n: int, delta: float) -> float:
+        """(1 − δ) confidence upper bound for ``AVG(D)`` (mirror of lbound)."""
+
+    @abstractmethod
+    def sample_count(self, state: Any) -> int:
+        """Number of values folded into ``state`` so far."""
+
+    def estimate(self, state: Any) -> float:
+        """Point estimate of the aggregate from ``state`` (the sample mean).
+
+        Subclasses whose state does not directly track a mean override this.
+        """
+        raise NotImplementedError
+
+    def confidence_interval(
+        self, state: Any, a: float, b: float, n: int, delta: float
+    ) -> Interval:
+        """(1 − δ) two-sided CI, union bounding δ/2 per side (§2.2.3).
+
+        The result is clipped to ``[a, b]`` — always sound because
+        ``AVG(D)`` necessarily lies in the a-priori range.
+        """
+        half = delta / 2.0
+        lo = self.lbound(state, a, b, n, half)
+        hi = self.rbound(state, a, b, n, half)
+        lo = min(max(lo, a), b)
+        hi = max(min(hi, b), a)
+        if lo > hi:
+            # Numerically possible only for near-degenerate inputs; collapse
+            # to the midpoint, which both one-sided bounds certify.
+            lo = hi = 0.5 * (lo + hi)
+        return Interval(lo, hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,119 @@
+"""Hoeffding and Hoeffding-Serfling error bounders (Algorithm 1, §2.2.3).
+
+The Hoeffding-Serfling inequality [Serfling 1974] bounds the deviation of a
+without-replacement sample mean from the dataset mean for data in ``[a, b]``:
+inverting it (at ``k = m``) gives the (1 − δ) confidence lower bound
+
+    ĝ − (b − a) · sqrt( (1 − (m − 1)/N) · log(1/δ) / (2m) )
+
+and symmetrically for the upper bound.  The ``(1 − (m − 1)/N)`` factor is
+the finite-population (sampling-fraction) correction; dropping it recovers
+the classical Hoeffding bound for with-replacement sampling, which is also
+valid (but looser) without replacement.
+
+CI widths depend only on the range size ``(b − a)`` and the sample count —
+never on the observed values — so this bounder exhibits both **PMA** and
+**PHOS** (§2.3.3).  It is the conservative bounder most used in prior DB
+literature and serves as the paper's primary baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bounders.base import ErrorBounder, validate_bound_args
+from repro.stats.streaming import MomentState
+
+__all__ = ["HoeffdingSerflingBounder", "HoeffdingBounder", "hoeffding_serfling_epsilon"]
+
+
+def hoeffding_serfling_epsilon(
+    m: int, n: int, a: float, b: float, delta: float, finite_population: bool = True
+) -> float:
+    """Half-width ε of the Hoeffding(-Serfling) bound for ``m`` of ``N`` samples.
+
+    Parameters
+    ----------
+    m:
+        Number of without-replacement samples taken (must be >= 1).
+    n:
+        Dataset size ``N`` (or an upper bound; ε is non-decreasing in N).
+    a, b:
+        Range bounds enclosing the data.
+    delta:
+        One-sided error probability.
+    finite_population:
+        If True (Serfling variant), apply the ``(1 − (m − 1)/N)`` sampling
+        fraction correction; if False, the classical Hoeffding bound.
+    """
+    if m < 1:
+        return b - a
+    m = min(m, n)
+    rho = 1.0 - (m - 1) / n if finite_population else 1.0
+    rho = max(rho, 0.0)
+    return (b - a) * math.sqrt(rho * math.log(1.0 / delta) / (2.0 * m))
+
+
+class HoeffdingSerflingBounder(ErrorBounder):
+    """Error bounder derived from the Hoeffding-Serfling inequality.
+
+    State is an O(1) :class:`~repro.stats.streaming.MomentState` (only the
+    count and running mean are consulted; the second moment is maintained so
+    the same state type serves every O(1) bounder).
+
+    Parameters
+    ----------
+    finite_population:
+        If True (default), include the Serfling sampling-fraction term,
+        valid for without-replacement samples from a finite dataset.  If
+        False, the plain Hoeffding bound (valid for both sampling modes,
+        per Table 2's "R*" annotation).
+    """
+
+    def __init__(self, finite_population: bool = True) -> None:
+        self.finite_population = finite_population
+        self.name = "Hoeffding" if finite_population else "Hoeffding (no FPC)"
+
+    def init_state(self) -> MomentState:
+        return MomentState()
+
+    def update(self, state: MomentState, value: float) -> None:
+        state.update(value)
+
+    def update_batch(self, state: MomentState, values: np.ndarray) -> None:
+        state.update_batch(values)
+
+    def sample_count(self, state: MomentState) -> int:
+        return state.count
+
+    def estimate(self, state: MomentState) -> float:
+        return state.mean
+
+    def epsilon(self, state: MomentState, a: float, b: float, n: int, delta: float) -> float:
+        """Half-width for the current state (symmetric error)."""
+        return hoeffding_serfling_epsilon(
+            state.count, n, a, b, delta, finite_population=self.finite_population
+        )
+
+    def lbound(self, state: MomentState, a: float, b: float, n: int, delta: float) -> float:
+        validate_bound_args(a, b, n, delta)
+        if state.count == 0:
+            return a
+        return state.mean - self.epsilon(state, a, b, n, delta)
+
+    def rbound(self, state: MomentState, a: float, b: float, n: int, delta: float) -> float:
+        validate_bound_args(a, b, n, delta)
+        if state.count == 0:
+            return b
+        # Algorithm 1 step 4: reflect the state about (a + b)/2 and negate.
+        reflected = state.reflected(a, b)
+        return (a + b) - (reflected.mean - self.epsilon(reflected, a, b, n, delta))
+
+
+class HoeffdingBounder(HoeffdingSerflingBounder):
+    """Classical Hoeffding bounder (no finite-population correction)."""
+
+    def __init__(self) -> None:
+        super().__init__(finite_population=False)

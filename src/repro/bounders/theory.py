@@ -1,0 +1,132 @@
+"""Closed-form CI widths and sample-size planning (S7).
+
+The paper's analysis compares bounders through the asymptotic size of their
+half-widths: Hoeffding-Serfling is ``O((b − a)/√m)`` while (empirical)
+Bernstein-Serfling is ``O(σ/√m + (b − a)/m)`` (§2.2.3).  This module exposes
+the exact finite-sample half-width formulas as plain functions of the
+sufficient statistics and provides inverse planning — the number of samples
+needed to reach a target width — used by the ablation benches to quantify
+the cost of PMA and PHOS analytically.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bounders.bernstein import (
+    bernstein_serfling_epsilon,
+    empirical_bernstein_serfling_epsilon,
+)
+from repro.bounders.hoeffding import hoeffding_serfling_epsilon
+from repro.cdfbounds.dkw import dkw_epsilon
+
+__all__ = [
+    "half_width",
+    "samples_for_width",
+    "width_ratio",
+    "anderson_width_floor",
+]
+
+#: Names accepted by :func:`half_width` and :func:`samples_for_width`.
+_WIDTH_FUNCS = ("hoeffding", "bernstein", "bernstein-known", "anderson-floor")
+
+
+def half_width(
+    bounder: str,
+    m: int,
+    n: int,
+    a: float,
+    b: float,
+    delta: float,
+    sigma: float = 0.0,
+) -> float:
+    """Symmetric CI half-width ε for ``m`` of ``N`` samples.
+
+    Parameters
+    ----------
+    bounder:
+        One of ``"hoeffding"`` (Hoeffding-Serfling), ``"bernstein"``
+        (empirical Bernstein-Serfling, with σ̂ = ``sigma``),
+        ``"bernstein-known"`` (known-variance variant), or
+        ``"anderson-floor"`` (the irreducible ε·(b − a) endpoint-mass term
+        of the Anderson/DKW bound — see :func:`anderson_width_floor`).
+    sigma:
+        The (empirical) standard deviation entering Bernstein's width.
+    """
+    if bounder == "hoeffding":
+        return hoeffding_serfling_epsilon(m, n, a, b, delta)
+    if bounder == "bernstein":
+        return empirical_bernstein_serfling_epsilon(m, n, sigma, a, b, delta)
+    if bounder == "bernstein-known":
+        return bernstein_serfling_epsilon(m, n, sigma, a, b, delta)
+    if bounder == "anderson-floor":
+        return anderson_width_floor(m, a, b, delta)
+    raise ValueError(f"unknown bounder {bounder!r}; expected one of {_WIDTH_FUNCS}")
+
+
+def anderson_width_floor(m: int, a: float, b: float, delta: float) -> float:
+    """The data-independent part of the Anderson/DKW CI width.
+
+    Even for a zero-spread sample, Algorithm 3 allocates mass ε to each
+    range endpoint, leaving a width of at least ``ε·(b − a)`` with
+    ``ε = sqrt(log(2/δ)/(2m))`` (δ/2 per side).  This Θ((b − a)/√m) floor is
+    what makes Anderson/DKW exhibit PMA despite being PHOS-free (§2.3.3).
+    """
+    if m < 1:
+        return b - a
+    return min(dkw_epsilon(m, delta / 2.0, two_sided=False), 1.0) * (b - a)
+
+
+def samples_for_width(
+    bounder: str,
+    target_width: float,
+    n: int,
+    a: float,
+    b: float,
+    delta: float,
+    sigma: float = 0.0,
+) -> int:
+    """Smallest ``m`` whose two-sided CI width is below ``target_width``.
+
+    The two-sided width is ``2 · ε(m; δ/2)``.  Monotonicity of every width
+    formula in ``m`` permits binary search; returns ``n`` (a full scan) when
+    even exhausting the dataset cannot certify the target — matching the
+    executor's behaviour of degenerating to Exact (§5.4.1, F-q5 discussion).
+    """
+    if target_width <= 0.0:
+        raise ValueError(f"target_width must be positive, got {target_width}")
+
+    def width_at(m: int) -> float:
+        return 2.0 * half_width(bounder, m, n, a, b, delta / 2.0, sigma=sigma)
+
+    if width_at(n) > target_width:
+        return n
+    lo, hi = 1, n
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if width_at(mid) <= target_width:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def width_ratio(
+    m: int,
+    n: int,
+    a: float,
+    b: float,
+    delta: float,
+    sigma: float,
+) -> float:
+    """Hoeffding-to-Bernstein width ratio at equal sample size.
+
+    Quantifies the PMA penalty: the ratio grows like
+    ``(b − a) / (σ·√2 + κ(b − a)/√m · …)`` → large when σ ≪ (b − a), the
+    outlier-inflated-range regime motivating the paper (Figure 2).
+    """
+    hoeff = half_width("hoeffding", m, n, a, b, delta)
+    bern = half_width("bernstein", m, n, a, b, delta, sigma=sigma)
+    if bern <= 0.0:
+        return math.inf
+    return hoeff / bern

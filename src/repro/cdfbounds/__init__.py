@@ -1,0 +1,17 @@
+"""DKW confidence bands for CDFs and Anderson's mean-from-CDF bounds (S10)."""
+
+from repro.cdfbounds.dkw import (
+    anderson_mean_bounds,
+    dkw_band,
+    dkw_epsilon,
+    empirical_cdf,
+    mean_from_cdf_upper,
+)
+
+__all__ = [
+    "anderson_mean_bounds",
+    "dkw_band",
+    "dkw_epsilon",
+    "empirical_cdf",
+    "mean_from_cdf_upper",
+]

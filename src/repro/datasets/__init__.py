@@ -1,0 +1,32 @@
+"""Dataset generators: the synthetic Flights substitute and microbenchmark
+distributions (S22-S23)."""
+
+from repro.datasets.flights import (
+    DEFAULT_AIRLINES,
+    AirlineSpec,
+    FlightsConfig,
+    generate_flights,
+    make_flights_scramble,
+)
+from repro.datasets.synthetic import (
+    DATASET_GENERATORS,
+    clustered_data,
+    lognormal_data,
+    outlier_data,
+    two_point_data,
+    uniform_data,
+)
+
+__all__ = [
+    "AirlineSpec",
+    "DATASET_GENERATORS",
+    "DEFAULT_AIRLINES",
+    "FlightsConfig",
+    "clustered_data",
+    "generate_flights",
+    "lognormal_data",
+    "make_flights_scramble",
+    "outlier_data",
+    "two_point_data",
+    "uniform_data",
+]

@@ -1,0 +1,87 @@
+"""Synthetic distribution workloads for bounder microbenchmarks (S23).
+
+The ablation benches compare CI widths and coverage across datasets with
+controlled spread-to-range ratios — the axis that separates Hoeffding-style
+widths ``O((b − a)/√m)`` from Bernstein-style ``O(σ/√m + (b − a)/m)``.
+Each generator returns ``(data, a, b)`` with catalog bounds that are
+deliberately wider than the data where noted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform_data",
+    "two_point_data",
+    "clustered_data",
+    "outlier_data",
+    "lognormal_data",
+    "DATASET_GENERATORS",
+]
+
+
+def uniform_data(
+    n: int, rng: np.random.Generator, a: float = 0.0, b: float = 1.0
+) -> tuple[np.ndarray, float, float]:
+    """Uniform over the full range: σ = (b − a)/√12, Hoeffding's fair case."""
+    return rng.uniform(a, b, n), a, b
+
+
+def two_point_data(
+    n: int, rng: np.random.Generator, a: float = 0.0, b: float = 1.0
+) -> tuple[np.ndarray, float, float]:
+    """Half the mass at each endpoint: Hoeffding's worst-case optimality
+    regime (§2.2.3) — the one distribution where range-based widths are
+    asymptotically tight and RangeTrim cannot help."""
+    return rng.choice([a, b], size=n), a, b
+
+
+def clustered_data(
+    n: int,
+    rng: np.random.Generator,
+    a: float = 0.0,
+    b: float = 1.0,
+    spread: float = 0.01,
+) -> tuple[np.ndarray, float, float]:
+    """Tight cluster at the range centre: σ ≪ (b − a), the PMA-exposing
+    regime where Bernstein-style bounds dominate."""
+    centre = 0.5 * (a + b)
+    data = np.clip(rng.normal(centre, spread * (b - a), n), a, b)
+    return data, a, b
+
+
+def outlier_data(
+    n: int,
+    rng: np.random.Generator,
+    outlier_rate: float = 1e-4,
+    body_scale: float = 1.0,
+    outlier_value: float = 1000.0,
+) -> tuple[np.ndarray, float, float]:
+    """Figure 2's salary-style regime: a compact body plus rare huge
+    outliers that inflate the catalog range — the PHOS-exposing case where
+    RangeTrim's observed-extrema substitution wins."""
+    data = rng.exponential(body_scale, n)
+    outliers = rng.random(n) < outlier_rate
+    data[outliers] = outlier_value
+    return data, 0.0, outlier_value
+
+def lognormal_data(
+    n: int,
+    rng: np.random.Generator,
+    sigma: float = 1.5,
+    cap: float = 500.0,
+) -> tuple[np.ndarray, float, float]:
+    """Heavy right tail clipped at a wide catalog cap."""
+    data = np.minimum(rng.lognormal(0.0, sigma, n), cap)
+    return data, 0.0, cap
+
+
+#: Name → generator, for parameterized tests and benches.
+DATASET_GENERATORS = {
+    "uniform": uniform_data,
+    "two-point": two_point_data,
+    "clustered": clustered_data,
+    "outlier": outlier_data,
+    "lognormal": lognormal_data,
+}

@@ -1,0 +1,67 @@
+"""Plain-text rendering of experiment results in the paper's layouts."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import QueryMeasurement
+from repro.experiments.sweeps import SweepResult
+
+__all__ = ["format_table5", "format_table6", "format_sweep", "format_speedup_cell"]
+
+
+def format_speedup_cell(speedup: float, seconds: float) -> str:
+    """The paper's Table 5 cell format: ``12.34x (0.56)``."""
+    return f"{speedup:8.2f}x ({seconds:.3f})"
+
+
+def _format_speedup_table(rows: list[QueryMeasurement], baseline_label: str) -> str:
+    approaches = [cell.approach for cell in rows[0].approaches] if rows else []
+    header = (
+        f"{'Query':10s} | {baseline_label + ' (s)':>12s} | "
+        + " | ".join(f"{name:>22s}" for name in approaches)
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = " | ".join(
+            format_speedup_cell(cell.speedup_wall, cell.wall_time_s)
+            + ("" if cell.correct else " !WRONG")
+            for cell in row.approaches
+        )
+        lines.append(f"{row.query_name:10s} | {row.baseline.wall_time_s:12.3f} | {cells}")
+    lines.append("")
+    lines.append("blocks-fetched speedups (CPU-independent metric, §5.3):")
+    for row in rows:
+        cells = " | ".join(
+            f"{cell.approach}: {cell.speedup_blocks:7.2f}x" for cell in row.approaches
+        )
+        lines.append(f"  {row.query_name:10s} {cells}")
+    return "\n".join(lines)
+
+
+def format_table5(rows: list[QueryMeasurement]) -> str:
+    """Render Table 5: speedups over Exact per error bounder."""
+    title = "Table 5: Avg speedup over Exact (raw time in (s))"
+    return title + "\n" + _format_speedup_table(rows, "Exact")
+
+
+def format_table6(rows: list[QueryMeasurement]) -> str:
+    """Render Table 6: speedups over Scan per sampling strategy."""
+    title = "Table 6: Avg speedup over Scan, Bernstein+RT (raw time in (s))"
+    return title + "\n" + _format_speedup_table(rows, "Scan")
+
+
+def format_sweep(result: SweepResult, width: int = 12) -> str:
+    """Render a figure sweep as an x-by-series table."""
+    lines = [f"{result.figure}: {result.y_label} vs {result.x_label}"]
+    header = f"{result.x_label[:width]:>{width}s} | " + " | ".join(
+        f"{series.approach:>14s}" for series in result.series
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(result.x_values):
+        cells = " | ".join(
+            f"{series.values[i]:14.6g}" for series in result.series
+        )
+        lines.append(f"{x:{width}.6g} | {cells}")
+    for key, value in result.annotations.items():
+        lines.append(f"  [{key}]: {value}")
+    return "\n".join(lines)

@@ -1,0 +1,195 @@
+"""The nine Flights queries F-q1..F-q9 (Figure 5 / Table 4).
+
+Each builder returns a :class:`~repro.fastframe.query.Query` wired to the
+stopping condition Table 4 prescribes.  Template parameters (shown in blue
+in the paper) are keyword arguments with the paper's defaults:
+
+========  ===========================================================
+F-q1      AVG delay for ``$airport``; stop at relative accuracy ε
+F-q2      airlines with AVG delay above ``$thresh`` (HAVING >)
+F-q3      2 airlines with min AVG delay after ``$min_dep_time``
+F-q4      whether ORD's AVG delay exceeds 10 (threshold side)
+F-q5      airports with negative AVG delay (HAVING <)
+F-q6      5 worst (DayOfWeek, Origin) pairs for afternoon delays
+F-q7      AVG delay by day of week for airline HP (groups ordered)
+F-q8      origin airport with highest AVG delay (top-1)
+F-q9      airline with maximum AVG delay (top-1)
+========  ===========================================================
+"""
+
+from __future__ import annotations
+
+from repro.fastframe.predicate import Compare, Eq
+from repro.fastframe.query import AggregateFunction, Query
+from repro.stopping.conditions import (
+    GroupsOrdered,
+    RelativeAccuracy,
+    ThresholdSide,
+    TopKSeparated,
+)
+
+__all__ = [
+    "fq1",
+    "fq2",
+    "fq3",
+    "fq4",
+    "fq5",
+    "fq6",
+    "fq7",
+    "fq8",
+    "fq9",
+    "ALL_QUERIES",
+    "GROUP_BY_QUERIES",
+    "build_query",
+]
+
+
+def fq1(airport: str = "ORD", epsilon: float = 0.5) -> Query:
+    """F-q1: ``SELECT AVG(DepDelay) FROM flights WHERE Origin = $airport``.
+
+    Stopping condition Ì (sufficient relative accuracy, Table 4).
+    """
+    return Query(
+        AggregateFunction.AVG,
+        "DepDelay",
+        RelativeAccuracy(epsilon),
+        predicate=Eq("Origin", airport),
+        name="F-q1",
+    )
+
+
+def fq2(thresh: float = 0.0) -> Query:
+    """F-q2: airlines ``HAVING AVG(DepDelay) > $thresh``.
+
+    Stopping condition Í (threshold side determined per group).
+    """
+    return Query(
+        AggregateFunction.AVG,
+        "DepDelay",
+        ThresholdSide(thresh),
+        group_by=("Airline",),
+        name="F-q2",
+    )
+
+
+def fq3(min_dep_time: float = 2250.0) -> Query:
+    """F-q3: two airlines with min AVG delay after ``$min_dep_time``.
+
+    ``ORDER BY AVG(DepDelay) ASC LIMIT 2``; stopping condition Î with the
+    bottom 2 separated.  The paper's default parameter is 10:50pm (2250).
+    """
+    return Query(
+        AggregateFunction.AVG,
+        "DepDelay",
+        TopKSeparated(2, largest=False),
+        predicate=Compare("DepTime", ">", min_dep_time),
+        group_by=("Airline",),
+        name="F-q3",
+    )
+
+
+def fq4() -> Query:
+    """F-q4: whether ORD has AVG delay above 10 (CASE WHEN … > 10).
+
+    Scalar threshold test; stopping condition Í with v = 10.
+    """
+    return Query(
+        AggregateFunction.AVG,
+        "DepDelay",
+        ThresholdSide(10.0),
+        predicate=Eq("Origin", "ORD"),
+        name="F-q4",
+    )
+
+
+def fq5() -> Query:
+    """F-q5: airports ``HAVING AVG(DepDelay) < 0`` (Figure 1's query).
+
+    Stopping condition Í with v = 0, over ~200 Origin groups.
+    """
+    return Query(
+        AggregateFunction.AVG,
+        "DepDelay",
+        ThresholdSide(0.0),
+        group_by=("Origin",),
+        name="F-q5",
+    )
+
+
+def fq6(min_dep_time: float = 1350.0) -> Query:
+    """F-q6: 5 worst (DayOfWeek, Origin) pairs for afternoon delays.
+
+    ``WHERE DepTime > 1:50pm GROUP BY DayOfWeek, Origin ORDER BY
+    AVG(DepDelay) DESC LIMIT 5``; stopping condition Î, top-5 separated.
+    """
+    return Query(
+        AggregateFunction.AVG,
+        "DepDelay",
+        TopKSeparated(5, largest=True),
+        predicate=Compare("DepTime", ">", min_dep_time),
+        group_by=("DayOfWeek", "Origin"),
+        name="F-q6",
+    )
+
+
+def fq7() -> Query:
+    """F-q7: AVG delay by day of week for airline HP.
+
+    Stopping condition Ï (all 7 groups' CIs pairwise disjoint, i.e. the
+    weekday ordering is determined).
+    """
+    return Query(
+        AggregateFunction.AVG,
+        "DepDelay",
+        GroupsOrdered(),
+        predicate=Eq("Airline", "HP"),
+        group_by=("DayOfWeek",),
+        name="F-q7",
+    )
+
+
+def fq8() -> Query:
+    """F-q8: origin airport with the highest AVG departure delay (top-1)."""
+    return Query(
+        AggregateFunction.AVG,
+        "DepDelay",
+        TopKSeparated(1, largest=True),
+        group_by=("Origin",),
+        name="F-q8",
+    )
+
+
+def fq9() -> Query:
+    """F-q9: airline with the maximum AVG delay (top-1)."""
+    return Query(
+        AggregateFunction.AVG,
+        "DepDelay",
+        TopKSeparated(1, largest=True),
+        group_by=("Airline",),
+        name="F-q9",
+    )
+
+
+#: All nine queries at their paper-default parameters.
+ALL_QUERIES = {
+    "F-q1": fq1,
+    "F-q2": fq2,
+    "F-q3": fq3,
+    "F-q4": fq4,
+    "F-q5": fq5,
+    "F-q6": fq6,
+    "F-q7": fq7,
+    "F-q8": fq8,
+    "F-q9": fq9,
+}
+
+#: The GROUP BY queries Table 6 restricts to (those where sampling
+#: strategy can matter).
+GROUP_BY_QUERIES = ("F-q3", "F-q5", "F-q6", "F-q7", "F-q8")
+
+
+def build_query(name: str, **params) -> Query:
+    """Build a query by name with optional template parameters."""
+    if name not in ALL_QUERIES:
+        raise KeyError(f"unknown query {name!r}; available: {sorted(ALL_QUERIES)}")
+    return ALL_QUERIES[name](**params)

@@ -1,0 +1,256 @@
+"""Experiment runners for the paper's tables (Table 5 and Table 6).
+
+Each runner executes the relevant (query × approach) grid against a
+flights scramble, averages over repetitions (the paper reports 3-run
+averages, §5.2), verifies result correctness against the Exact baseline,
+and returns structured rows ready for
+:mod:`repro.experiments.format` to render in the paper's layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bounders.registry import EVALUATED_BOUNDERS, get_bounder
+from repro.fastframe.exact import ExactExecutor
+from repro.fastframe.executor import ApproximateExecutor
+from repro.fastframe.query import Query, QueryResult
+from repro.fastframe.scan import EVALUATED_STRATEGIES, get_strategy
+from repro.fastframe.scramble import Scramble
+from repro.stats.delta import DEFAULT_DELTA
+from repro.stopping.conditions import (
+    GroupsOrdered,
+    RelativeAccuracy,
+    ThresholdSide,
+    TopKSeparated,
+)
+from repro.experiments.queries import ALL_QUERIES, GROUP_BY_QUERIES, build_query
+
+__all__ = [
+    "warm_metadata",
+    "ApproachMeasurement",
+    "QueryMeasurement",
+    "run_query_once",
+    "check_correctness",
+    "run_table5",
+    "run_table6",
+]
+
+
+@dataclass
+class ApproachMeasurement:
+    """Averaged metrics for one (query, approach) cell."""
+
+    approach: str
+    wall_time_s: float
+    rows_read: float
+    blocks_fetched: float
+    correct: bool
+    speedup_wall: float = float("nan")
+    speedup_blocks: float = float("nan")
+
+
+@dataclass
+class QueryMeasurement:
+    """One row of Table 5 / Table 6: a query and its per-approach cells."""
+
+    query_name: str
+    baseline: ApproachMeasurement
+    approaches: list[ApproachMeasurement] = field(default_factory=list)
+
+
+def warm_metadata(scramble: Scramble, query: Query) -> None:
+    """Pre-build the load-time metadata a query needs (bitmaps, domains).
+
+    Bitmap indexes and group domains are load-time artifacts in a real
+    deployment (§4); building them lazily inside the first timed run would
+    misattribute their cost to that run's wall time.
+    """
+    executor = ApproximateExecutor(scramble, get_bounder("hoeffding"))
+    for column in query.group_by:
+        executor.index_for(column)
+    for column in query.predicate.categorical_requirements(scramble.table):
+        executor.index_for(column)
+    executor._group_domain(query.group_by)
+
+
+def run_query_once(
+    scramble: Scramble,
+    query: Query,
+    bounder_name: str,
+    strategy_name: str = "scan",
+    delta: float = DEFAULT_DELTA,
+    seed: int = 0,
+) -> QueryResult:
+    """Execute one approximate run with a fresh executor."""
+    executor = ApproximateExecutor(
+        scramble,
+        get_bounder(bounder_name),
+        strategy=get_strategy(strategy_name),
+        delta=delta,
+        rng=np.random.default_rng(seed),
+    )
+    return executor.execute(query)
+
+
+def check_correctness(
+    query: Query, approx: QueryResult, exact: QueryResult, epsilon_slack: float = 0.0
+) -> bool:
+    """Does the approximate answer match the exact one for this query?
+
+    The notion of "answer" follows each query's downstream semantics
+    (§5.3's correctness metric):
+
+    * threshold queries — the certified above/below partitions match;
+    * top-/bottom-K queries — the selected K keys match (as sets);
+    * groups-ordered queries — the full ordering matches;
+    * accuracy-contract queries — every group's interval encloses the
+      exact value (within ``epsilon_slack`` for exhausted fp ties).
+    """
+    stopping = query.stopping
+    if isinstance(stopping, ThresholdSide):
+        v = stopping.threshold
+        exact_above = {k for k, g in exact.groups.items() if g.estimate > v}
+        # Undetermined groups (interval straddling v) count as incorrect
+        # only if the scan terminated claiming success; compare certified
+        # sides directly.
+        return (
+            approx.keys_above(v) == exact_above
+            and approx.keys_below(v)
+            == {k for k, g in exact.groups.items() if g.estimate < v}
+        )
+    if isinstance(stopping, TopKSeparated):
+        return set(approx.top_k(stopping.k, stopping.largest)) == set(
+            exact.top_k(stopping.k, stopping.largest)
+        )
+    if isinstance(stopping, GroupsOrdered):
+        return approx.ordering() == exact.ordering()
+    if isinstance(stopping, RelativeAccuracy):
+        for key, exact_group in exact.groups.items():
+            if key not in approx.groups:
+                return False
+            interval = approx.groups[key].interval
+            slack = epsilon_slack * max(1.0, abs(exact_group.estimate))
+            if not (
+                interval.lo - slack <= exact_group.estimate <= interval.hi + slack
+            ):
+                return False
+        return True
+    # Fallback: every exact value enclosed by its interval.
+    return all(
+        key in approx.groups
+        and approx.groups[key].interval.lo - 1e-9
+        <= group.estimate
+        <= approx.groups[key].interval.hi + 1e-9
+        for key, group in exact.groups.items()
+    )
+
+
+def _average(
+    scramble: Scramble,
+    query: Query,
+    exact_result: QueryResult,
+    bounder_name: str,
+    strategy_name: str,
+    reps: int,
+    delta: float,
+    label: str,
+) -> ApproachMeasurement:
+    times, rows, blocks = [], [], []
+    correct = True
+    for rep in range(reps):
+        result = run_query_once(
+            scramble, query, bounder_name, strategy_name, delta=delta, seed=rep
+        )
+        times.append(result.metrics.wall_time_s)
+        rows.append(result.metrics.rows_read)
+        blocks.append(result.metrics.blocks_fetched)
+        correct = correct and check_correctness(
+            query, result, exact_result, epsilon_slack=1e-9
+        )
+    return ApproachMeasurement(
+        approach=label,
+        wall_time_s=float(np.mean(times)),
+        rows_read=float(np.mean(rows)),
+        blocks_fetched=float(np.mean(blocks)),
+        correct=correct,
+    )
+
+
+def run_table5(
+    scramble: Scramble,
+    query_names: tuple[str, ...] | None = None,
+    bounders: tuple[str, ...] = EVALUATED_BOUNDERS,
+    reps: int = 3,
+    delta: float = DEFAULT_DELTA,
+) -> list[QueryMeasurement]:
+    """Table 5: per-query speedups of each error bounder over Exact.
+
+    All approximate runs use the Scan strategy, isolating the error
+    bounder's effect (the paper's §5.4.1 ablation).
+    """
+    query_names = query_names or tuple(ALL_QUERIES)
+    exact = ExactExecutor(scramble)
+    measurements = []
+    for name in query_names:
+        query = build_query(name)
+        warm_metadata(scramble, query)
+        exact_result = exact.execute(query)
+        baseline = ApproachMeasurement(
+            approach="Exact",
+            wall_time_s=exact_result.metrics.wall_time_s,
+            rows_read=exact_result.metrics.rows_read,
+            blocks_fetched=exact_result.metrics.blocks_fetched,
+            correct=True,
+        )
+        row = QueryMeasurement(query_name=name, baseline=baseline)
+        for bounder_name in bounders:
+            cell = _average(
+                scramble, query, exact_result, bounder_name, "scan", reps, delta,
+                label=get_bounder(bounder_name).name,
+            )
+            cell.speedup_wall = baseline.wall_time_s / max(cell.wall_time_s, 1e-12)
+            cell.speedup_blocks = baseline.blocks_fetched / max(cell.blocks_fetched, 1e-12)
+            row.approaches.append(cell)
+        measurements.append(row)
+    return measurements
+
+
+def run_table6(
+    scramble: Scramble,
+    query_names: tuple[str, ...] = GROUP_BY_QUERIES,
+    strategies: tuple[str, ...] = EVALUATED_STRATEGIES,
+    bounder_name: str = "bernstein+rt",
+    reps: int = 3,
+    delta: float = DEFAULT_DELTA,
+) -> list[QueryMeasurement]:
+    """Table 6: sampling-strategy ablation on GROUP BY queries.
+
+    All runs use the best error bounder (Bernstein+RT, as in the paper);
+    the baseline of each row is the Scan strategy.
+    """
+    exact = ExactExecutor(scramble)
+    measurements = []
+    for name in query_names:
+        query = build_query(name)
+        warm_metadata(scramble, query)
+        exact_result = exact.execute(query)
+        baseline = _average(
+            scramble, query, exact_result, bounder_name, "scan", reps, delta,
+            label="Scan",
+        )
+        row = QueryMeasurement(query_name=name, baseline=baseline)
+        for strategy_name in strategies:
+            if strategy_name == "scan":
+                continue
+            cell = _average(
+                scramble, query, exact_result, bounder_name, strategy_name,
+                reps, delta, label=get_strategy(strategy_name).name,
+            )
+            cell.speedup_wall = baseline.wall_time_s / max(cell.wall_time_s, 1e-12)
+            cell.speedup_blocks = baseline.blocks_fetched / max(cell.blocks_fetched, 1e-12)
+            row.approaches.append(cell)
+        measurements.append(row)
+    return measurements

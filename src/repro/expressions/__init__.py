@@ -1,0 +1,47 @@
+"""Derived range bounds for aggregates over expressions (Appendix B, S21)."""
+
+from repro.expressions.bounds import (
+    MAX_CORNER_COLUMNS,
+    box_maximum,
+    box_minimum,
+    corner_values,
+    derive_range_bounds,
+    monotone_corner_bounds,
+)
+from repro.expressions.expr import (
+    Abs,
+    Add,
+    Col,
+    Const,
+    Div,
+    Exp,
+    Expression,
+    Log,
+    Mul,
+    Neg,
+    Pow,
+    Sub,
+    col,
+)
+
+__all__ = [
+    "Abs",
+    "Add",
+    "Col",
+    "Const",
+    "Div",
+    "Exp",
+    "Expression",
+    "Log",
+    "MAX_CORNER_COLUMNS",
+    "Mul",
+    "Neg",
+    "Pow",
+    "Sub",
+    "box_maximum",
+    "box_minimum",
+    "col",
+    "corner_values",
+    "derive_range_bounds",
+    "monotone_corner_bounds",
+]

@@ -1,0 +1,116 @@
+"""FastFrame: the sampling-optimized in-memory column store.
+
+Covers the storage/executor substrates S11-S18 plus the COUNT methods
+(S27), the related-work baselines (outlier index S28, priority sampling
+S29, stratified samples S36), snowflake join views (S31), insertion
+maintenance (S32), multi-query sessions (S34), and the approximate-vs-exact
+planner (S35).  See DESIGN.md for the full inventory.
+"""
+
+from repro.fastframe.bitmap import LOOKAHEAD_BATCH_BLOCKS, BlockBitmapIndex
+from repro.fastframe.catalog import Catalog, ColumnKind, RangeBounds
+from repro.fastframe.count import (
+    SelectivityState,
+    count_interval,
+    selectivity_interval,
+    sum_interval,
+    upper_bound_population,
+)
+from repro.fastframe.exact import ExactExecutor
+from repro.fastframe.executor import (
+    COUNT_METHODS,
+    DEFAULT_ROUND_ROWS,
+    ApproximateExecutor,
+)
+from repro.fastframe.hypergeometric import (
+    hypergeometric_count_interval,
+    hypergeometric_upper_bound_population,
+)
+from repro.fastframe.outlier_index import (
+    OutlierAvgResult,
+    OutlierIndexedStore,
+    compose_outlier_avg,
+)
+from repro.fastframe.planner import PlanEstimate, QueryPlanner
+from repro.fastframe.predicate import And, Compare, Eq, In, Not, Or, Predicate, TruePredicate
+from repro.fastframe.priority import PrioritySampleIndex
+from repro.fastframe.query import (
+    AggregateFunction,
+    ExecutionMetrics,
+    GroupResult,
+    Query,
+    QueryResult,
+)
+from repro.fastframe.scan import (
+    EVALUATED_STRATEGIES,
+    ActivePeekStrategy,
+    ActiveSyncStrategy,
+    SamplingStrategy,
+    ScanStrategy,
+    get_strategy,
+)
+from repro.fastframe.scramble import DEFAULT_BLOCK_SIZE, Scramble
+from repro.fastframe.session import QueryLedgerEntry, Session
+from repro.fastframe.snowflake import Dimension, ForeignKey, denormalize
+from repro.fastframe.stratified import (
+    StratifiedSampleStore,
+    StratumResult,
+    UnsupportedQueryError,
+)
+from repro.fastframe.table import CategoricalColumn, Table
+
+__all__ = [
+    "AggregateFunction",
+    "And",
+    "ApproximateExecutor",
+    "BlockBitmapIndex",
+    "COUNT_METHODS",
+    "Catalog",
+    "CategoricalColumn",
+    "ColumnKind",
+    "Compare",
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_ROUND_ROWS",
+    "Dimension",
+    "EVALUATED_STRATEGIES",
+    "Eq",
+    "ForeignKey",
+    "ExactExecutor",
+    "ExecutionMetrics",
+    "GroupResult",
+    "In",
+    "LOOKAHEAD_BATCH_BLOCKS",
+    "Not",
+    "Or",
+    "OutlierAvgResult",
+    "OutlierIndexedStore",
+    "PlanEstimate",
+    "Predicate",
+    "QueryPlanner",
+    "PrioritySampleIndex",
+    "Query",
+    "QueryLedgerEntry",
+    "QueryResult",
+    "RangeBounds",
+    "Session",
+    "SamplingStrategy",
+    "ScanStrategy",
+    "ActivePeekStrategy",
+    "ActiveSyncStrategy",
+    "Scramble",
+    "SelectivityState",
+    "StratifiedSampleStore",
+    "StratumResult",
+    "Table",
+    "TruePredicate",
+    "UnsupportedQueryError",
+    "compose_outlier_avg",
+    "count_interval",
+    "denormalize",
+    "get_strategy",
+    "hypergeometric_count_interval",
+    "hypergeometric_upper_bound_population",
+    "selectivity_interval",
+    "sum_interval",
+    "upper_bound_population",
+]

@@ -1,0 +1,143 @@
+"""Column metadata catalog: a-priori range bounds for continuous columns.
+
+"As in prior work [35], we assume that the database catalog maintains range
+bounds a and b for the MIN and MAX of each continuous column, inferred, for
+example, during data loading" (§2.2.1).  Note the paper does not require
+``[a, b] = [MIN, MAX]`` — only ``[a, b] ⊇ [MIN, MAX]`` — and the whole
+point of RangeTrim is that catalog bounds are usually *much* wider than the
+effective range of filtered data (Figure 2).  The catalog therefore allows
+deliberately widened bounds (``pad`` at registration), which the flights
+generator uses to model conservatively loaded data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["ColumnKind", "RangeBounds", "Catalog"]
+
+
+class ColumnKind(Enum):
+    """Storage class of a column.
+
+    CONTINUOUS columns carry catalog range bounds and may be aggregated;
+    CATEGORICAL columns are dictionary-encoded, may be grouped/filtered on,
+    and are covered by block bitmap indexes.
+    """
+
+    CONTINUOUS = "continuous"
+    CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class RangeBounds:
+    """A-priori range bounds ``[a, b]`` for a continuous column."""
+
+    a: float
+    b: float
+
+    def __post_init__(self) -> None:
+        if not self.a <= self.b:
+            raise ValueError(f"range bounds must satisfy a <= b, got [{self.a}, {self.b}]")
+
+    @property
+    def width(self) -> float:
+        return self.b - self.a
+
+    def contains(self, values: np.ndarray) -> bool:
+        """True if every value lies within the bounds."""
+        values = np.asarray(values)
+        if values.size == 0:
+            return True
+        return bool(values.min() >= self.a and values.max() <= self.b)
+
+
+class Catalog:
+    """Per-table column metadata: kinds and range bounds.
+
+    The catalog is what error bounders consult for the ``a``/``b``
+    arguments; it is populated at load time by :class:`~repro.fastframe.table.Table`.
+    """
+
+    def __init__(self) -> None:
+        self._kinds: dict[str, ColumnKind] = {}
+        self._bounds: dict[str, RangeBounds] = {}
+
+    def register_continuous(
+        self, name: str, values: np.ndarray, pad: float = 0.0,
+        bounds: RangeBounds | None = None,
+    ) -> None:
+        """Register a continuous column, inferring bounds from the data.
+
+        Parameters
+        ----------
+        pad:
+            Fraction of the observed range to widen each endpoint by —
+            modelling catalogs whose bounds are looser than the data's true
+            MIN/MAX (permitted by §2.2.1 and common in practice).
+        bounds:
+            Explicit bounds overriding inference; must enclose the data.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if bounds is None:
+            if values.size == 0:
+                raise ValueError(f"cannot infer bounds for empty column {name!r}")
+            lo = float(values.min())
+            hi = float(values.max())
+            slack = pad * (hi - lo)
+            bounds = RangeBounds(lo - slack, hi + slack)
+        elif not bounds.contains(values):
+            raise ValueError(
+                f"explicit bounds [{bounds.a}, {bounds.b}] do not enclose "
+                f"column {name!r} (observed [{values.min()}, {values.max()}])"
+            )
+        self._kinds[name] = ColumnKind.CONTINUOUS
+        self._bounds[name] = bounds
+
+    def register_categorical(self, name: str) -> None:
+        """Register a categorical (dictionary-encoded) column."""
+        self._kinds[name] = ColumnKind.CATEGORICAL
+
+    def widen(self, name: str, values: np.ndarray) -> None:
+        """Widen a continuous column's bounds to enclose inserted values.
+
+        This is the maintenance step §2.2.1 refers to when noting that
+        range-bound assumptions "can be easily maintained in the case of
+        insertions": bounds only ever grow, so every previously issued CI
+        remains valid.
+        """
+        current = self.bounds(name)
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        lo = min(current.a, float(values.min()))
+        hi = max(current.b, float(values.max()))
+        self._bounds[name] = RangeBounds(lo, hi)
+
+    def kind(self, name: str) -> ColumnKind:
+        """Storage class of a column; KeyError with context if unknown."""
+        if name not in self._kinds:
+            raise KeyError(f"column {name!r} is not in the catalog; have {sorted(self._kinds)}")
+        return self._kinds[name]
+
+    def bounds(self, name: str) -> RangeBounds:
+        """Range bounds of a continuous column."""
+        if self.kind(name) is not ColumnKind.CONTINUOUS:
+            raise KeyError(f"column {name!r} is categorical; it has no range bounds")
+        return self._bounds[name]
+
+    def columns(self) -> tuple[str, ...]:
+        return tuple(self._kinds)
+
+    def continuous_columns(self) -> tuple[str, ...]:
+        return tuple(
+            name for name, kind in self._kinds.items() if kind is ColumnKind.CONTINUOUS
+        )
+
+    def categorical_columns(self) -> tuple[str, ...]:
+        return tuple(
+            name for name, kind in self._kinds.items() if kind is ColumnKind.CATEGORICAL
+        )

@@ -1,0 +1,554 @@
+"""The approximate query executor (§4): rounds, views, early termination.
+
+:class:`ApproximateExecutor` runs a :class:`~repro.fastframe.query.Query`
+against a :class:`~repro.fastframe.scramble.Scramble`:
+
+1. The scramble is consumed in scan order from a random start position,
+   in lookahead windows of 1024 blocks; the sampling strategy (Scan /
+   ActiveSync / ActivePeek) decides which blocks of each window to fetch.
+2. Fetched rows are filtered by the predicate and partitioned by group;
+   each group's error-bounder state, sample moments, and selectivity
+   counters are updated vectorized.
+3. Every ``round_rows`` rows read (B = 40,000 in the paper, §4.2), the
+   executor recomputes per-group confidence intervals with OptStop's
+   decayed error probability (Algorithm 5), folds them into each group's
+   running intersection, refreshes the active-group set, and tests the
+   stopping condition.
+
+Error-probability accounting (δ = 1e-15 by default, as in §5.2):
+``δ → ÷ #aggregate-views (§4.1) → × 6/π²k⁻² per round (Alg. 5) →
+Theorem 3 split (1 − α for N⁺, α for the CI) → δ/2 per CI side``.
+
+Sampling-soundness model (the paper's, from Definition 4's discussion):
+scanning any subset of a scramble chosen *without knowledge of the data
+order* is equivalent to without-replacement sampling.  Block skipping
+decisions depend only on bitmap presence of categorical values, never on
+the aggregated column's values, so the rows read for a view while its
+group is active form a uniform without-replacement sample from the view.
+Per-group *covered-row* accounting feeds Lemma 5: a row counts as covered
+for group g once it was either read, or skipped inside a block the bitmap
+index certifies holds no tuple of g (such rows contribute 0 to the view).
+While g is active, every block possibly containing g is fetched, so whole
+windows are covered; while g is inactive (its stopping criterion already
+met), its state is frozen and windows are not counted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.bounders.base import ErrorBounder, Interval
+from repro.fastframe.bitmap import BlockBitmapIndex
+from repro.fastframe.count import (
+    DEFAULT_ALPHA,
+    SelectivityState,
+    count_interval,
+    sum_interval,
+    upper_bound_population,
+)
+from repro.fastframe.hypergeometric import (
+    hypergeometric_count_interval,
+    hypergeometric_upper_bound_population,
+)
+from repro.fastframe.query import (
+    AggregateFunction,
+    ExecutionMetrics,
+    GroupResult,
+    Query,
+    QueryResult,
+)
+from repro.fastframe.scan import SamplingStrategy, ScanContext, ScanStrategy
+from repro.fastframe.scramble import Scramble
+from repro.stats.delta import DEFAULT_DELTA, DeltaBudget
+from repro.stats.streaming import MomentState
+from repro.stopping.conditions import GroupSnapshot, SamplesTaken
+from repro.stopping.optstop import RunningIntersection
+
+__all__ = ["ApproximateExecutor", "DEFAULT_ROUND_ROWS", "COUNT_METHODS"]
+
+#: Recompute bounds every 40,000 rows read, as in the paper (§4.2).
+DEFAULT_ROUND_ROWS = 40_000
+
+#: Selectivity/COUNT bounding methods: Lemma 5's Hoeffding-Serfling bound
+#: (the paper's choice, "a simple strategy", §4.1) or exact hypergeometric
+#: test inversion (the tailored alternative the paper mentions).  Each maps
+#: to a ``(count_interval, upper_bound_population)`` pair with identical
+#: signatures and guarantees.
+COUNT_METHODS = {
+    "serfling": (count_interval, upper_bound_population),
+    "exact": (hypergeometric_count_interval, hypergeometric_upper_bound_population),
+}
+
+
+@dataclass
+class _ViewState:
+    """All per-aggregate-view state the executor maintains."""
+
+    key_codes: tuple[int, ...]
+    bounder_state: object
+    sample_moments: MomentState = field(default_factory=MomentState)
+    all_read_moments: MomentState = field(default_factory=MomentState)
+    selectivity: SelectivityState = field(default_factory=SelectivityState)
+    running: RunningIntersection = field(default_factory=RunningIntersection)
+    count_running: RunningIntersection = field(default_factory=RunningIntersection)
+    interval: Interval = Interval(-np.inf, np.inf)
+    count_iv: Interval = Interval(0.0, np.inf)
+    active: bool = True
+    exhausted: bool = False
+    dropped: bool = False
+
+
+class ApproximateExecutor:
+    """Executes approximate aggregate queries with SSI guarantees.
+
+    Parameters
+    ----------
+    scramble:
+        The pre-shuffled table (Definition 4).
+    bounder:
+        Any SSI range-based error bounder; per-group states are created
+        from it.
+    strategy:
+        Block-selection strategy; defaults to plain Scan.
+    delta:
+        Total error probability for the query (δ = 1e-15 in §5.2).
+    round_rows:
+        Rows read between bound recomputations (B in Algorithm 5).
+    alpha:
+        Theorem 3's split weight for the unknown-N bound (0.99 in §4.1).
+    count_method:
+        COUNT/selectivity bounding method, a key of :data:`COUNT_METHODS`:
+        ``"serfling"`` (Lemma 5, the paper's default) or ``"exact"``
+        (hypergeometric test inversion — tighter, more CPU per round).
+    rng:
+        Randomness for the scan start position.
+    """
+
+    def __init__(
+        self,
+        scramble: Scramble,
+        bounder: ErrorBounder,
+        strategy: SamplingStrategy | None = None,
+        delta: float = DEFAULT_DELTA,
+        round_rows: int = DEFAULT_ROUND_ROWS,
+        alpha: float = DEFAULT_ALPHA,
+        count_method: str = "serfling",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if count_method not in COUNT_METHODS:
+            raise ValueError(
+                f"unknown count_method {count_method!r}; "
+                f"expected one of {sorted(COUNT_METHODS)}"
+            )
+        self.scramble = scramble
+        self.bounder = bounder
+        self.strategy = strategy or ScanStrategy()
+        self.delta = delta
+        self.round_rows = round_rows
+        self.alpha = alpha
+        self.count_method = count_method
+        self._count_interval, self._upper_bound_population = COUNT_METHODS[count_method]
+        self.rng = rng or np.random.default_rng()
+
+    # ------------------------------------------------------------------
+    # Metadata (bitmap indexes, group domains) — catalog-style state a
+    # deployed system builds once at load time.  Cached on the *scramble*
+    # so it is shared by every executor (any bounder/strategy combination)
+    # over the same data, exactly like a real system's load-time indexes.
+    # ------------------------------------------------------------------
+
+    def index_for(self, column: str) -> BlockBitmapIndex:
+        """The (lazily built, scramble-cached) bitmap index for a column."""
+        cache = self.scramble.metadata_cache
+        key = ("bitmap", column)
+        if key not in cache:
+            cache[key] = BlockBitmapIndex(self.scramble, column)
+        return cache[key]
+
+    def _group_domain(self, group_by: tuple[str, ...]) -> np.ndarray:
+        """Combined codes of the groups actually present in the data.
+
+        Cached per GROUP BY column set.  A real system reads this from its
+        dictionary/bitmap metadata; it is not charged to query metrics.
+        """
+        cache = self.scramble.metadata_cache
+        key = ("domain", group_by)
+        if key not in cache:
+            combined = self._combined_codes(group_by, rows=None)
+            cache[key] = np.unique(combined)
+        return cache[key]
+
+    def _cardinalities(self, group_by: tuple[str, ...]) -> tuple[int, ...]:
+        return tuple(
+            self.scramble.table.categorical(column).cardinality for column in group_by
+        )
+
+    def _combined_codes(
+        self, group_by: tuple[str, ...], rows: np.ndarray | None
+    ) -> np.ndarray:
+        """Row-aligned combined group codes (mixed-radix over the columns)."""
+        if not group_by:
+            length = self.scramble.num_rows if rows is None else len(rows)
+            return np.zeros(length, dtype=np.int64)
+        cards = self._cardinalities(group_by)
+        combined = None
+        for column, card in zip(group_by, cards):
+            codes = self.scramble.table.categorical(column).codes
+            codes = codes if rows is None else codes[rows]
+            combined = codes.astype(np.int64) if combined is None else combined * card + codes
+        return combined
+
+    def _split_combined(
+        self, combined: int, group_by: tuple[str, ...]
+    ) -> tuple[int, ...]:
+        """Invert the mixed-radix combination back to per-column codes."""
+        if not group_by:
+            return ()
+        cards = self._cardinalities(group_by)
+        codes = []
+        for card in reversed(cards):
+            codes.append(combined % card)
+            combined //= card
+        return tuple(reversed(codes))
+
+    def _decode_key(self, codes: tuple[int, ...], group_by: tuple[str, ...]) -> tuple:
+        return tuple(
+            self.scramble.table.categorical(column).dictionary[code]
+            for column, code in zip(group_by, codes)
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, query: Query, start_block: int | None = None) -> QueryResult:
+        """Run a query to its stopping condition (or data exhaustion)."""
+        start_time = time.perf_counter()
+        table = self.scramble.table
+        metrics = ExecutionMetrics()
+
+        values_of, bounds = self._resolve_value_column(query)
+        group_by = query.group_by
+        domain = self._group_domain(group_by)
+        indexes = {column: self.index_for(column) for column in group_by}
+        predicate_requirements = query.predicate.categorical_requirements(table)
+        for column in predicate_requirements:
+            indexes.setdefault(column, self.index_for(column))
+
+        views: dict[int, _ViewState] = {
+            int(code): _ViewState(
+                key_codes=self._split_combined(int(code), group_by),
+                bounder_state=self.bounder.init_state(),
+            )
+            for code in domain
+        }
+        num_views = max(len(views), 1)
+        view_budget = DeltaBudget(self.delta).split_even(num_views)
+
+        if start_block is None:
+            start_block = int(self.rng.integers(self.scramble.num_blocks))
+        order = self.scramble.block_order_from(start_block)
+
+        cursor = 0
+        rows_since_bound = 0
+        round_index = 0
+        satisfied = False
+        freezes_groups = self.strategy.uses_active_groups and bool(group_by)
+        # Condition Ê: with a fixed requested sample count, Algorithm 5's
+        # δ-decay is unnecessary (§4.2) — rounds only check sample counts,
+        # and a single full-budget CI is issued at the end of the run.
+        fixed_sample_mode = isinstance(query.stopping, SamplesTaken)
+        while cursor < order.size and not satisfied:
+            window = order[cursor : cursor + self.strategy.window_blocks]
+            cursor += window.size
+            context = ScanContext(
+                indexes=indexes,
+                predicate_requirements=predicate_requirements,
+                group_columns=group_by,
+                active_groups=[
+                    view.key_codes
+                    for view in views.values()
+                    if view.active and not view.dropped
+                ],
+            )
+            mask = self.strategy.select_blocks(window, context)
+            read_blocks = window[mask]
+            block_size = self.scramble.block_size
+            window_rows = int(
+                (
+                    np.minimum((window + 1) * block_size, self.scramble.num_rows)
+                    - window * block_size
+                ).sum()
+            )
+            metrics.blocks_fetched += int(mask.sum())
+            metrics.blocks_skipped += int(window.size - mask.sum())
+
+            rows = self.scramble.rows_of_blocks(read_blocks)
+            metrics.rows_read += rows.size
+            self._ingest(
+                query, views, rows, window_rows, values_of, freezes_groups
+            )
+            rows_since_bound += rows.size
+
+            if rows_since_bound >= self.round_rows or cursor >= order.size:
+                rows_since_bound = 0
+                round_index += 1
+                metrics.rounds = round_index
+                if not fixed_sample_mode:
+                    self._recompute_bounds(
+                        query, views, bounds, view_budget, round_index
+                    )
+                snapshots = self._snapshots(views, bounds)
+                self._refresh_active(query, views, snapshots)
+                satisfied = query.stopping.satisfied(snapshots)
+
+        if fixed_sample_mode:
+            # The one interval this run issues, at the undecayed per-view
+            # budget; computed for every surviving view regardless of its
+            # (sample-count-based) active flag.
+            self._recompute_bounds(
+                query, views, bounds, view_budget, round_index=None
+            )
+        metrics.stopped_early = satisfied and cursor < order.size
+        self._finalize_exhausted(query, views)
+        metrics.merge_index_counters(indexes.values())
+        metrics.wall_time_s = time.perf_counter() - start_time
+        return QueryResult(
+            query=query,
+            groups={
+                self._decode_key(view.key_codes, group_by): self._group_result(
+                    query, view, group_by
+                )
+                for view in views.values()
+                if not view.dropped
+            },
+            metrics=metrics,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _resolve_value_column(
+        self, query: Query
+    ) -> tuple[Callable[[np.ndarray], np.ndarray] | None, tuple[float, float]]:
+        """Value accessor + range bounds for the aggregated column.
+
+        Accepts a continuous column name or any expression object exposing
+        ``evaluate(table, rows)`` and ``range_bounds(bounds_by_column)``
+        (see :mod:`repro.expressions`, Appendix B).
+        """
+        table = self.scramble.table
+        if query.aggregate is AggregateFunction.COUNT:
+            return None, (0.0, 1.0)
+        column = query.column
+        if isinstance(column, str):
+            bounds = table.catalog.bounds(column)
+            values = table.continuous(column)
+            return (lambda rows: values[rows]), (bounds.a, bounds.b)
+        bounds_by_column = {
+            name: table.catalog.bounds(name) for name in column.columns()
+        }
+        derived = column.range_bounds(bounds_by_column)
+        return (lambda rows: column.evaluate(table, rows)), (derived.a, derived.b)
+
+    def _ingest(
+        self,
+        query: Query,
+        views: dict[int, _ViewState],
+        rows: np.ndarray,
+        window_rows: int,
+        values_of: Callable[[np.ndarray], np.ndarray] | None,
+        freezes_groups: bool,
+    ) -> None:
+        """Fold one window's fetched rows into the per-view states."""
+        if rows.size:
+            view_mask = query.predicate.mask(self.scramble.table, rows)
+            view_rows = rows[view_mask]
+        else:
+            view_rows = rows
+
+        segments: dict[int, np.ndarray] = {}
+        if view_rows.size:
+            combined = self._combined_codes(query.group_by, view_rows)
+            order = np.argsort(combined, kind="stable")
+            sorted_codes = combined[order]
+            sorted_rows = view_rows[order]
+            boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+            starts = np.concatenate(([0], boundaries))
+            ends = np.concatenate((boundaries, [sorted_codes.size]))
+            for start, end in zip(starts, ends):
+                segments[int(sorted_codes[start])] = sorted_rows[start:end]
+
+        needs_values = values_of is not None
+        for code, view in views.items():
+            if view.dropped or view.exhausted:
+                continue
+            segment = segments.get(code)
+            in_view = 0 if segment is None else segment.size
+            if in_view and needs_values:
+                values = values_of(segment)
+                view.all_read_moments.update_batch(values)
+            else:
+                values = None
+                if in_view:
+                    view.all_read_moments.count += in_view
+            if freezes_groups and not view.active:
+                continue  # frozen: rows stay unsettled for this view
+            view.selectivity.observe(in_view, window_rows)
+            if in_view and needs_values:
+                view.sample_moments.update_batch(values)
+                self.bounder.update_batch(view.bounder_state, values)
+
+    def _recompute_bounds(
+        self,
+        query: Query,
+        views: dict[int, _ViewState],
+        bounds: tuple[float, float],
+        view_budget: DeltaBudget,
+        round_index: int | None,
+    ) -> None:
+        """One OptStop round: per-view CIs at the decayed δ (Algorithm 5).
+
+        Budget layout within a round: the COUNT interval (also used to drop
+        certified-empty views) and the value interval each receive half the
+        round budget; the value half is further split per Theorem 3
+        (``(1 − α)`` for N⁺, α for the bounder CI, δ/2 per side inside
+        ``confidence_interval``).
+
+        ``round_index=None`` is the fixed-sample-count mode (condition Ê):
+        the single end-of-run computation at the full, undecayed per-view
+        budget, covering every surviving view regardless of activity.
+        """
+        a, b = bounds
+        scramble_rows = self.scramble.num_rows
+        single_shot = round_index is None
+        round_budget = (
+            view_budget if single_shot else view_budget.for_round(round_index)
+        )
+        for view in views.values():
+            if view.dropped or view.exhausted:
+                continue
+            if (
+                not single_shot
+                and self.strategy.uses_active_groups
+                and not view.active
+            ):
+                continue  # frozen views keep their last certified interval
+            if query.aggregate is AggregateFunction.COUNT:
+                count_budget, avg_budget = round_budget, None
+            else:
+                count_budget = avg_budget = round_budget.split_even(2)
+            view.count_iv = view.count_running.fold(
+                self._count_interval(view.selectivity, scramble_rows, count_budget.delta)
+            )
+            if view.count_iv.hi < 1.0:
+                # Certified empty: the view contributes no row, so its
+                # aggregate does not exist in the exact answer either.
+                view.dropped = True
+                continue
+            if query.aggregate is AggregateFunction.COUNT:
+                view.interval = view.count_iv
+                continue
+            _, ci_budget = avg_budget.split_unknown_n(self.alpha)
+            n_plus = self._upper_bound_population(
+                view.selectivity, scramble_rows, avg_budget.delta, alpha=self.alpha
+            )
+            avg_iv = view.running.fold(
+                self.bounder.confidence_interval(
+                    view.bounder_state, a, b, n_plus, ci_budget.delta
+                )
+            )
+            if query.aggregate is AggregateFunction.AVG:
+                view.interval = avg_iv
+            else:
+                view.interval = sum_interval(view.count_iv, avg_iv)
+
+    def _snapshots(
+        self, views: dict[int, _ViewState], bounds: tuple[float, float]
+    ) -> dict[int, GroupSnapshot]:
+        a, b = bounds
+        snapshots = {}
+        for code, view in views.items():
+            if view.dropped:
+                continue
+            interval = view.interval
+            if not np.isfinite(interval.lo) or not np.isfinite(interval.hi):
+                interval = Interval(a, b)
+            estimate = self._estimate(view, interval)
+            snapshots[code] = GroupSnapshot(
+                interval=interval,
+                estimate=estimate,
+                samples=view.sample_moments.count,
+                exhausted=view.exhausted,
+            )
+        return snapshots
+
+    def _estimate(self, view: _ViewState, interval: Interval) -> float:
+        if view.sample_moments.count > 0:
+            return view.sample_moments.mean
+        return interval.midpoint
+
+    def _refresh_active(
+        self,
+        query: Query,
+        views: dict[int, _ViewState],
+        snapshots: dict[int, GroupSnapshot],
+    ) -> None:
+        active = query.stopping.active_groups(snapshots)
+        for code, view in views.items():
+            if view.dropped or view.exhausted:
+                view.active = False
+                continue
+            view.active = code in active
+
+    def _finalize_exhausted(self, query: Query, views: dict[int, _ViewState]) -> None:
+        """Mark views whose every row is settled; their aggregates are exact."""
+        scramble_rows = self.scramble.num_rows
+        for view in views.values():
+            if view.dropped:
+                continue
+            if view.selectivity.covered >= scramble_rows:
+                view.exhausted = True
+                if view.selectivity.in_view == 0:
+                    view.dropped = True
+                    continue
+                exact_count = float(view.selectivity.in_view)
+                view.count_iv = Interval(exact_count, exact_count)
+                if query.aggregate is AggregateFunction.COUNT:
+                    view.interval = view.count_iv
+                elif query.aggregate is AggregateFunction.AVG:
+                    exact = view.all_read_moments.mean
+                    view.interval = Interval(exact, exact)
+                else:
+                    exact = view.all_read_moments.mean * exact_count
+                    view.interval = Interval(exact, exact)
+
+    def _group_result(
+        self, query: Query, view: _ViewState, group_by: tuple[str, ...]
+    ) -> GroupResult:
+        interval = view.interval
+        if not np.isfinite(interval.lo) or not np.isfinite(interval.hi):
+            interval = Interval(-np.inf, np.inf)
+        estimate = self._estimate(view, interval)
+        count_estimate = (
+            view.selectivity.in_view
+            / max(view.selectivity.covered, 1)
+            * self.scramble.num_rows
+        )
+        if query.aggregate is AggregateFunction.COUNT:
+            estimate = count_estimate
+        elif query.aggregate is AggregateFunction.SUM and view.sample_moments.count:
+            estimate = view.sample_moments.mean * count_estimate
+        return GroupResult(
+            key=self._decode_key(view.key_codes, group_by),
+            estimate=estimate,
+            interval=interval,
+            count_interval=view.count_iv,
+            samples=view.sample_moments.count,
+            exhausted=view.exhausted,
+        )

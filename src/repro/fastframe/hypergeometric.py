@@ -1,0 +1,151 @@
+"""Exact hypergeometric confidence intervals for COUNT (§4.1).
+
+After scanning ``r`` rows of an ``R``-row scramble, the number of rows seen
+that belong to an aggregate view of (unknown) size ``N`` "is a
+hypergeometric random variable" (§4.1).  The paper bounds the view's
+selectivity with Hoeffding-Serfling (Lemma 5) for simplicity but notes that
+"one could use bounds specifically tailored to the hypergeometric
+distribution (or even perform an exact computation)".  This module performs
+that exact computation.
+
+The CI for ``N`` is the classical exact test inversion: the (1 − δ)
+interval is the set of population view sizes ``K`` that a level-δ two-sided
+test would not reject given the observed in-view count ``m_v``::
+
+    N_lo = min{ K : P(X ≥ m_v | K) > δ/2 }
+    N_hi = max{ K : P(X ≤ m_v | K) > δ/2 }
+
+where ``X ~ Hypergeometric(R, K, r)``.  Both tail probabilities are
+monotone in ``K`` (larger view sizes stochastically increase the in-view
+count), so each endpoint is found by binary search with O(log R) exact tail
+evaluations.
+
+Compared with Lemma 5 the exact interval is never wider and is much tighter
+at small ``r`` or extreme selectivities — the sparse-group regime that
+bottlenecks GROUP BY queries (§5.4.1).  The tradeoff is CPU: each bound
+costs ~2·log₂(R) hypergeometric tail sums instead of one square root, which
+is why the executor keeps Lemma 5 as its default (``count_method``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import stats as _scipy_stats
+
+from repro.bounders.base import Interval
+from repro.fastframe.count import DEFAULT_ALPHA, SelectivityState
+
+__all__ = [
+    "hypergeometric_count_interval",
+    "hypergeometric_upper_bound_population",
+    "upper_tail",
+    "lower_tail",
+]
+
+
+def upper_tail(m_v: int, population: int, view_size: int, draws: int) -> float:
+    """``P(X >= m_v)`` for X ~ Hypergeometric(population, view_size, draws).
+
+    Exact (scipy's survival function is a sum of exact pmf terms).
+    """
+    return float(_scipy_stats.hypergeom.sf(m_v - 1, population, view_size, draws))
+
+
+def lower_tail(m_v: int, population: int, view_size: int, draws: int) -> float:
+    """``P(X <= m_v)`` for X ~ Hypergeometric(population, view_size, draws)."""
+    return float(_scipy_stats.hypergeom.cdf(m_v, population, view_size, draws))
+
+
+def _feasible_range(m_v: int, population: int, draws: int) -> tuple[int, int]:
+    """View sizes consistent with seeing ``m_v`` of ``draws`` rows in-view.
+
+    ``K >= m_v`` (the view holds at least the rows seen in it) and
+    ``population - K >= draws - m_v`` (the complement holds the rest).
+    """
+    return m_v, population - (draws - m_v)
+
+
+def _search_smallest(lo: int, hi: int, accepts) -> int:
+    """Smallest K in [lo, hi] with ``accepts(K)``; monotone predicate.
+
+    ``accepts`` must be False-then-True as K grows.  ``hi`` is assumed to
+    satisfy the predicate (the caller passes a feasible extreme).
+    """
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if accepts(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def _search_largest(lo: int, hi: int, accepts) -> int:
+    """Largest K in [lo, hi] with ``accepts(K)``; True-then-False in K."""
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if accepts(mid):
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def hypergeometric_count_interval(
+    state: SelectivityState, scramble_rows: int, delta: float
+) -> Interval:
+    """Exact (1 − δ) CI for the view cardinality N by test inversion.
+
+    Drop-in replacement for :func:`repro.fastframe.count.count_interval`
+    (same signature and semantics, tighter result).  Returns the trivial
+    ``[0, R]`` before any row is covered.
+    """
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    r, m_v = state.covered, state.in_view
+    if r == 0:
+        return Interval(0.0, float(scramble_rows))
+    if r >= scramble_rows:
+        return Interval(float(m_v), float(m_v))  # census: N is known exactly
+    k_min, k_max = _feasible_range(m_v, scramble_rows, r)
+    half = delta / 2.0
+    lo = _search_smallest(
+        k_min, k_max, lambda k: upper_tail(m_v, scramble_rows, k, r) > half
+    )
+    hi = _search_largest(
+        k_min, k_max, lambda k: lower_tail(m_v, scramble_rows, k, r) > half
+    )
+    return Interval(float(lo), float(max(hi, lo)))
+
+
+def hypergeometric_upper_bound_population(
+    state: SelectivityState,
+    scramble_rows: int,
+    delta: float,
+    alpha: float = DEFAULT_ALPHA,
+) -> int:
+    """Exact one-sided N⁺ with failure probability ``(1 − α)·δ``.
+
+    Drop-in replacement for
+    :func:`repro.fastframe.count.upper_bound_population` under the Theorem 3
+    budget split: the largest view size the data does not reject at level
+    ``(1 − α)·δ``.  Because it is never larger than Lemma 5's N⁺ and every
+    bounder satisfies dataset-size monotonicity (§3.3), substituting it
+    tightens AVG intervals without affecting soundness.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    r, m_v = state.covered, state.in_view
+    if r == 0:
+        return scramble_rows
+    if r >= scramble_rows:
+        return max(m_v, 1)
+    budget = (1.0 - alpha) * delta
+    if budget <= 0.0 or not math.isfinite(budget):
+        return scramble_rows
+    k_min, k_max = _feasible_range(m_v, scramble_rows, r)
+    n_plus = _search_largest(
+        k_min, k_max, lambda k: lower_tail(m_v, scramble_rows, k, r) > budget
+    )
+    return max(n_plus, m_v, 1)

@@ -1,0 +1,235 @@
+"""Outlier indexing [18]: the offline analogue of RangeTrim (§6).
+
+Chaudhuri et al.'s outlier index "works by computing approximate aggregates
+derived by combining an estimate from the main table and an exact aggregate
+from the so-called 'outlier index', which stores all the rows with outlier
+values.  The benefit of the outlier index is that it shrinks the range of
+the data from which samples are taken, allowing for faster convergence of
+approximate answers" (§6).  The paper positions it as an *offline* analogue
+of RangeTrim — and notes the two are orthogonal for simple aggregates and
+"could be leveraged together".
+
+This module implements that baseline so the reproduction can measure the
+comparison (``benchmarks/bench_outlier_index.py``):
+
+* :class:`OutlierIndexedStore` splits a table offline into a small exact
+  *outlier table* (the tail rows of the aggregated column) and a scrambled
+  *inlier store* whose catalog range for that column is the tightened
+  inlier range ``[a', b']``.
+* :meth:`OutlierIndexedStore.execute_avg` answers a scalar AVG query by
+  scanning the outlier table exactly (it is tiny), running the normal
+  approximate executor over the inlier scramble, and composing the two
+  into one certified interval.
+
+Also per §6, the composition below is only valid for aggregates over the
+*indexed column itself*: an arbitrary derived expression "can drastically
+change the set of outlying values", which is the limitation RangeTrim does
+not have.
+
+Interval composition
+--------------------
+With exact outlier totals ``(n_out, s_out)`` and certified inlier intervals
+``G = [g_l, g_r] ∋ AVG(V_in)`` and ``C = [c_l, c_r] ∋ |V_in|`` (both hold
+simultaneously with probability ≥ 1 − δ; the executor budgets them jointly),
+
+    AVG(V) = (s_out + AVG(V_in)·|V_in|) / (n_out + |V_in|)
+
+is monotone in ``AVG(V_in)`` for fixed ``|V_in|``, and monotone in
+``|V_in|`` for fixed ``AVG(V_in)`` (the sign of its partial derivative,
+``g·n_out − s_out``, does not depend on ``|V_in|``), so its range over
+``G × C`` is attained at the four corners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bounders.base import ErrorBounder, Interval
+from repro.fastframe.catalog import RangeBounds
+from repro.fastframe.executor import ApproximateExecutor
+from repro.fastframe.query import AggregateFunction, ExecutionMetrics, Query
+from repro.fastframe.scan import SamplingStrategy
+from repro.fastframe.scramble import DEFAULT_BLOCK_SIZE, Scramble
+from repro.fastframe.table import Table
+from repro.stats.delta import DEFAULT_DELTA
+from repro.stopping.conditions import StoppingCondition
+
+__all__ = ["OutlierIndexedStore", "OutlierAvgResult", "compose_outlier_avg"]
+
+
+def compose_outlier_avg(
+    n_out: int, s_out: float, inlier_avg: Interval, inlier_count: Interval
+) -> Interval:
+    """Certified AVG interval from exact outlier totals + inlier CIs.
+
+    See the module docstring for the monotonicity argument; the interval is
+    the hull of the composed ratio over the four ``(avg, count)`` corners.
+    Degenerates to the exact outlier average when the inlier view is
+    certified empty.
+    """
+    corners = []
+    for g in (inlier_avg.lo, inlier_avg.hi):
+        for n in (inlier_count.lo, inlier_count.hi):
+            total = n_out + n
+            if total <= 0.0:
+                continue
+            corners.append((s_out + g * n) / total)
+    if not corners:
+        if n_out == 0:
+            raise ValueError("cannot compose an AVG over a certified-empty view")
+        corners = [s_out / n_out]
+    return Interval(min(corners), max(corners))
+
+
+@dataclass
+class OutlierAvgResult:
+    """Result of an outlier-indexed AVG query.
+
+    Attributes
+    ----------
+    estimate:
+        Composed point estimate of the view AVG.
+    interval:
+        Certified (1 − δ) interval for the view AVG.
+    outlier_rows:
+        Rows of the outlier table matching the predicate (read exactly).
+    metrics:
+        Metrics of the inlier approximate execution (the outlier scan is a
+        fixed, tiny cost paid on every query).
+    """
+
+    estimate: float
+    interval: Interval
+    outlier_rows: int
+    metrics: ExecutionMetrics
+
+
+class OutlierIndexedStore:
+    """Offline outlier/inlier split of a table for one aggregated column.
+
+    Parameters
+    ----------
+    table:
+        The base table (left untouched).
+    column:
+        Continuous column whose tails are indexed; AVG queries over this
+        column are the ones the index accelerates.
+    outlier_fraction:
+        Fraction of rows stored exactly in the outlier index, split evenly
+        between the low and high tails ([18] sizes the index to fit memory;
+        a fraction of the data is the common policy).
+    block_size, rng:
+        Scramble layout parameters for the inlier store.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        column: str,
+        outlier_fraction: float = 0.001,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 < outlier_fraction < 1.0:
+            raise ValueError(
+                f"outlier_fraction must be in (0, 1), got {outlier_fraction}"
+            )
+        values = table.continuous(column)
+        num_rows = values.size
+        per_tail = max(int(round(num_rows * outlier_fraction / 2.0)), 1)
+        if 2 * per_tail >= num_rows:
+            raise ValueError(
+                f"outlier_fraction {outlier_fraction} leaves no inlier rows "
+                f"for a table of {num_rows} rows"
+            )
+        order = np.argsort(values, kind="stable")
+        outlier_ids = np.concatenate([order[:per_tail], order[-per_tail:]])
+        inlier_ids = order[per_tail:-per_tail]
+
+        self.column = column
+        self.outlier_table = table.take(outlier_ids)
+        inlier_table = table.take(inlier_ids)
+        # The index's entire benefit: the inlier store's catalog range is
+        # the *tightened* inlier min/max, not the full-table bounds.
+        inlier_values = inlier_table.continuous(column)
+        inlier_table.catalog.register_continuous(
+            column,
+            inlier_values,
+            bounds=RangeBounds(float(inlier_values.min()), float(inlier_values.max())),
+        )
+        self.inlier_scramble = Scramble(inlier_table, block_size=block_size, rng=rng)
+
+    @property
+    def outlier_rows(self) -> int:
+        """Rows stored exactly in the outlier index."""
+        return self.outlier_table.num_rows
+
+    def inlier_bounds(self) -> RangeBounds:
+        """The tightened range ``[a', b']`` the inlier samples enjoy."""
+        return self.inlier_scramble.table.catalog.bounds(self.column)
+
+    def execute_avg(
+        self,
+        stopping: StoppingCondition,
+        bounder: ErrorBounder,
+        predicate=None,
+        delta: float = DEFAULT_DELTA,
+        strategy: SamplingStrategy | None = None,
+        round_rows: int | None = None,
+        rng: np.random.Generator | None = None,
+        start_block: int | None = None,
+    ) -> OutlierAvgResult:
+        """Scalar AVG over the indexed column with a certified interval.
+
+        The predicate is applied exactly to the outlier table and
+        approximately (via the executor) to the inlier scramble; the
+        stopping condition drives the inlier scan.
+        """
+        query_kwargs = {} if predicate is None else {"predicate": predicate}
+        query = Query(
+            AggregateFunction.AVG,
+            self.column,
+            stopping,
+            name="outlier-indexed AVG",
+            **query_kwargs,
+        )
+
+        mask = query.predicate.mask(self.outlier_table)
+        outlier_values = self.outlier_table.continuous(self.column)[mask]
+        n_out = int(mask.sum())
+        s_out = float(outlier_values.sum())
+
+        executor_kwargs = {} if round_rows is None else {"round_rows": round_rows}
+        executor = ApproximateExecutor(
+            self.inlier_scramble,
+            bounder,
+            strategy=strategy,
+            delta=delta,
+            rng=rng,
+            **executor_kwargs,
+        )
+        inlier = executor.execute(query, start_block=start_block)
+        if inlier.groups:
+            group = inlier.scalar()
+            inlier_avg, inlier_count = group.interval, group.count_interval
+            inlier_estimate = group.estimate
+        else:
+            # The inlier view was certified empty; only outliers match.
+            inlier_avg, inlier_count = Interval(0.0, 0.0), Interval(0.0, 0.0)
+            inlier_estimate = 0.0
+        interval = compose_outlier_avg(n_out, s_out, inlier_avg, inlier_count)
+        count_mid = max(inlier_count.midpoint, 0.0)
+        denom = n_out + count_mid
+        estimate = (
+            (s_out + inlier_estimate * count_mid) / denom
+            if denom > 0
+            else float("nan")
+        )
+        return OutlierAvgResult(
+            estimate=estimate,
+            interval=interval,
+            outlier_rows=n_out,
+            metrics=inlier.metrics,
+        )

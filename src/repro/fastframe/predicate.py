@@ -1,0 +1,216 @@
+"""Row predicates for filters (WHERE clauses).
+
+Predicates are small composable AST nodes evaluated vectorized against a
+:class:`~repro.fastframe.table.Table` — either over the whole table (exact
+execution) or over a slice of row indices (block-at-a-time approximate
+execution).  Equality/membership predicates over categorical columns
+additionally expose their matched dictionary codes so the scan strategies
+can consult block bitmap indexes to skip blocks that cannot satisfy the
+filter (§4.3, and the Scan strategy note in §5.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.fastframe.table import Table
+
+__all__ = ["Predicate", "Eq", "In", "Compare", "And", "Or", "Not", "TruePredicate"]
+
+
+class Predicate(ABC):
+    """Boolean row filter."""
+
+    @abstractmethod
+    def mask(self, table: Table, rows: slice | np.ndarray | None = None) -> np.ndarray:
+        """Boolean mask of matching rows (over ``rows`` or the full table)."""
+
+    def categorical_requirements(self, table: Table) -> dict[str, set[int]]:
+        """Per-column sets of dictionary codes any matching row *must* have.
+
+        Used for bitmap-based block skipping: a block can be skipped when,
+        for some required column, none of its required codes appear in the
+        block.  Only conjunctive requirements are reported (a disjunction's
+        branches are unioned per column only when both branches constrain
+        the same column); returning ``{}`` simply disables skipping, never
+        soundness.
+        """
+        return {}
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+def _column_slice(table: Table, name: str, rows: slice | np.ndarray | None) -> np.ndarray:
+    from repro.fastframe.catalog import ColumnKind
+
+    if table.column_kind(name) is ColumnKind.CATEGORICAL:
+        values = table.categorical(name).codes
+    else:
+        values = table.continuous(name)
+    if rows is None:
+        return values
+    return values[rows]
+
+
+class TruePredicate(Predicate):
+    """The always-true filter (queries without a WHERE clause)."""
+
+    def mask(self, table: Table, rows: slice | np.ndarray | None = None) -> np.ndarray:
+        reference = _column_slice(table, table.columns()[0], rows)
+        return np.ones(reference.shape, dtype=bool)
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class Eq(Predicate):
+    """``column = value`` over a categorical column (e.g. Origin = 'ORD')."""
+
+    def __init__(self, column: str, value) -> None:
+        self.column = column
+        self.value = value
+
+    def _code(self, table: Table) -> int:
+        return table.categorical(self.column).code_of(self.value)
+
+    def mask(self, table: Table, rows: slice | np.ndarray | None = None) -> np.ndarray:
+        codes = _column_slice(table, self.column, rows)
+        return codes == self._code(table)
+
+    def categorical_requirements(self, table: Table) -> dict[str, set[int]]:
+        return {self.column: {self._code(table)}}
+
+    def __repr__(self) -> str:
+        return f"{self.column} = {self.value!r}"
+
+
+class In(Predicate):
+    """``column IN (values…)`` over a categorical column."""
+
+    def __init__(self, column: str, values) -> None:
+        self.column = column
+        self.values = tuple(values)
+        if not self.values:
+            raise ValueError("IN predicate requires at least one value")
+
+    def _codes(self, table: Table) -> set[int]:
+        column = table.categorical(self.column)
+        return {column.code_of(value) for value in self.values}
+
+    def mask(self, table: Table, rows: slice | np.ndarray | None = None) -> np.ndarray:
+        codes = _column_slice(table, self.column, rows)
+        return np.isin(codes, sorted(self._codes(table)))
+
+    def categorical_requirements(self, table: Table) -> dict[str, set[int]]:
+        return {self.column: self._codes(table)}
+
+    def __repr__(self) -> str:
+        return f"{self.column} IN {self.values!r}"
+
+
+class Compare(Predicate):
+    """``column <op> threshold`` over a continuous column (e.g. DepTime > 1050).
+
+    Supported operators: ``">"``, ``">="``, ``"<"``, ``"<="``.
+    """
+
+    _OPS = {
+        ">": np.greater,
+        ">=": np.greater_equal,
+        "<": np.less,
+        "<=": np.less_equal,
+    }
+
+    def __init__(self, column: str, op: str, threshold: float) -> None:
+        if op not in self._OPS:
+            raise ValueError(f"unsupported operator {op!r}; expected one of {sorted(self._OPS)}")
+        self.column = column
+        self.op = op
+        self.threshold = float(threshold)
+
+    def mask(self, table: Table, rows: slice | np.ndarray | None = None) -> np.ndarray:
+        values = _column_slice(table, self.column, rows)
+        return self._OPS[self.op](values, self.threshold)
+
+    def __repr__(self) -> str:
+        return f"{self.column} {self.op} {self.threshold}"
+
+
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    def __init__(self, *parts: Predicate) -> None:
+        if not parts:
+            raise ValueError("And requires at least one part")
+        self.parts = parts
+
+    def mask(self, table: Table, rows: slice | np.ndarray | None = None) -> np.ndarray:
+        result = self.parts[0].mask(table, rows)
+        for part in self.parts[1:]:
+            result &= part.mask(table, rows)
+        return result
+
+    def categorical_requirements(self, table: Table) -> dict[str, set[int]]:
+        # A conjunction inherits every conjunct's requirement; if two
+        # conjuncts constrain the same column, any matching row must carry
+        # a code from *each* set, so the intersection is required.
+        merged: dict[str, set[int]] = {}
+        for part in self.parts:
+            for column, codes in part.categorical_requirements(table).items():
+                merged[column] = merged[column] & codes if column in merged else set(codes)
+        return merged
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(map(repr, self.parts)) + ")"
+
+
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    def __init__(self, *parts: Predicate) -> None:
+        if not parts:
+            raise ValueError("Or requires at least one part")
+        self.parts = parts
+
+    def mask(self, table: Table, rows: slice | np.ndarray | None = None) -> np.ndarray:
+        result = self.parts[0].mask(table, rows)
+        for part in self.parts[1:]:
+            result |= part.mask(table, rows)
+        return result
+
+    def categorical_requirements(self, table: Table) -> dict[str, set[int]]:
+        # Sound only when every branch constrains a column: a matching row
+        # satisfies some branch, hence carries a code from that branch's
+        # set, hence from the union.  If any branch leaves the column
+        # unconstrained, no requirement can be claimed.
+        requirements = [part.categorical_requirements(table) for part in self.parts]
+        shared = set.intersection(*(set(req) for req in requirements)) if requirements else set()
+        return {
+            column: set.union(*(req[column] for req in requirements))
+            for column in shared
+        }
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(map(repr, self.parts)) + ")"
+
+
+class Not(Predicate):
+    """Negation of a predicate (no block-skipping requirements claimable)."""
+
+    def __init__(self, inner: Predicate) -> None:
+        self.inner = inner
+
+    def mask(self, table: Table, rows: slice | np.ndarray | None = None) -> np.ndarray:
+        return ~self.inner.mask(table, rows)
+
+    def __repr__(self) -> str:
+        return f"NOT ({self.inner!r})"

@@ -1,0 +1,154 @@
+"""Priority sampling [22, 9, 62]: an outlier-robust SUM baseline (§6).
+
+Priority sampling is the related-work access strategy the paper singles out
+as "particularly useful for coping with outliers": for values ``{w_i}`` it
+draws ``α_i ~ Unif(0, 1)`` i.i.d., assigns each tuple the priority
+``q_i = w_i / α_i``, and keeps the ``k`` tuples with the largest
+priorities.  With ``τ`` the (k+1)-th largest priority, the estimator
+
+    SUM ≈ Σ_{i ∈ sample} max(w_i, τ)
+
+is unbiased for ``Σ_i w_i`` — and it remains unbiased for the sum over any
+*subset* (an arbitrary filter) when restricted to sampled tuples matching
+the filter [9].  Large values are sampled with probability approaching 1,
+so a handful of outliers cannot blow up the estimator's variance the way
+they do for uniform sampling.
+
+The paper also records the scheme's limitations (§6), which this module
+inherits faithfully: the aggregated attribute must be known ahead of time
+(the sample is *per column*), values must be non-negative, and arbitrary
+derived expressions are unsupported (they would reshuffle the priorities).
+Confidence intervals for priority sampling (Thorup [62]) are asymptotic,
+based on the per-item Horvitz-Thompson variance estimator
+``v̂ = Σ_{i ∈ sample, w_i < τ} τ·(τ − w_i)`` — they are *not* SSI, which is
+the structural reason the paper's scramble-based approach keeps guarantees
+where priority sampling cannot.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from repro.bounders.base import Interval
+from repro.fastframe.predicate import Predicate
+from repro.fastframe.table import Table
+
+__all__ = ["PrioritySampleIndex"]
+
+
+class PrioritySampleIndex:
+    """Offline priority sample of one non-negative continuous column.
+
+    Parameters
+    ----------
+    table:
+        The base table (kept by reference for filter evaluation over the
+        sampled rows).
+    column:
+        The aggregated column; values must be non-negative.
+    k:
+        Sample size.  ``k >= num_rows`` keeps everything and estimates
+        become exact (``τ = 0``).
+    rng:
+        Randomness for the priorities; seed for reproducible samples.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        column: str,
+        k: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"sample size k must be >= 1, got {k}")
+        values = table.continuous(column)
+        if values.size == 0:
+            raise ValueError("cannot priority-sample an empty table")
+        if float(values.min()) < 0.0:
+            raise ValueError(
+                f"priority sampling requires non-negative values; column "
+                f"{column!r} has minimum {values.min()} (a limitation the "
+                "paper notes in §6)"
+            )
+        rng = rng or np.random.default_rng()
+        self.table = table
+        self.column = column
+        self.k = min(k, values.size)
+
+        alphas = rng.uniform(size=values.size)
+        with np.errstate(divide="ignore"):
+            priorities = np.where(alphas > 0.0, values / alphas, np.inf)
+        # Zero-valued rows get priority 0 and can never enter the sample —
+        # harmless, as they contribute nothing to any subset sum.
+        if self.k >= values.size:
+            order = np.argsort(priorities)[::-1]
+            self.row_ids = order
+            self.threshold = 0.0
+        else:
+            order = np.argpartition(priorities, -(self.k + 1))
+            top = order[-(self.k + 1):]
+            top = top[np.argsort(priorities[top])[::-1]]
+            self.row_ids = top[: self.k]
+            self.threshold = float(priorities[top[self.k]])
+        self.weights = values[self.row_ids]
+        #: Per-sampled-row estimator contributions max(w_i, τ).
+        self.adjusted = np.maximum(self.weights, self.threshold)
+
+    @property
+    def num_rows(self) -> int:
+        """Rows in the underlying table."""
+        return self.table.num_rows
+
+    def _sample_mask(self, predicate: Predicate | None) -> np.ndarray:
+        if predicate is None:
+            return np.ones(self.row_ids.shape, dtype=bool)
+        return predicate.mask(self.table, self.row_ids)
+
+    def sum_estimate(self, predicate: Predicate | None = None) -> float:
+        """Unbiased estimate of ``SUM(column)`` over rows matching the filter.
+
+        Evaluates the predicate on the *k sampled rows only* — the
+        efficiency contract of subset-sum priority sampling [9].
+        """
+        mask = self._sample_mask(predicate)
+        return float(self.adjusted[mask].sum())
+
+    def variance_estimate(self, predicate: Predicate | None = None) -> float:
+        """Unbiased variance estimate ``Σ τ·(τ − w_i)`` over small sampled rows.
+
+        Per-item Horvitz-Thompson: conditioned on τ, row i enters the
+        sample with probability ``min(1, w_i/τ)``; rows with ``w_i >= τ``
+        are sampled surely and contribute zero variance ([22], Theorem 2
+        gives zero covariance between items).
+        """
+        mask = self._sample_mask(predicate)
+        weights = self.weights[mask]
+        small = weights < self.threshold
+        return float((self.threshold * (self.threshold - weights[small])).sum())
+
+    def sum_interval(
+        self, delta: float, predicate: Predicate | None = None
+    ) -> Interval:
+        """Asymptotic (1 − δ) CI for the subset SUM (Thorup-style [62]).
+
+        Normal approximation around the unbiased estimate using the
+        unbiased variance estimator; clipped below at zero (weights are
+        non-negative).  **Not SSI** — included as the related-work
+        comparison point, not as a with-guarantees bound.
+        """
+        if not 0.0 < delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        estimate = self.sum_estimate(predicate)
+        spread = math.sqrt(max(self.variance_estimate(predicate), 0.0))
+        z = float(_scipy_stats.norm.ppf(1.0 - delta / 2.0))
+        return Interval(max(estimate - z * spread, 0.0), estimate + z * spread)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PrioritySampleIndex(column={self.column!r}, k={self.k}, "
+            f"threshold={self.threshold:.4g})"
+        )

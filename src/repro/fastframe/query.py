@@ -1,0 +1,199 @@
+"""Query specifications and results for FastFrame.
+
+A :class:`Query` describes a single-aggregate SQL query of the shape the
+paper evaluates (Figure 5): an AVG/SUM/COUNT aggregate over a continuous
+column (or derived expression), an optional WHERE predicate, an optional
+GROUP BY over categorical columns, and a stopping condition from §4.2 that
+encodes how the aggregate is consumed downstream (HAVING threshold, ORDER
+BY … LIMIT K, accuracy contract, …).
+
+Each (group × predicate) combination induces one *aggregate view*
+(Definition 5); the error probability δ is divided across views to
+preserve guarantees (§4.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Hashable
+
+from repro.bounders.base import Interval
+from repro.fastframe.predicate import Predicate, TruePredicate
+from repro.stopping.conditions import StoppingCondition
+
+__all__ = [
+    "AggregateFunction",
+    "Query",
+    "GroupResult",
+    "ExecutionMetrics",
+    "QueryResult",
+]
+
+
+class AggregateFunction(Enum):
+    """Aggregates supported with confidence intervals (§4.1)."""
+
+    AVG = "AVG"
+    SUM = "SUM"
+    COUNT = "COUNT"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A single-aggregate approximate query.
+
+    Parameters
+    ----------
+    aggregate:
+        The aggregate function.
+    column:
+        Continuous column to aggregate (or a
+        :class:`~repro.expressions.Expression` over continuous columns,
+        whose derived range bounds are computed per Appendix B).  ``None``
+        for COUNT.
+    predicate:
+        WHERE filter; defaults to TRUE.
+    group_by:
+        Categorical columns to group by (empty for a scalar aggregate).
+    stopping:
+        Stopping condition driving early termination and active groups.
+    name:
+        Label for experiment tables (e.g. ``"F-q2"``).
+    """
+
+    aggregate: AggregateFunction
+    column: object | None
+    stopping: StoppingCondition
+    predicate: Predicate = field(default_factory=TruePredicate)
+    group_by: tuple[str, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.aggregate is AggregateFunction.COUNT:
+            if self.column is not None:
+                raise ValueError("COUNT queries must not specify a column")
+        elif self.column is None:
+            raise ValueError(f"{self.aggregate.value} queries require a column")
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        parts = [f"{self.aggregate.value}({self.column or '*'})"]
+        if not isinstance(self.predicate, TruePredicate):
+            parts.append(f"WHERE {self.predicate!r}")
+        if self.group_by:
+            parts.append(f"GROUP BY {', '.join(self.group_by)}")
+        parts.append(f"STOP WHEN {self.stopping!r}")
+        return " ".join(parts)
+
+
+@dataclass
+class GroupResult:
+    """Final state of one aggregate view.
+
+    Attributes
+    ----------
+    key:
+        Decoded group-by values (empty tuple for scalar queries).
+    estimate:
+        Point estimate of the group's aggregate.
+    interval:
+        Certified (1 − δ/views) CI for the aggregate (the OptStop running
+        intersection).
+    count_interval:
+        Certified CI for the view's cardinality (Lemma 5); for exact
+        execution this is the degenerate exact count.
+    samples:
+        Sampled tuples that contributed to the aggregate.
+    exhausted:
+        True if the entire view was read (the aggregate is exact).
+    """
+
+    key: tuple
+    estimate: float
+    interval: Interval
+    count_interval: Interval
+    samples: int
+    exhausted: bool = False
+
+
+@dataclass
+class ExecutionMetrics:
+    """Cost counters for one query execution (§5.3's metrics).
+
+    ``blocks_fetched`` is the paper's CPU-independent comparison metric;
+    ``rows_read`` counts tuples examined; ``index_probes`` counts
+    synchronous single-block bitmap queries (ActiveSync cost) and
+    ``batch_probes`` counts vectorized lookahead batches (ActivePeek cost).
+    """
+
+    rows_read: int = 0
+    blocks_fetched: int = 0
+    blocks_skipped: int = 0
+    index_probes: int = 0
+    batch_probes: int = 0
+    rounds: int = 0
+    wall_time_s: float = 0.0
+    stopped_early: bool = False
+
+    def merge_index_counters(self, indexes) -> None:
+        """Pull probe counters from bitmap indexes into this record."""
+        for index in indexes:
+            self.index_probes += index.probe_count
+            self.batch_probes += index.batch_probe_count
+            index.reset_counters()
+
+
+@dataclass
+class QueryResult:
+    """Result of executing a :class:`Query`: per-group results + metrics."""
+
+    query: Query
+    groups: dict[Hashable, GroupResult]
+    metrics: ExecutionMetrics
+
+    def scalar(self) -> GroupResult:
+        """The single group of a scalar (no GROUP BY) query."""
+        if len(self.groups) != 1:
+            raise ValueError(
+                f"scalar() requires exactly one group, found {len(self.groups)}"
+            )
+        return next(iter(self.groups.values()))
+
+    def keys_above(self, threshold: float) -> set:
+        """Group keys certified above ``threshold`` (HAVING agg > t).
+
+        A group qualifies when its whole interval lies above the threshold;
+        with the ThresholdSide stopping condition every group is certified
+        on one side at termination (up to the δ failure probability).
+        """
+        return {
+            result.key
+            for result in self.groups.values()
+            if result.interval.lo > threshold
+        }
+
+    def keys_below(self, threshold: float) -> set:
+        """Group keys certified below ``threshold`` (HAVING agg < t)."""
+        return {
+            result.key
+            for result in self.groups.values()
+            if result.interval.hi < threshold
+        }
+
+    def top_k(self, k: int, largest: bool = True) -> list:
+        """Group keys of the k largest (or smallest) estimates, ranked."""
+        ranked = sorted(
+            self.groups.values(), key=lambda g: g.estimate, reverse=largest
+        )
+        return [result.key for result in ranked[:k]]
+
+    def ordering(self) -> list:
+        """All group keys ordered by descending estimate."""
+        return self.top_k(len(self.groups))
+
+    def max_interval_width(self) -> float:
+        """Widest group CI (∞ if any group never gathered a sample)."""
+        widths = [result.interval.width for result in self.groups.values()]
+        return max(widths) if widths else math.inf

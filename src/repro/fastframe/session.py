@@ -1,0 +1,164 @@
+"""Multi-query sessions with an auditable δ budget (§4.1).
+
+A scramble's "up-front shuffling cost need only be paid once in order to
+facilitate many queries, although care must be taken to set the error
+probability δ small enough when running multiple queries to avoid losing
+error bounder guarantees" (§4.1).  The subtlety: the scramble's permutation
+is *reused* across queries, so query-level failure events are not
+independent; a union bound over every query run in the session is what
+keeps the joint guarantee.
+
+:class:`Session` packages that bookkeeping.  It is constructed with a total
+session-level error probability and a per-query allocation policy:
+
+* ``"even"`` — the session is declared for up to ``max_queries`` queries
+  and each receives ``δ_session / max_queries`` (the paper's policy: at
+  δ = 1e-15, "union bounding over the number of queries run, the upper
+  bound on the error probability will still be sufficiently small … for
+  any practical number of queries");
+* ``"harmonic"`` — an open-ended session: query ``k`` receives
+  ``(6/π²)·δ_session/k²`` (the same Basel-series decay Algorithm 5 uses
+  across rounds), so *any* number of queries may be run and the spent
+  probability still telescopes to at most ``δ_session``.
+
+After each query the session records what was spent; :attr:`spent_delta`
+and :meth:`audit` expose the ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bounders.base import ErrorBounder
+from repro.fastframe.executor import ApproximateExecutor
+from repro.fastframe.query import Query, QueryResult
+from repro.fastframe.scan import SamplingStrategy
+from repro.fastframe.scramble import Scramble
+from repro.stats.delta import DEFAULT_DELTA, optstop_round_delta
+
+__all__ = ["Session", "QueryLedgerEntry"]
+
+
+@dataclass(frozen=True)
+class QueryLedgerEntry:
+    """One line of the session's δ ledger."""
+
+    index: int
+    name: str
+    delta: float
+    rows_read: int
+    stopped_early: bool
+
+
+class Session:
+    """Runs a sequence of queries against one scramble under a joint δ.
+
+    Parameters
+    ----------
+    scramble:
+        The shared pre-shuffled store.
+    bounder:
+        Error bounder used for every query in the session.
+    session_delta:
+        Total error probability for *all* queries combined: with
+        probability at least ``1 − session_delta`` every interval returned
+        by every query in the session is simultaneously valid.
+    policy:
+        ``"even"`` (requires ``max_queries``) or ``"harmonic"`` (open
+        ended); see the module docstring.
+    max_queries:
+        Declared query capacity for the ``"even"`` policy.
+    strategy, alpha, count_method, round_rows, rng:
+        Passed through to each query's
+        :class:`~repro.fastframe.executor.ApproximateExecutor`.
+    """
+
+    def __init__(
+        self,
+        scramble: Scramble,
+        bounder: ErrorBounder,
+        session_delta: float = DEFAULT_DELTA,
+        policy: str = "even",
+        max_queries: int = 100,
+        strategy: SamplingStrategy | None = None,
+        rng: np.random.Generator | None = None,
+        **executor_kwargs,
+    ) -> None:
+        if policy not in ("even", "harmonic"):
+            raise ValueError(f"unknown policy {policy!r}; expected 'even' or 'harmonic'")
+        if not 0.0 < session_delta < 1.0:
+            raise ValueError(f"session_delta must be in (0, 1), got {session_delta}")
+        if policy == "even" and max_queries < 1:
+            raise ValueError(f"max_queries must be >= 1, got {max_queries}")
+        if not bounder.ssi:
+            raise ValueError(
+                f"bounder {bounder.name!r} is not SSI; session-level "
+                "guarantees require sample-size-independent bounders (§1)"
+            )
+        self.scramble = scramble
+        self.bounder = bounder
+        self.session_delta = session_delta
+        self.policy = policy
+        self.max_queries = max_queries
+        self.strategy = strategy
+        self.rng = rng or np.random.default_rng()
+        self.executor_kwargs = executor_kwargs
+        self._ledger: list[QueryLedgerEntry] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def queries_run(self) -> int:
+        return len(self._ledger)
+
+    @property
+    def spent_delta(self) -> float:
+        """Total error probability consumed so far (union bound)."""
+        return sum(entry.delta for entry in self._ledger)
+
+    def next_query_delta(self) -> float:
+        """The δ the next query will receive under the session policy."""
+        if self.policy == "even":
+            if self.queries_run >= self.max_queries:
+                raise RuntimeError(
+                    f"session declared for {self.max_queries} queries has "
+                    f"run all of them; start a new session or use the "
+                    f"'harmonic' policy for open-ended sessions"
+                )
+            return self.session_delta / self.max_queries
+        return optstop_round_delta(self.session_delta, self.queries_run + 1)
+
+    def execute(self, query: Query, start_block: int | None = None) -> QueryResult:
+        """Run one query, charging its δ to the session ledger."""
+        delta = self.next_query_delta()
+        executor = ApproximateExecutor(
+            self.scramble,
+            self.bounder,
+            strategy=self.strategy,
+            delta=delta,
+            rng=self.rng,
+            **self.executor_kwargs,
+        )
+        result = executor.execute(query, start_block=start_block)
+        self._ledger.append(
+            QueryLedgerEntry(
+                index=len(self._ledger) + 1,
+                name=query.name or query.describe(),
+                delta=delta,
+                rows_read=result.metrics.rows_read,
+                stopped_early=result.metrics.stopped_early,
+            )
+        )
+        return result
+
+    def audit(self) -> tuple[QueryLedgerEntry, ...]:
+        """The ledger: per-query δ allocations in execution order."""
+        return tuple(self._ledger)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Session(policy={self.policy!r}, queries_run={self.queries_run}, "
+            f"spent={self.spent_delta:.3g} of {self.session_delta:.3g})"
+        )

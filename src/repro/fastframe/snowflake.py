@@ -1,0 +1,148 @@
+"""Snowflake-schema join views (the paper's Extensibility claim, §1).
+
+The paper notes its techniques "can be used to facilitate … queries over
+views formed from joins in a snowflake schema".  The mechanism is the same
+one the scramble already relies on: materialize the joined view offline
+(denormalize the fact table by following foreign keys), shuffle it once,
+and every filtered/grouped subset of the view is again an aggregate view
+that scan-based without-replacement sampling covers with full guarantees.
+
+:func:`denormalize` performs that offline join.  Dimensions may themselves
+reference further dimensions (the snowflake part): each
+:class:`Dimension`'s own foreign keys are resolved recursively before its
+attributes are attached to the fact table.
+
+Join keys may be categorical (airport codes) or continuous (integer
+surrogate keys); referential integrity is checked eagerly — a fact row
+whose key has no dimension match is a data error, not something to paper
+over during sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fastframe.catalog import ColumnKind
+from repro.fastframe.table import CategoricalColumn, Table
+
+__all__ = ["Dimension", "ForeignKey", "denormalize"]
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key edge: ``column`` on the referencing table → dimension."""
+
+    column: str
+    dimension: "Dimension"
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One dimension table of a star/snowflake schema.
+
+    Parameters
+    ----------
+    name:
+        Prefix for the dimension's attributes in the joined view
+        (``"airport"`` → ``"airport.state"``).
+    table:
+        The dimension's data; the ``key`` column must hold unique values.
+    key:
+        Primary-key column joined against referencing foreign keys.
+    foreign_keys:
+        The dimension's own outgoing edges (what makes the schema a
+        snowflake rather than a star).
+    """
+
+    name: str
+    table: Table
+    key: str
+    foreign_keys: tuple[ForeignKey, ...] = field(default=())
+
+
+def _raw_values(table: Table, column: str) -> np.ndarray:
+    """A column's raw (decoded) values, whatever its storage class."""
+    if table.column_kind(column) is ColumnKind.CATEGORICAL:
+        categorical = table.categorical(column)
+        return np.asarray(categorical.dictionary, dtype=object)[categorical.codes]
+    return table.continuous(column)
+
+
+def _match_rows(fact_keys: np.ndarray, dim_keys: np.ndarray, edge: str) -> np.ndarray:
+    """Dimension row index for each fact row (sorted-key searchsorted join).
+
+    Raises
+    ------
+    ValueError
+        If the dimension key is not unique, or a fact key has no match
+        (referential-integrity violation).
+    """
+    order = np.argsort(dim_keys, kind="stable")
+    sorted_keys = dim_keys[order]
+    if sorted_keys.size > 1 and (sorted_keys[1:] == sorted_keys[:-1]).any():
+        raise ValueError(f"dimension key for edge {edge!r} contains duplicates")
+    positions = np.searchsorted(sorted_keys, fact_keys)
+    positions = np.clip(positions, 0, sorted_keys.size - 1)
+    matched = sorted_keys[positions] == fact_keys
+    if not matched.all():
+        missing = np.asarray(fact_keys)[~matched][:3]
+        raise ValueError(
+            f"foreign key {edge!r}: {int((~matched).sum())} fact rows have "
+            f"no dimension match (e.g. {missing.tolist()})"
+        )
+    return order[positions]
+
+
+def _attach_dimension(view: Table, fk: ForeignKey, fact_table: Table) -> None:
+    """Join one dimension's attributes (recursively flattened) into ``view``."""
+    dim = fk.dimension
+    flat = denormalize(dim.table, dim.foreign_keys) if dim.foreign_keys else dim.table
+    fact_keys = _raw_values(fact_table, fk.column)
+    dim_keys = _raw_values(flat, dim.key)
+    rows = _match_rows(fact_keys, dim_keys, edge=f"{fk.column} -> {dim.name}.{dim.key}")
+    for attr in flat.columns():
+        if attr == dim.key:
+            continue
+        qualified = f"{dim.name}.{attr}" if "." not in attr else f"{dim.name}.{attr.split('.', 1)[1]}"
+        if flat.column_kind(attr) is ColumnKind.CATEGORICAL:
+            source = flat.categorical(attr)
+            view.add_categorical(
+                qualified,
+                CategoricalColumn(codes=source.codes[rows], dictionary=source.dictionary),
+            )
+        else:
+            view.add_continuous(
+                qualified,
+                flat.continuous(attr)[rows],
+                bounds=flat.catalog.bounds(attr),
+            )
+
+
+def denormalize(fact: Table, foreign_keys) -> Table:
+    """Materialize the joined view of a fact table over its dimensions.
+
+    Returns a new :class:`Table` holding every fact column (foreign-key
+    columns included, so they remain filterable) plus each reachable
+    dimension attribute under a ``dimension.attribute`` name.  Catalog range
+    bounds are inherited, so deliberately padded bounds survive the join.
+
+    The result is an ordinary table: wrap it in a
+    :class:`~repro.fastframe.scramble.Scramble` and query it like any other.
+    """
+    view = Table()
+    for name in fact.columns():
+        if fact.column_kind(name) is ColumnKind.CATEGORICAL:
+            source = fact.categorical(name)
+            view.add_categorical(
+                name,
+                CategoricalColumn(codes=source.codes.copy(), dictionary=source.dictionary),
+            )
+        else:
+            view.add_continuous(
+                name, fact.continuous(name).copy(), bounds=fact.catalog.bounds(name)
+            )
+    for fk in foreign_keys:
+        _attach_dimension(view, fk, fact)
+    return view

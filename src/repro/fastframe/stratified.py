@@ -1,0 +1,203 @@
+"""Offline stratified samples: the BlinkDB-style comparison class (§6).
+
+The related-work survey contrasts the paper's *online* scramble-based
+sampling with *offline* schemes that "materialize samples ahead-of-time
+[21, 7, 6, 30] based off workload assumptions".  This module implements
+that baseline so the tradeoff is measurable:
+
+* For a **declared** workload — GROUP BY over a fixed column set — a
+  :class:`StratifiedSampleStore` materializes one uniform
+  without-replacement sample per stratum at load time.  Answering a
+  matching query then touches only the pre-materialized samples (no scan
+  at all), and because each stratum's population size is known exactly,
+  SSI bounders apply at full strength — sparse groups get equal
+  representation, which is the whole point of stratification.
+* For an **undeclared** query — a different grouping, or any WHERE
+  predicate — the strata are useless: a stratum sample filtered by an
+  arbitrary predicate is *not* a uniform sample of the filtered stratum
+  unless the predicate is independent of the sampling, and group-bys over
+  other columns cannot be reassembled from per-stratum samples without
+  bias.  The store refuses such queries (``UnsupportedQueryError``) rather
+  than answer without guarantees — exactly the workload-rigidity the paper
+  escapes by scrambling the whole table once.
+
+The intended comparison (see ``tests/fastframe/test_stratified.py``): on
+the declared workload the stratified store is strictly cheaper than
+scanning a scramble; on anything else the scramble is the only one of the
+two that can answer at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bounders.base import ErrorBounder, Interval
+from repro.fastframe.query import AggregateFunction, Query
+from repro.fastframe.predicate import TruePredicate
+from repro.fastframe.table import Table
+from repro.stats.delta import DEFAULT_DELTA
+
+__all__ = ["StratifiedSampleStore", "StratumResult", "UnsupportedQueryError"]
+
+
+class UnsupportedQueryError(ValueError):
+    """The query's shape does not match the store's declared workload."""
+
+
+@dataclass(frozen=True)
+class StratumResult:
+    """Certified per-stratum answer.
+
+    Attributes
+    ----------
+    key:
+        Decoded group-by values.
+    estimate:
+        Stratum sample mean.
+    interval:
+        (1 − δ/strata) CI for the stratum AVG; exact (degenerate) when the
+        stratum is smaller than the per-stratum sample budget.
+    population:
+        Exact stratum size (known at build time).
+    samples:
+        Materialized sample size for the stratum.
+    """
+
+    key: tuple
+    estimate: float
+    interval: Interval
+    population: int
+    samples: int
+
+
+class StratifiedSampleStore:
+    """Pre-materialized per-group samples for one declared GROUP BY set.
+
+    Parameters
+    ----------
+    table:
+        The base table.
+    group_by:
+        The declared workload: the exact GROUP BY column set the store
+        will serve.
+    per_stratum:
+        Sample cap per stratum (strata smaller than this are stored
+        whole, making their aggregates exact — BlinkDB's small-group
+        behaviour).
+    rng:
+        Randomness for the per-stratum samples.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        group_by: tuple[str, ...],
+        per_stratum: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not group_by:
+            raise ValueError("declare at least one GROUP BY column to stratify on")
+        if per_stratum < 1:
+            raise ValueError(f"per_stratum must be >= 1, got {per_stratum}")
+        rng = rng or np.random.default_rng()
+        self.table = table
+        self.group_by = tuple(group_by)
+        self.per_stratum = per_stratum
+
+        combined = None
+        for column in self.group_by:
+            categorical = table.categorical(column)
+            codes = categorical.codes.astype(np.int64)
+            combined = codes if combined is None else combined * categorical.cardinality + codes
+        self._strata: dict[tuple, np.ndarray] = {}
+        self._populations: dict[tuple, int] = {}
+        for code in np.unique(combined):
+            rows = np.flatnonzero(combined == code)
+            key = self._decode(int(code))
+            self._populations[key] = rows.size
+            take = min(per_stratum, rows.size)
+            self._strata[key] = rng.choice(rows, size=take, replace=False)
+
+    def _decode(self, code: int) -> tuple:
+        codes = []
+        for column in reversed(self.group_by):
+            card = self.table.categorical(column).cardinality
+            codes.append(code % card)
+            code //= card
+        return tuple(
+            self.table.categorical(column).dictionary[c]
+            for column, c in zip(self.group_by, reversed(codes))
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def strata(self) -> tuple[tuple, ...]:
+        """The decoded stratum keys."""
+        return tuple(self._strata)
+
+    @property
+    def rows_materialized(self) -> int:
+        """Total sampled rows stored (the store's footprint)."""
+        return sum(rows.size for rows in self._strata.values())
+
+    def _check_supported(self, query: Query) -> None:
+        if query.aggregate is not AggregateFunction.AVG:
+            raise UnsupportedQueryError(
+                f"stratified store serves AVG only, got {query.aggregate.value}"
+            )
+        if tuple(query.group_by) != self.group_by:
+            raise UnsupportedQueryError(
+                f"store was stratified on {self.group_by}, cannot serve "
+                f"GROUP BY {tuple(query.group_by)}; offline samples are "
+                "workload-bound (§6) - use a scramble for ad-hoc queries"
+            )
+        if not isinstance(query.predicate, TruePredicate):
+            raise UnsupportedQueryError(
+                "per-stratum samples are not uniform samples of an "
+                "arbitrarily filtered stratum; predicates are unsupported "
+                "(the workload-assumption limitation of offline AQP, §6)"
+            )
+        if not isinstance(query.column, str):
+            raise UnsupportedQueryError(
+                "expression aggregates are not supported by this baseline"
+            )
+
+    def execute_avg(
+        self,
+        query: Query,
+        bounder: ErrorBounder,
+        delta: float = DEFAULT_DELTA,
+    ) -> dict[tuple, StratumResult]:
+        """Answer a declared-workload AVG query from the materialized strata.
+
+        δ is divided across strata (the aggregate views of this query,
+        §4.1).  No table rows are touched beyond the stored samples.
+        """
+        self._check_supported(query)
+        values = self.table.continuous(query.column)
+        bounds = self.table.catalog.bounds(query.column)
+        per_stratum_delta = delta / max(len(self._strata), 1)
+        results = {}
+        for key, sample_rows in self._strata.items():
+            population = self._populations[key]
+            sample_values = values[sample_rows]
+            estimate = float(sample_values.mean())
+            if sample_rows.size >= population:
+                interval = Interval(estimate, estimate)  # census stratum
+            else:
+                state = bounder.init_state()
+                bounder.update_batch(state, sample_values)
+                interval = bounder.confidence_interval(
+                    state, bounds.a, bounds.b, population, per_stratum_delta
+                )
+            results[key] = StratumResult(
+                key=key,
+                estimate=estimate,
+                interval=interval,
+                population=population,
+                samples=sample_rows.size,
+            )
+        return results

@@ -1,0 +1,158 @@
+"""Abstract syntax tree for the FastFrame SQL subset.
+
+These nodes mirror the shape of the paper's Figure 5 queries: a single
+SELECT over one table with optional WHERE / GROUP BY / HAVING /
+ORDER BY … LIMIT clauses, where exactly one aggregate (AVG, SUM, or COUNT)
+appears — either in the select list, inside a CASE WHEN threshold test
+(F-q4), in the HAVING comparison, or in the ORDER BY key.
+
+The AST is deliberately dumb: all semantic checks (the aggregate is unique,
+non-aggregated select columns appear in GROUP BY, …) live in
+:mod:`repro.sql.compiler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SqlExpr",
+    "ColumnRef",
+    "NumberLiteral",
+    "StringLiteral",
+    "BinaryArith",
+    "UnaryMinus",
+    "AggregateCall",
+    "Comparison",
+    "InList",
+    "Between",
+    "BoolOp",
+    "NotOp",
+    "CaseWhen",
+    "SelectItem",
+    "OrderBy",
+    "SelectStatement",
+]
+
+
+class SqlExpr:
+    """Base class for every expression node."""
+
+
+@dataclass(frozen=True)
+class ColumnRef(SqlExpr):
+    """A bare column reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class NumberLiteral(SqlExpr):
+    value: float
+
+
+@dataclass(frozen=True)
+class StringLiteral(SqlExpr):
+    value: str
+
+
+@dataclass(frozen=True)
+class BinaryArith(SqlExpr):
+    """Arithmetic over columns/literals inside an aggregate argument."""
+
+    op: str  # one of + - * /
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class UnaryMinus(SqlExpr):
+    operand: SqlExpr
+
+
+@dataclass(frozen=True)
+class AggregateCall(SqlExpr):
+    """``AVG(expr)``, ``SUM(expr)``, or ``COUNT(*)``.
+
+    ``argument`` is None exactly for ``COUNT(*)``.
+    """
+
+    function: str  # AVG | SUM | COUNT
+    argument: SqlExpr | None
+
+
+@dataclass(frozen=True)
+class Comparison(SqlExpr):
+    """``left <op> right`` with op in {=, !=, <, <=, >, >=}."""
+
+    op: str
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class InList(SqlExpr):
+    """``column IN (value, …)``."""
+
+    column: ColumnRef
+    values: tuple
+
+
+@dataclass(frozen=True)
+class Between(SqlExpr):
+    """``column BETWEEN lo AND hi`` (inclusive both ends, standard SQL)."""
+
+    column: ColumnRef
+    low: SqlExpr
+    high: SqlExpr
+
+
+@dataclass(frozen=True)
+class BoolOp(SqlExpr):
+    """AND/OR over two or more conditions."""
+
+    op: str  # AND | OR
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class NotOp(SqlExpr):
+    operand: SqlExpr
+
+
+@dataclass(frozen=True)
+class CaseWhen(SqlExpr):
+    """``CASE WHEN condition THEN value ELSE value END`` (F-q4's shape)."""
+
+    condition: SqlExpr
+    then_value: SqlExpr
+    else_value: SqlExpr
+
+
+@dataclass(frozen=True)
+class SelectItem(SqlExpr):
+    """One select-list entry with an optional ``AS`` alias."""
+
+    expression: SqlExpr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderBy(SqlExpr):
+    """``ORDER BY key [ASC|DESC]``."""
+
+    key: SqlExpr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStatement(SqlExpr):
+    """A full parsed query."""
+
+    select: tuple[SelectItem, ...]
+    table: str
+    where: SqlExpr | None = None
+    group_by: tuple[str, ...] = field(default=())
+    having: SqlExpr | None = None
+    order_by: OrderBy | None = None
+    limit: int | None = None

@@ -1,0 +1,336 @@
+"""Compile parsed SQL into FastFrame :class:`~repro.fastframe.query.Query`.
+
+The compiler enforces the paper's query model — a single aggregate over one
+table (Figure 5) — and infers the stopping condition from how the aggregate
+is consumed (Table 4):
+
+==============================================  ==============================
+SQL shape                                       Stopping condition
+==============================================  ==============================
+``HAVING AVG(x) > t`` / ``< t``                 Í ``ThresholdSide(t)``
+``CASE WHEN AVG(x) > t THEN … END``             Í ``ThresholdSide(t)`` (F-q4)
+``ORDER BY AVG(x) DESC LIMIT k``                Î ``TopKSeparated(k, largest)``
+``ORDER BY AVG(x) ASC LIMIT k``                 Î ``TopKSeparated(k, smallest)``
+``ORDER BY AVG(x)`` without LIMIT               Ï ``GroupsOrdered()``
+anything else                                   caller-supplied ``stopping``
+==============================================  ==============================
+
+Aggregate arguments may be arbitrary arithmetic over continuous columns;
+they compile to :mod:`repro.expressions` trees whose derived range bounds
+are computed per Appendix B at execution time.
+"""
+
+from __future__ import annotations
+
+from repro import expressions as _expressions
+from repro.fastframe.predicate import (
+    And,
+    Compare,
+    Eq,
+    In,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.fastframe.query import AggregateFunction, Query
+from repro.sql.ast import (
+    AggregateCall,
+    Between,
+    BinaryArith,
+    BoolOp,
+    CaseWhen,
+    ColumnRef,
+    Comparison,
+    InList,
+    NotOp,
+    NumberLiteral,
+    SelectStatement,
+    StringLiteral,
+    UnaryMinus,
+)
+from repro.sql.parser import parse
+from repro.stopping.conditions import (
+    GroupsOrdered,
+    StoppingCondition,
+    ThresholdSide,
+    TopKSeparated,
+)
+
+__all__ = ["SqlCompileError", "compile_statement", "parse_query"]
+
+_FLIPPED_OPS = {">": "<", "<": ">", ">=": "<=", "<=": ">=", "=": "=", "!=": "!=", "<>": "<>"}
+_ARITH_NODES = {
+    "+": _expressions.Add,
+    "-": _expressions.Sub,
+    "*": _expressions.Mul,
+    "/": _expressions.Div,
+}
+
+
+class SqlCompileError(ValueError):
+    """A semantically invalid query for the paper's single-aggregate model."""
+
+
+# ----------------------------------------------------------------------
+# Aggregate discovery
+# ----------------------------------------------------------------------
+
+
+def _aggregates_in(node) -> list[AggregateCall]:
+    """Every AggregateCall reachable from an expression node."""
+    if isinstance(node, AggregateCall):
+        return [node]
+    if isinstance(node, BinaryArith):
+        return _aggregates_in(node.left) + _aggregates_in(node.right)
+    if isinstance(node, UnaryMinus):
+        return _aggregates_in(node.operand)
+    if isinstance(node, CaseWhen):
+        return (
+            _aggregates_in(node.condition)
+            + _aggregates_in(node.then_value)
+            + _aggregates_in(node.else_value)
+        )
+    if isinstance(node, Comparison):
+        return _aggregates_in(node.left) + _aggregates_in(node.right)
+    if isinstance(node, BoolOp):
+        return [agg for part in node.parts for agg in _aggregates_in(part)]
+    if isinstance(node, NotOp):
+        return _aggregates_in(node.operand)
+    return []
+
+
+def _unique_aggregate(statement: SelectStatement) -> AggregateCall:
+    """The statement's single aggregate; raises if there is not exactly one."""
+    found: list[AggregateCall] = []
+    for item in statement.select:
+        found.extend(_aggregates_in(item.expression))
+    if statement.having is not None:
+        found.extend(_aggregates_in(statement.having))
+    if statement.order_by is not None:
+        found.extend(_aggregates_in(statement.order_by.key))
+    if not found:
+        raise SqlCompileError(
+            "query contains no aggregate; FastFrame answers single-aggregate "
+            "queries (Figure 5's shape)"
+        )
+    distinct = set(found)
+    if len(distinct) > 1:
+        raise SqlCompileError(
+            f"query references {len(distinct)} distinct aggregates; the "
+            "paper's query model supports exactly one per query (run one "
+            "query per aggregate and divide delta accordingly, §4.1)"
+        )
+    return found[0]
+
+
+# ----------------------------------------------------------------------
+# Expression / predicate lowering
+# ----------------------------------------------------------------------
+
+
+def _lower_value(node):
+    """Aggregate argument AST → column name or :mod:`repro.expressions` tree.
+
+    A bare column stays a string (the executor's fast path); anything
+    arithmetic becomes an Expression with Appendix-B derived range bounds.
+    """
+    if isinstance(node, ColumnRef):
+        return node.name
+    return _lower_expression(node)
+
+
+def _lower_expression(node) -> _expressions.Expression:
+    if isinstance(node, ColumnRef):
+        return _expressions.col(node.name)
+    if isinstance(node, NumberLiteral):
+        return _expressions.Const(node.value)
+    if isinstance(node, UnaryMinus):
+        return _expressions.Neg(_lower_expression(node.operand))
+    if isinstance(node, BinaryArith):
+        factory = _ARITH_NODES[node.op]
+        return factory(_lower_expression(node.left), _lower_expression(node.right))
+    raise SqlCompileError(
+        f"unsupported construct inside an aggregate argument: {type(node).__name__}"
+    )
+
+
+def _literal_value(node):
+    if isinstance(node, NumberLiteral):
+        return node.value
+    if isinstance(node, StringLiteral):
+        return node.value
+    raise SqlCompileError(
+        f"expected a literal in a WHERE comparison, found {type(node).__name__}"
+    )
+
+
+def _lower_predicate(node) -> Predicate:
+    """WHERE condition AST → :mod:`repro.fastframe.predicate` tree."""
+    if isinstance(node, BoolOp):
+        parts = tuple(_lower_predicate(part) for part in node.parts)
+        return And(*parts) if node.op == "AND" else Or(*parts)
+    if isinstance(node, NotOp):
+        return Not(_lower_predicate(node.operand))
+    if isinstance(node, InList):
+        return In(node.column.name, tuple(_literal_value(v) for v in node.values))
+    if isinstance(node, Between):
+        low, high = _literal_value(node.low), _literal_value(node.high)
+        if isinstance(low, str) or isinstance(high, str):
+            raise SqlCompileError("BETWEEN requires numeric endpoints")
+        return And(
+            Compare(node.column.name, ">=", float(low)),
+            Compare(node.column.name, "<=", float(high)),
+        )
+    if isinstance(node, Comparison):
+        left, op, right = node.left, node.op, node.right
+        if not isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+            left, right = right, left
+            op = _FLIPPED_OPS[op]
+        if not isinstance(left, ColumnRef):
+            raise SqlCompileError(
+                "WHERE comparisons must reference a column on one side"
+            )
+        value = _literal_value(right)
+        if op == "=":
+            return Eq(left.name, value)
+        if op in ("!=", "<>"):
+            return Not(Eq(left.name, value))
+        if isinstance(value, str):
+            raise SqlCompileError(
+                f"ordering comparison {op!r} is not defined for string "
+                f"literal {value!r}"
+            )
+        return Compare(left.name, op, float(value))
+    raise SqlCompileError(
+        f"unsupported WHERE construct: {type(node).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Stopping-condition inference
+# ----------------------------------------------------------------------
+
+
+def _threshold_from(comparison, aggregate: AggregateCall) -> float:
+    """Threshold of an ``aggregate <op> number`` test (either side)."""
+    if not isinstance(comparison, Comparison):
+        raise SqlCompileError(
+            "HAVING / CASE WHEN must be a single comparison against the "
+            "query aggregate"
+        )
+    left, right = comparison.left, comparison.right
+    if left == aggregate and isinstance(right, NumberLiteral):
+        return right.value
+    if right == aggregate and isinstance(left, NumberLiteral):
+        return left.value
+    raise SqlCompileError(
+        "HAVING / CASE WHEN must compare the query aggregate with a "
+        "numeric literal"
+    )
+
+
+def _infer_stopping(
+    statement: SelectStatement,
+    aggregate: AggregateCall,
+    stopping: StoppingCondition | None,
+) -> StoppingCondition:
+    case_items = [
+        item.expression
+        for item in statement.select
+        if isinstance(item.expression, CaseWhen)
+    ]
+    if case_items:
+        return ThresholdSide(_threshold_from(case_items[0].condition, aggregate))
+    if statement.having is not None:
+        return ThresholdSide(_threshold_from(statement.having, aggregate))
+    if statement.order_by is not None:
+        if statement.order_by.key != aggregate:
+            raise SqlCompileError(
+                "ORDER BY must sort on the query aggregate"
+            )
+        if statement.limit is not None:
+            if statement.limit < 1:
+                raise SqlCompileError("LIMIT must be at least 1")
+            return TopKSeparated(statement.limit, largest=not statement.order_by.ascending)
+        return GroupsOrdered()
+    if stopping is None:
+        raise SqlCompileError(
+            "no stopping condition is implied by the SQL (no HAVING, CASE "
+            "WHEN threshold, or ORDER BY); pass one explicitly, e.g. "
+            "parse_query(sql, stopping=RelativeAccuracy(0.5))"
+        )
+    return stopping
+
+
+# ----------------------------------------------------------------------
+# Validation + assembly
+# ----------------------------------------------------------------------
+
+
+def _validate_select_list(statement: SelectStatement) -> None:
+    """Non-aggregate select columns must be grouped (standard SQL rule)."""
+    grouped = set(statement.group_by)
+    for item in statement.select:
+        expr = item.expression
+        if isinstance(expr, ColumnRef) and expr.name not in grouped:
+            raise SqlCompileError(
+                f"column {expr.name!r} appears in SELECT without aggregation "
+                "and is not in GROUP BY"
+            )
+
+
+def compile_statement(
+    statement: SelectStatement,
+    stopping: StoppingCondition | None = None,
+    name: str = "",
+) -> Query:
+    """Lower a parsed statement to an executable :class:`Query`.
+
+    Parameters
+    ----------
+    statement:
+        Output of :func:`repro.sql.parser.parse`.
+    stopping:
+        Fallback stopping condition for queries whose SQL implies none
+        (e.g. a plain ``SELECT AVG(x) FROM t`` accuracy query).
+    name:
+        Experiment label stored on the query.
+    """
+    aggregate = _unique_aggregate(statement)
+    _validate_select_list(statement)
+    function = AggregateFunction[aggregate.function]
+    column = None if aggregate.argument is None else _lower_value(aggregate.argument)
+    if function is AggregateFunction.COUNT and column is not None:
+        # COUNT(expr) counts view rows exactly like COUNT(*) here: the
+        # store has no NULLs (§5.1 drops them at load).
+        column = None
+    condition = _infer_stopping(statement, aggregate, stopping)
+    query_kwargs = {}
+    if statement.where is not None:
+        query_kwargs["predicate"] = _lower_predicate(statement.where)
+    return Query(
+        function,
+        column,
+        condition,
+        group_by=statement.group_by,
+        name=name or statement.table,
+        **query_kwargs,
+    )
+
+
+def parse_query(
+    sql: str,
+    stopping: StoppingCondition | None = None,
+    name: str = "",
+) -> Query:
+    """Parse and compile one SQL string into an executable :class:`Query`.
+
+    >>> from repro.sql import parse_query
+    >>> query = parse_query(
+    ...     "SELECT Airline FROM flights "
+    ...     "GROUP BY Airline HAVING AVG(DepDelay) > 7"
+    ... )
+    >>> query.aggregate.value, query.group_by
+    ('AVG', ('Airline',))
+    """
+    return compile_statement(parse(sql), stopping=stopping, name=name)

@@ -1,0 +1,163 @@
+"""Tokenizer for the FastFrame SQL subset (the Figure 5 query language).
+
+The lexer recognizes exactly what the paper's nine queries (and obvious
+variations) need: keywords, identifiers, single-quoted strings, numeric
+literals, clock-time literals like ``1:50pm`` (F-q6 filters on
+``DepTime > 1:50pm``; the flights data encodes times as HHMM numbers), and
+comparison/arithmetic punctuation.
+
+Tokens carry their source position so parse errors can point at the
+offending character.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["TokenType", "Token", "SqlSyntaxError", "tokenize", "KEYWORDS"]
+
+
+class SqlSyntaxError(ValueError):
+    """A lexing or parsing error, annotated with the source position."""
+
+    def __init__(self, message: str, sql: str, position: int) -> None:
+        pointer = " " * position + "^"
+        super().__init__(f"{message}\n  {sql}\n  {pointer}")
+        self.position = position
+
+
+class TokenType(Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    END = "end"
+
+
+#: Reserved words (matched case-insensitively; stored upper-case).
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+        "ASC", "DESC", "AND", "OR", "NOT", "IN", "AS", "BETWEEN",
+        "AVG", "SUM", "COUNT",
+        "CASE", "WHEN", "THEN", "ELSE", "END",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``value`` is the normalized payload: upper-cased keyword text, raw
+    identifier text, a float for numbers (time literals are pre-converted
+    to HHMM), or the unquoted string body.
+    """
+
+    type: TokenType
+    value: object
+    position: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in words
+
+
+_TIME_RE = re.compile(r"(\d{1,2}):(\d{2})\s*(am|pm)?", re.IGNORECASE)
+_NUMBER_RE = re.compile(r"(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+#: Multi-character operators first so ``<=`` is not lexed as ``<`` ``=``.
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/")
+
+
+def _parse_time(match: re.Match) -> float:
+    """Clock literal → HHMM number (``1:50pm`` → 1350, ``10:50pm`` → 2250)."""
+    hour, minute = int(match.group(1)), int(match.group(2))
+    meridiem = (match.group(3) or "").lower()
+    if minute >= 60:
+        raise ValueError(f"invalid minutes in time literal {match.group(0)!r}")
+    if meridiem:
+        if not 1 <= hour <= 12:
+            raise ValueError(f"invalid 12-hour time literal {match.group(0)!r}")
+        hour = hour % 12 + (12 if meridiem == "pm" else 0)
+    elif hour > 23:
+        raise ValueError(f"invalid 24-hour time literal {match.group(0)!r}")
+    return float(hour * 100 + minute)
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize a SQL string; raises :class:`SqlSyntaxError` on bad input.
+
+    The returned list always ends with a single END token.
+    """
+    tokens: list[Token] = []
+    position = 0
+    length = len(sql)
+    while position < length:
+        char = sql[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char == "#" or sql.startswith("--", position):
+            newline = sql.find("\n", position)
+            position = length if newline < 0 else newline + 1
+            continue
+        time_match = _TIME_RE.match(sql, position)
+        if time_match:
+            try:
+                value = _parse_time(time_match)
+            except ValueError as exc:
+                raise SqlSyntaxError(str(exc), sql, position) from None
+            tokens.append(Token(TokenType.NUMBER, value, position))
+            position = time_match.end()
+            continue
+        number_match = _NUMBER_RE.match(sql, position)
+        if number_match:
+            tokens.append(
+                Token(TokenType.NUMBER, float(number_match.group(0)), position)
+            )
+            position = number_match.end()
+            continue
+        ident_match = _IDENT_RE.match(sql, position)
+        if ident_match:
+            text = ident_match.group(0)
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, position))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, text, position))
+            position = ident_match.end()
+            continue
+        if char == "'":
+            end = position + 1
+            body: list[str] = []
+            while True:
+                if end >= length:
+                    raise SqlSyntaxError("unterminated string literal", sql, position)
+                if sql[end] == "'":
+                    if end + 1 < length and sql[end + 1] == "'":
+                        body.append("'")  # doubled quote escape
+                        end += 2
+                        continue
+                    break
+                body.append(sql[end])
+                end += 1
+            tokens.append(Token(TokenType.STRING, "".join(body), position))
+            position = end + 1
+            continue
+        for operator in _OPERATORS:
+            if sql.startswith(operator, position):
+                tokens.append(Token(TokenType.OPERATOR, operator, position))
+                position += len(operator)
+                break
+        else:
+            if char in "(),;":
+                tokens.append(Token(TokenType.PUNCT, char, position))
+                position += 1
+            else:
+                raise SqlSyntaxError(f"unexpected character {char!r}", sql, position)
+    tokens.append(Token(TokenType.END, None, length))
+    return tokens

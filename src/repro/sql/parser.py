@@ -1,0 +1,317 @@
+"""Recursive-descent parser for the FastFrame SQL subset.
+
+Grammar (terminals upper-case; ``[x]`` optional, ``{x}`` repeated)::
+
+    statement   := SELECT select_list FROM identifier
+                   [WHERE condition]
+                   [GROUP BY identifier {, identifier}]
+                   [HAVING condition]
+                   [ORDER BY value_expr [ASC | DESC]]
+                   [LIMIT integer] [;]
+    select_list := select_item {, select_item}
+    select_item := value_expr [AS identifier]
+    value_expr  := term {(+ | -) term}
+    term        := factor {(* | /) factor}
+    factor      := - factor | ( value_expr ) | aggregate | case_expr
+                   | identifier | number | string
+    aggregate   := (AVG | SUM) ( value_expr ) | COUNT ( * | value_expr )
+    case_expr   := CASE WHEN condition THEN value_expr
+                   ELSE value_expr END
+    condition   := or_cond
+    or_cond     := and_cond {OR and_cond}
+    and_cond    := not_cond {AND not_cond}
+    not_cond    := NOT not_cond | predicate
+    predicate   := ( condition )
+                   | value_expr (= | != | <> | < | <= | > | >=) value_expr
+                   | identifier IN ( literal {, literal} )
+
+This covers all nine Figure 5 queries verbatim (including F-q4's CASE WHEN
+and F-q6's ``1:50pm`` time literal) plus arithmetic aggregate arguments for
+the Appendix B expression queries.
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast import (
+    AggregateCall,
+    Between,
+    BinaryArith,
+    BoolOp,
+    CaseWhen,
+    ColumnRef,
+    Comparison,
+    InList,
+    NotOp,
+    NumberLiteral,
+    OrderBy,
+    SelectItem,
+    SelectStatement,
+    StringLiteral,
+    UnaryMinus,
+)
+from repro.sql.lexer import SqlSyntaxError, Token, TokenType, tokenize
+
+__all__ = ["parse"]
+
+_COMPARISON_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    """Token-stream cursor with the usual expect/accept helpers."""
+
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.index = 0
+
+    # -- cursor helpers -------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def error(self, message: str) -> SqlSyntaxError:
+        return SqlSyntaxError(message, self.sql, self.current.position)
+
+    def accept_keyword(self, *words: str) -> bool:
+        if self.current.is_keyword(*words):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise self.error(f"expected {word}")
+
+    def accept_punct(self, char: str) -> bool:
+        token = self.current
+        if token.type is TokenType.PUNCT and token.value == char:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, char: str) -> None:
+        if not self.accept_punct(char):
+            raise self.error(f"expected {char!r}")
+
+    def accept_operator(self, *ops: str) -> str | None:
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.value in ops:
+            self.advance()
+            return str(token.value)
+        return None
+
+    def expect_identifier(self, what: str) -> str:
+        token = self.current
+        if token.type is not TokenType.IDENTIFIER:
+            raise self.error(f"expected {what}")
+        self.advance()
+        return str(token.value)
+
+    # -- grammar productions --------------------------------------------
+
+    def parse_statement(self) -> SelectStatement:
+        self.expect_keyword("SELECT")
+        select = [self.parse_select_item()]
+        while self.accept_punct(","):
+            select.append(self.parse_select_item())
+        self.expect_keyword("FROM")
+        table = self.expect_identifier("table name")
+
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_condition()
+
+        group_by: tuple[str, ...] = ()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            columns = [self.expect_identifier("GROUP BY column")]
+            while self.accept_punct(","):
+                columns.append(self.expect_identifier("GROUP BY column"))
+            group_by = tuple(columns)
+
+        having = None
+        if self.accept_keyword("HAVING"):
+            having = self.parse_condition()
+
+        order_by = None
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            key = self.parse_value_expr()
+            ascending = True
+            if self.accept_keyword("DESC"):
+                ascending = False
+            else:
+                self.accept_keyword("ASC")
+            order_by = OrderBy(key=key, ascending=ascending)
+
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            token = self.current
+            if token.type is not TokenType.NUMBER or token.value != int(token.value):
+                raise self.error("expected an integer LIMIT")
+            limit = int(token.value)
+            self.advance()
+
+        self.accept_punct(";")
+        if self.current.type is not TokenType.END:
+            raise self.error("unexpected trailing input")
+        return SelectStatement(
+            select=tuple(select),
+            table=table,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def parse_select_item(self) -> SelectItem:
+        expression = self.parse_value_expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier("alias")
+        return SelectItem(expression=expression, alias=alias)
+
+    # value expressions: + - over * / over factors
+
+    def parse_value_expr(self):
+        node = self.parse_term()
+        while True:
+            op = self.accept_operator("+", "-")
+            if op is None:
+                return node
+            node = BinaryArith(op, node, self.parse_term())
+
+    def parse_term(self):
+        node = self.parse_factor()
+        while True:
+            op = self.accept_operator("*", "/")
+            if op is None:
+                return node
+            node = BinaryArith(op, node, self.parse_factor())
+
+    def parse_factor(self):
+        if self.accept_operator("-"):
+            operand = self.parse_factor()
+            if isinstance(operand, NumberLiteral):
+                # Fold negated literals so "-5" is a literal everywhere a
+                # literal is expected (WHERE thresholds, HAVING, LIMIT-free
+                # contexts), not a unary expression.
+                return NumberLiteral(-operand.value)
+            return UnaryMinus(operand)
+        token = self.current
+        if token.type is TokenType.PUNCT and token.value == "(":
+            self.advance()
+            node = self.parse_value_expr()
+            self.expect_punct(")")
+            return node
+        if token.is_keyword("AVG", "SUM", "COUNT"):
+            return self.parse_aggregate()
+        if token.is_keyword("CASE"):
+            return self.parse_case()
+        if token.type is TokenType.IDENTIFIER:
+            self.advance()
+            return ColumnRef(str(token.value))
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return NumberLiteral(float(token.value))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return StringLiteral(str(token.value))
+        raise self.error("expected an expression")
+
+    def parse_aggregate(self) -> AggregateCall:
+        function = str(self.advance().value)
+        self.expect_punct("(")
+        if function == "COUNT" and self.accept_operator("*"):
+            self.expect_punct(")")
+            return AggregateCall(function, None)
+        argument = self.parse_value_expr()
+        self.expect_punct(")")
+        return AggregateCall(function, argument)
+
+    def parse_case(self) -> CaseWhen:
+        self.expect_keyword("CASE")
+        self.expect_keyword("WHEN")
+        condition = self.parse_condition()
+        self.expect_keyword("THEN")
+        then_value = self.parse_value_expr()
+        self.expect_keyword("ELSE")
+        else_value = self.parse_value_expr()
+        self.expect_keyword("END")
+        return CaseWhen(condition, then_value, else_value)
+
+    # conditions: OR over AND over NOT over predicates
+
+    def parse_condition(self):
+        parts = [self.parse_and_condition()]
+        while self.accept_keyword("OR"):
+            parts.append(self.parse_and_condition())
+        return parts[0] if len(parts) == 1 else BoolOp("OR", tuple(parts))
+
+    def parse_and_condition(self):
+        parts = [self.parse_not_condition()]
+        while self.accept_keyword("AND"):
+            parts.append(self.parse_not_condition())
+        return parts[0] if len(parts) == 1 else BoolOp("AND", tuple(parts))
+
+    def parse_not_condition(self):
+        if self.accept_keyword("NOT"):
+            return NotOp(self.parse_not_condition())
+        return self.parse_predicate()
+
+    def parse_predicate(self):
+        # A parenthesis here is ambiguous: it may open a nested condition
+        # ("(a = 1 OR b = 2)") or a parenthesized value expression
+        # ("(x + y) > 0").  Try the condition first and fall back.
+        if self.current.type is TokenType.PUNCT and self.current.value == "(":
+            checkpoint = self.index
+            self.advance()
+            try:
+                inner = self.parse_condition()
+                self.expect_punct(")")
+                return inner
+            except SqlSyntaxError:
+                self.index = checkpoint
+        left = self.parse_value_expr()
+        if (
+            isinstance(left, ColumnRef)
+            and self.accept_keyword("IN")
+        ):
+            self.expect_punct("(")
+            values = [self.parse_literal()]
+            while self.accept_punct(","):
+                values.append(self.parse_literal())
+            self.expect_punct(")")
+            return InList(column=left, values=tuple(values))
+        if isinstance(left, ColumnRef) and self.accept_keyword("BETWEEN"):
+            low = self.parse_value_expr()
+            self.expect_keyword("AND")
+            high = self.parse_value_expr()
+            return Between(column=left, low=low, high=high)
+        op = self.accept_operator(*_COMPARISON_OPS)
+        if op is None:
+            raise self.error("expected a comparison operator or IN")
+        right = self.parse_value_expr()
+        return Comparison(op=op, left=left, right=right)
+
+    def parse_literal(self):
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return NumberLiteral(float(token.value))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return StringLiteral(str(token.value))
+        raise self.error("expected a literal")
+
+
+def parse(sql: str) -> SelectStatement:
+    """Parse one SELECT statement; raises :class:`SqlSyntaxError` on errors."""
+    return _Parser(sql).parse_statement()

@@ -1,0 +1,154 @@
+"""Numerically stable streaming moment statistics.
+
+The paper's error bounders (§2.2.2) maintain O(1) state as new tuples are
+examined.  Algorithm 2 in the paper tracks the raw second moment ``M2 = Σ v²``
+"for the sake of exposition" and notes that a real implementation should use
+a numerically stable one-pass variance algorithm (Welford [67], Chan et
+al. [17]).  This module provides that implementation.
+
+:class:`MomentState` tracks the count, running mean, and centered second
+moment of a stream, supports O(1) single-value updates, vectorized batch
+updates, and pairwise merging (Chan/Golub/LeVeque), and supports the affine
+"reflection" transform ``v -> (a + b) - v`` used by the paper's ``Rbound``
+implementations (Algorithms 1 and 2, step 4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MomentState", "ExtremaState"]
+
+
+@dataclass
+class MomentState:
+    """Streaming count / mean / centered-second-moment of observed values.
+
+    Attributes
+    ----------
+    count:
+        Number of values observed so far (``m`` in the paper).
+    mean:
+        Running average of the observed values (``ĝ`` in the paper).
+    m2:
+        Sum of squared deviations from the running mean,
+        ``Σ (v - mean)²``.  The *biased* sample variance used by the
+        empirical Bernstein-Serfling bounder is ``m2 / count``.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def update(self, value: float) -> None:
+        """Incorporate a single value (Welford's update)."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def update_batch(self, values: np.ndarray) -> None:
+        """Incorporate a batch of values via a stable pairwise merge.
+
+        Equivalent to calling :meth:`update` once per element, up to
+        floating-point rounding, but vectorized.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        n = values.size
+        if n == 0:
+            return
+        batch_mean = float(values.mean())
+        batch_m2 = float(np.square(values - batch_mean).sum())
+        self._merge(n, batch_mean, batch_m2)
+
+    def _merge(self, n: int, mean: float, m2: float) -> None:
+        """Chan/Golub/LeVeque pairwise merge of another moment aggregate."""
+        if n == 0:
+            return
+        if self.count == 0:
+            self.count, self.mean, self.m2 = n, mean, m2
+            return
+        total = self.count + n
+        delta = mean - self.mean
+        self.m2 += m2 + delta * delta * self.count * n / total
+        self.mean += delta * n / total
+        self.count = total
+
+    def merge(self, other: "MomentState") -> None:
+        """Merge another :class:`MomentState` into this one."""
+        self._merge(other.count, other.mean, other.m2)
+
+    @property
+    def variance(self) -> float:
+        """Biased (population-style) sample variance ``σ̂² = m2 / count``.
+
+        This is the estimator used by the empirical Bernstein-Serfling
+        inequality of Bardenet & Maillard [12]; it is clamped at zero to
+        guard against tiny negative values from floating-point cancellation.
+        """
+        if self.count == 0:
+            return 0.0
+        return max(self.m2 / self.count, 0.0)
+
+    @property
+    def std(self) -> float:
+        """Biased sample standard deviation ``σ̂``."""
+        return math.sqrt(self.variance)
+
+    def reflected(self, a: float, b: float) -> "MomentState":
+        """State as if every value ``v`` had been ``(a + b) - v`` instead.
+
+        This is the transform used to implement ``Rbound`` in terms of
+        ``Lbound`` (Algorithms 1 and 2): reflection about the midpoint of
+        ``[a, b]`` flips the mean and preserves the variance.
+        """
+        return MomentState(count=self.count, mean=(a + b) - self.mean, m2=self.m2)
+
+    def copy(self) -> "MomentState":
+        """Independent copy of this state."""
+        return MomentState(self.count, self.mean, self.m2)
+
+
+@dataclass
+class ExtremaState:
+    """Streaming MIN / MAX of observed values.
+
+    RangeTrim (Algorithm 6) requires ``O(1)`` extra memory to maintain the
+    smallest and largest sample values seen so far, which replace the
+    catalog range bounds ``a`` and ``b`` when computing ``Rbound`` and
+    ``Lbound`` respectively.
+    """
+
+    min: float = field(default=math.inf)
+    max: float = field(default=-math.inf)
+
+    def update(self, value: float) -> None:
+        """Incorporate a single value."""
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def update_batch(self, values: np.ndarray) -> None:
+        """Incorporate a batch of values."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        lo = float(values.min())
+        hi = float(values.max())
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+
+    @property
+    def empty(self) -> bool:
+        """True if no values have been observed yet."""
+        return self.min > self.max
+
+    def copy(self) -> "ExtremaState":
+        """Independent copy of this state."""
+        return ExtremaState(self.min, self.max)

@@ -1,0 +1,37 @@
+"""Optional stopping (Algorithm 5) and stopping conditions Ê-Ï (S19-S20)."""
+
+from repro.stopping.conditions import (
+    AbsoluteAccuracy,
+    GroupsOrdered,
+    GroupSnapshot,
+    RelativeAccuracy,
+    SamplesTaken,
+    StoppingCondition,
+    ThresholdSide,
+    TopKSeparated,
+    relative_error,
+)
+from repro.stopping.optstop import (
+    DEFAULT_BATCH_SIZE,
+    OptStopResult,
+    RunningIntersection,
+    fixed_size_interval,
+    optional_stopping,
+)
+
+__all__ = [
+    "AbsoluteAccuracy",
+    "DEFAULT_BATCH_SIZE",
+    "GroupSnapshot",
+    "GroupsOrdered",
+    "OptStopResult",
+    "RelativeAccuracy",
+    "RunningIntersection",
+    "SamplesTaken",
+    "StoppingCondition",
+    "ThresholdSide",
+    "TopKSeparated",
+    "fixed_size_interval",
+    "optional_stopping",
+    "relative_error",
+]

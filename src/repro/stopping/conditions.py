@@ -1,0 +1,300 @@
+"""Stopping conditions Ê–Ï and their active-group rules (§4.2–4.3).
+
+A stopping condition decides when an approximate query has gathered enough
+samples for its downstream application: fixed sample counts, absolute or
+relative CI width targets, threshold-side determination (HAVING), top-/
+bottom-K separation (ORDER BY … LIMIT K), and full group ordering.
+
+Each condition also designates which groups are **active** — the groups
+that should be prioritized for sampling because they are what currently
+prevents termination (§4.3).  Active scanning skips blocks containing no
+tuples of any active group.
+
+All conditions consume :class:`GroupSnapshot` views: the current confidence
+interval, point estimate, and sample count per group (a single-aggregate
+query is a one-group special case).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.bounders.base import Interval
+
+__all__ = [
+    "GroupSnapshot",
+    "StoppingCondition",
+    "SamplesTaken",
+    "AbsoluteAccuracy",
+    "RelativeAccuracy",
+    "ThresholdSide",
+    "TopKSeparated",
+    "GroupsOrdered",
+    "relative_error",
+]
+
+GroupKey = Hashable
+
+
+@dataclass(frozen=True)
+class GroupSnapshot:
+    """Per-group view the executor exposes to stopping conditions.
+
+    Attributes
+    ----------
+    interval:
+        Current (1 − δ) confidence interval for the group's aggregate (the
+        OptStop running intersection when optional stopping is in effect).
+    estimate:
+        Current point estimate ``ĝ`` of the group's aggregate.
+    samples:
+        Number of sampled tuples contributing to the group's aggregate.
+    exhausted:
+        True once every tuple of the group's aggregate view has been
+        read — the aggregate is then exact and the group can never be
+        active again.
+    """
+
+    interval: Interval
+    estimate: float
+    samples: int
+    exhausted: bool = False
+
+
+def relative_error(interval: Interval, estimate: float) -> float:
+    """The paper's relative-accuracy statistic (stopping condition Ì).
+
+    ``max{(g_r − ĝ)/g_r, (ĝ − g_l)/g_l}`` — how far, relatively, the truth
+    could be from the estimate given the interval.  When the interval
+    touches or straddles zero no relative guarantee is possible and ``inf``
+    is returned.  Magnitudes are used so the statistic behaves symmetrically
+    for negative aggregates.
+    """
+    if interval.lo <= 0.0 <= interval.hi:
+        return math.inf
+    return max(
+        (interval.hi - estimate) / abs(interval.hi),
+        (estimate - interval.lo) / abs(interval.lo),
+    )
+
+
+class StoppingCondition(ABC):
+    """Decides termination and sampling priority for a set of groups."""
+
+    @abstractmethod
+    def active_groups(
+        self, groups: Mapping[GroupKey, GroupSnapshot]
+    ) -> set[GroupKey]:
+        """Groups to prioritize for sampling (§4.3's activeness rules).
+
+        Exhausted groups are never active — no further sample can change
+        their aggregate.
+        """
+
+    def satisfied(self, groups: Mapping[GroupKey, GroupSnapshot]) -> bool:
+        """True once query processing may terminate.
+
+        The default is "no group is active"; conditions whose termination
+        test differs from their activeness rule (e.g. top-K separation)
+        override this.
+        """
+        return not self.active_groups(groups)
+
+    @staticmethod
+    def _live(groups: Mapping[GroupKey, GroupSnapshot]) -> dict[GroupKey, GroupSnapshot]:
+        return {key: snap for key, snap in groups.items() if not snap.exhausted}
+
+
+class SamplesTaken(StoppingCondition):
+    """Condition Ê: stop once every group has ``m`` contributing samples.
+
+    The paper notes that with a fixed requested sample size, Algorithm 5's
+    δ-decay machinery is unnecessary; the executor honours that by issuing
+    a single end-of-run CI when this condition is used.
+    """
+
+    def __init__(self, m: int) -> None:
+        if m < 1:
+            raise ValueError(f"requested sample count must be >= 1, got {m}")
+        self.m = m
+
+    def active_groups(self, groups: Mapping[GroupKey, GroupSnapshot]) -> set[GroupKey]:
+        return {
+            key for key, snap in self._live(groups).items() if snap.samples < self.m
+        }
+
+    def __repr__(self) -> str:
+        return f"SamplesTaken(m={self.m})"
+
+
+class AbsoluteAccuracy(StoppingCondition):
+    """Condition Ë: stop once every group's CI width is below ``epsilon``."""
+
+    def __init__(self, epsilon: float) -> None:
+        if epsilon <= 0.0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = epsilon
+
+    def active_groups(self, groups: Mapping[GroupKey, GroupSnapshot]) -> set[GroupKey]:
+        return {
+            key
+            for key, snap in self._live(groups).items()
+            if snap.interval.width >= self.epsilon
+        }
+
+    def __repr__(self) -> str:
+        return f"AbsoluteAccuracy(epsilon={self.epsilon})"
+
+
+class RelativeAccuracy(StoppingCondition):
+    """Condition Ì: stop once every group's relative error is below ``epsilon``."""
+
+    def __init__(self, epsilon: float) -> None:
+        if epsilon <= 0.0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = epsilon
+
+    def active_groups(self, groups: Mapping[GroupKey, GroupSnapshot]) -> set[GroupKey]:
+        return {
+            key
+            for key, snap in self._live(groups).items()
+            if relative_error(snap.interval, snap.estimate) >= self.epsilon
+        }
+
+    def __repr__(self) -> str:
+        return f"RelativeAccuracy(epsilon={self.epsilon})"
+
+
+class ThresholdSide(StoppingCondition):
+    """Condition Í: stop once no group's CI contains the threshold ``v``.
+
+    Used for HAVING clauses (F-q2, F-q5) and scalar threshold tests (F-q4):
+    once ``v ∉ [g_l, g_r]`` the group's side of the threshold is determined
+    w.h.p.
+    """
+
+    def __init__(self, threshold: float) -> None:
+        self.threshold = threshold
+
+    def active_groups(self, groups: Mapping[GroupKey, GroupSnapshot]) -> set[GroupKey]:
+        return {
+            key
+            for key, snap in self._live(groups).items()
+            if self.threshold in snap.interval
+        }
+
+    def __repr__(self) -> str:
+        return f"ThresholdSide(threshold={self.threshold})"
+
+
+class TopKSeparated(StoppingCondition):
+    """Condition Î: stop once the top- (or bottom-)K groups are separated.
+
+    Termination: the CIs of the K groups with the largest (resp. smallest)
+    estimates intersect none of the remaining groups' CIs.
+
+    Activeness (§4.3's rule, the most involved of the six): sort groups by
+    estimate and take the midpoint between the K-th ranked aggregate and the
+    (K+1)-th.  A top-K group is active while its inner confidence bound
+    crosses that midpoint; a remaining group is active while its bound
+    crosses from the other side.
+    """
+
+    def __init__(self, k: int, largest: bool = True) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.largest = largest
+
+    def _partition(
+        self, groups: Mapping[GroupKey, GroupSnapshot]
+    ) -> tuple[list[GroupKey], list[GroupKey]]:
+        """Split keys into (selected top/bottom K, remainder) by estimate."""
+        ranked = sorted(
+            groups, key=lambda key: groups[key].estimate, reverse=self.largest
+        )
+        return ranked[: self.k], ranked[self.k :]
+
+    def satisfied(self, groups: Mapping[GroupKey, GroupSnapshot]) -> bool:
+        if len(groups) <= self.k:
+            return True
+        selected, rest = self._partition(groups)
+        for key in selected:
+            for other in rest:
+                if groups[key].interval.intersects(groups[other].interval):
+                    return False
+        return True
+
+    def active_groups(self, groups: Mapping[GroupKey, GroupSnapshot]) -> set[GroupKey]:
+        if len(groups) <= self.k:
+            return set()
+        selected, rest = self._partition(groups)
+        boundary_in = groups[selected[-1]].estimate
+        boundary_out = groups[rest[0]].estimate
+        midpoint = 0.5 * (boundary_in + boundary_out)
+        active: set[GroupKey] = set()
+        for key in selected:
+            snap = groups[key]
+            if snap.exhausted:
+                continue
+            crosses = (
+                snap.interval.lo <= midpoint
+                if self.largest
+                else snap.interval.hi >= midpoint
+            )
+            if crosses:
+                active.add(key)
+        for key in rest:
+            snap = groups[key]
+            if snap.exhausted:
+                continue
+            crosses = (
+                snap.interval.hi >= midpoint
+                if self.largest
+                else snap.interval.lo <= midpoint
+            )
+            if crosses:
+                active.add(key)
+        return active
+
+    def __repr__(self) -> str:
+        kind = "top" if self.largest else "bottom"
+        return f"TopKSeparated(k={self.k}, {kind})"
+
+
+class GroupsOrdered(StoppingCondition):
+    """Condition Ï: stop once all groups' CIs are pairwise disjoint.
+
+    Determines the correct ordering of group aggregates w.h.p. [40].  A
+    group is active while its interval intersects any other group's.
+    """
+
+    def active_groups(self, groups: Mapping[GroupKey, GroupSnapshot]) -> set[GroupKey]:
+        keys = list(groups)
+        if len(keys) < 2:
+            return set()
+        lows = np.array([groups[key].interval.lo for key in keys])
+        highs = np.array([groups[key].interval.hi for key in keys])
+        sorted_lows = np.sort(lows)
+        sorted_highs = np.sort(highs)
+        # Group i intersects group j iff lo_j <= hi_i and hi_j >= lo_i.  The
+        # count of such j (including i itself) is #{lo_j <= hi_i} minus
+        # #{hi_j < lo_i} — the latter set is contained in the former since
+        # hi_j < lo_i implies lo_j <= hi_j < lo_i <= hi_i.  Exact in
+        # O(G log G) via sorted ranks.
+        partners = np.searchsorted(sorted_lows, highs, side="right") - np.searchsorted(
+            sorted_highs, lows, side="left"
+        )
+        return {
+            key
+            for key, count in zip(keys, partners)
+            if count > 1 and not groups[key].exhausted
+        }
+
+    def __repr__(self) -> str:
+        return "GroupsOrdered()"

@@ -1,0 +1,161 @@
+"""Tests for the Anderson/DKW bounder (Algorithm 3)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounders.anderson import AndersonBounder, SampleState, anderson_lower_bound
+from repro.cdfbounds.dkw import anderson_mean_bounds
+
+
+class TestSampleState:
+    def test_append_and_values(self):
+        state = SampleState()
+        for value in (1.0, 2.0, 3.0):
+            state.append(value)
+        assert state.count == 3
+        np.testing.assert_array_equal(state.values, [1.0, 2.0, 3.0])
+
+    def test_extend(self):
+        state = SampleState()
+        state.extend(np.arange(100, dtype=float))
+        state.extend(np.arange(5, dtype=float))
+        assert state.count == 105
+        assert state.values[-1] == 4.0
+
+    def test_growth_beyond_initial_capacity(self):
+        state = SampleState()
+        for value in range(1000):
+            state.append(float(value))
+        assert state.count == 1000
+        assert state.values[999] == 999.0
+
+    def test_copy_is_independent(self):
+        state = SampleState()
+        state.append(1.0)
+        clone = state.copy()
+        clone.append(2.0)
+        assert state.count == 1
+        assert clone.count == 2
+
+
+class TestAndersonLowerBound:
+    def test_empty_sample_returns_a(self):
+        assert anderson_lower_bound(np.array([]), -5.0, 0.05) == -5.0
+
+    def test_tiny_sample_trivial(self):
+        """ε >= 1 for small m at small δ: the trivial bound a."""
+        sample = np.array([0.5, 0.6])
+        assert anderson_lower_bound(sample, 0.0, 1e-12) == 0.0
+
+    def test_matches_manual_computation(self):
+        """Algorithm 3: ε·a + (1−ε)·AVG of the floor((1−ε)m) smallest."""
+        sample = np.arange(1.0, 101.0)  # 1..100
+        a, delta = 0.0, 0.05
+        m = sample.size
+        eps = math.sqrt(math.log(1 / delta) / (2 * m))
+        keep = math.floor((1 - eps) * m)
+        expected = eps * a + (1 - eps) * sample[:keep].mean()
+        assert anderson_lower_bound(sample, a, delta) == pytest.approx(expected)
+
+    def test_below_sample_mean(self, rng):
+        sample = rng.uniform(0, 1, 1000)
+        assert anderson_lower_bound(sample, 0.0, 0.05) < sample.mean()
+
+    def test_independent_of_upper_range(self, rng):
+        """The PHOS-free signature: Lbound never consults b at all (the
+        function does not even take it as an argument) — and the trimmed
+        mass comes from the largest *observed* points."""
+        sample = rng.uniform(0, 1, 500)
+        base = anderson_lower_bound(sample, 0.0, 0.05)
+        # Appending one huge value changes the bound only through the
+        # sample itself, not through any range parameter.
+        assert base == anderson_lower_bound(sample.copy(), 0.0, 0.05)
+
+    def test_depends_on_a(self, rng):
+        """PMA's source: the ε mass is pinned to the range endpoint a."""
+        sample = rng.uniform(0.4, 0.6, 500)
+        near = anderson_lower_bound(sample, 0.39, 0.05)
+        far = anderson_lower_bound(sample, -100.0, 0.05)
+        assert far < near
+
+
+class TestAndersonBounder:
+    def setup_method(self):
+        self.bounder = AndersonBounder()
+
+    def test_requires_sample_memory_flag(self):
+        """Table 2's Memory column: Anderson/DKW is the O(m) bounder."""
+        assert self.bounder.requires_sample_memory
+
+    def test_empty_state_trivial(self):
+        state = self.bounder.init_state()
+        assert self.bounder.lbound(state, 0, 1, 100, 0.05) == 0
+        assert self.bounder.rbound(state, 0, 1, 100, 0.05) == 1
+
+    def test_bounds_bracket_sample_mean(self, rng):
+        state = self.bounder.init_state()
+        values = rng.uniform(0, 1, 2000)
+        self.bounder.update_batch(state, values)
+        lo = self.bounder.lbound(state, 0, 1, 10_000, 0.05)
+        hi = self.bounder.rbound(state, 0, 1, 10_000, 0.05)
+        assert lo <= values.mean() <= hi
+
+    def test_asymmetric_error(self, rng):
+        """Unlike Hoeffding/Bernstein, Anderson's errors are asymmetric
+        for skewed samples."""
+        state = self.bounder.init_state()
+        values = rng.exponential(0.05, 3000).clip(0, 1)
+        self.bounder.update_batch(state, values)
+        lo = self.bounder.lbound(state, 0, 1, 100_000, 0.05)
+        hi = self.bounder.rbound(state, 0, 1, 100_000, 0.05)
+        mean = values.mean()
+        assert not math.isclose(hi - mean, mean - lo, rel_tol=0.05)
+
+    def test_rbound_mirrors_lbound(self, rng):
+        """rbound(S) = (a+b) − lbound((a+b) − S) exactly (Alg. 3 line 11)."""
+        values = rng.uniform(2, 5, 800)
+        a, b = 0.0, 10.0
+        state = self.bounder.init_state()
+        self.bounder.update_batch(state, values)
+        mirrored = self.bounder.init_state()
+        self.bounder.update_batch(mirrored, (a + b) - values)
+        assert self.bounder.rbound(state, a, b, 10_000, 0.05) == pytest.approx(
+            (a + b) - self.bounder.lbound(mirrored, a, b, 10_000, 0.05)
+        )
+
+    def test_estimate(self, rng):
+        state = self.bounder.init_state()
+        values = rng.normal(3, 1, 100)
+        self.bounder.update_batch(state, values)
+        assert self.bounder.estimate(state) == pytest.approx(values.mean())
+
+    def test_estimate_empty_raises(self):
+        with pytest.raises(ValueError):
+            self.bounder.estimate(self.bounder.init_state())
+
+    def test_algorithm3_never_tighter_than_exact_integration(self, rng):
+        """Algorithm 3's trimmed-mean form is (slightly) conservative
+        relative to exact step-function integration of the DKW band."""
+        values = rng.uniform(0, 1, 1500)
+        state = self.bounder.init_state()
+        self.bounder.update_batch(state, values)
+        ci = self.bounder.confidence_interval(state, 0, 1, 10_000, 0.05)
+        exact_lo, exact_hi = anderson_mean_bounds(values, 0, 1, 0.05)
+        assert ci.lo <= exact_lo + 1e-12
+        assert ci.hi >= exact_hi - 1e-12
+
+    @given(st.integers(20, 500), st.floats(0.01, 0.3))
+    @settings(max_examples=30, deadline=None)
+    def test_property_interval_contains_mean(self, m, delta):
+        rng = np.random.default_rng(m)
+        values = rng.uniform(0, 1, m)
+        state = self.bounder.init_state()
+        self.bounder.update_batch(state, values)
+        ci = self.bounder.confidence_interval(state, 0, 1, 10 * m, delta)
+        assert ci.lo <= values.mean() <= ci.hi

@@ -1,0 +1,175 @@
+"""Tests for the asymptotic (non-SSI) bounders: CLT, Student-t, bootstrap."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounders.asymptotic import (
+    BootstrapBounder,
+    CLTBounder,
+    StudentTBounder,
+    clt_epsilon,
+)
+from repro.bounders.registry import get_bounder
+
+
+def _fill(bounder, values):
+    state = bounder.init_state()
+    bounder.update_batch(state, np.asarray(values, dtype=np.float64))
+    return state
+
+
+class TestCLTEpsilon:
+    def test_shrinks_with_sample_size(self):
+        eps_small = clt_epsilon(10, 10_000, 1.0, 0.05)
+        eps_large = clt_epsilon(1_000, 10_000, 1.0, 0.05)
+        assert eps_large < eps_small
+
+    def test_census_has_zero_width(self):
+        assert clt_epsilon(500, 500, 1.0, 0.05) == 0.0
+
+    def test_fpc_tightens_bound(self):
+        with_fpc = clt_epsilon(400, 500, 1.0, 0.05, finite_population=True)
+        without = clt_epsilon(400, 500, 1.0, 0.05, finite_population=False)
+        assert with_fpc < without
+
+    def test_empty_sample_is_infinite(self):
+        assert math.isinf(clt_epsilon(0, 100, 1.0, 0.05))
+
+    def test_smaller_delta_is_wider(self):
+        assert clt_epsilon(50, 1_000, 1.0, 1e-6) > clt_epsilon(50, 1_000, 1.0, 0.05)
+
+
+class TestCLTBounder:
+    def test_flags_non_ssi(self):
+        assert CLTBounder.ssi is False
+        assert not get_bounder("clt").ssi
+
+    def test_interval_centred_on_mean(self):
+        bounder = CLTBounder()
+        state = _fill(bounder, [1.0, 2.0, 3.0, 4.0])
+        lo = bounder.lbound(state, 0.0, 10.0, 1_000, 0.05)
+        hi = bounder.rbound(state, 0.0, 10.0, 1_000, 0.05)
+        assert lo < 2.5 < hi
+        assert math.isclose(hi - 2.5, 2.5 - lo, rel_tol=1e-12)
+
+    def test_empty_state_gives_trivial_bounds(self):
+        bounder = CLTBounder()
+        state = bounder.init_state()
+        assert bounder.lbound(state, -1.0, 2.0, 100, 0.05) == -1.0
+        assert bounder.rbound(state, -1.0, 2.0, 100, 0.05) == 2.0
+
+    def test_tighter_than_hoeffding(self):
+        """The whole point of asymptotics: narrow intervals on benign data."""
+        rng = np.random.default_rng(0)
+        values = rng.normal(50.0, 1.0, size=200)
+        clt = CLTBounder()
+        hoeffding = get_bounder("hoeffding")
+        clt_ci = clt.confidence_interval(_fill(clt, values), 0.0, 100.0, 10_000, 0.05)
+        hoef_ci = hoeffding.confidence_interval(
+            _fill(hoeffding, values), 0.0, 100.0, 10_000, 0.05
+        )
+        assert clt_ci.width < hoef_ci.width / 5.0
+
+    def test_zero_variance_collapses(self):
+        bounder = CLTBounder()
+        state = _fill(bounder, [3.0] * 50)
+        ci = bounder.confidence_interval(state, 0.0, 10.0, 1_000, 0.05)
+        assert ci.width == pytest.approx(0.0, abs=1e-12)
+
+    def test_validates_arguments(self):
+        bounder = CLTBounder()
+        state = _fill(bounder, [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bounder.lbound(state, 5.0, 1.0, 100, 0.05)
+        with pytest.raises(ValueError):
+            bounder.lbound(state, 0.0, 1.0, 100, 1.5)
+
+
+class TestStudentT:
+    def test_wider_than_clt_at_small_m(self):
+        values = [1.0, 4.0, 2.0, 8.0, 3.0]
+        clt, t = CLTBounder(), StudentTBounder()
+        ci_clt = clt.confidence_interval(_fill(clt, values), 0.0, 10.0, 10_000, 0.05)
+        ci_t = t.confidence_interval(_fill(t, values), 0.0, 10.0, 10_000, 0.05)
+        assert ci_t.width > ci_clt.width
+
+    def test_single_sample_is_trivial(self):
+        bounder = StudentTBounder()
+        state = _fill(bounder, [3.0])
+        ci = bounder.confidence_interval(state, 0.0, 10.0, 100, 0.05)
+        assert ci.lo == 0.0 and ci.hi == 10.0
+
+    def test_converges_to_clt_for_large_m(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(5.0, 2.0, size=5_000)
+        clt, t = CLTBounder(), StudentTBounder()
+        ci_clt = clt.confidence_interval(
+            _fill(clt, values), 0.0, 20.0, 1_000_000, 0.05
+        )
+        ci_t = t.confidence_interval(_fill(t, values), 0.0, 20.0, 1_000_000, 0.05)
+        assert ci_t.width == pytest.approx(ci_clt.width, rel=0.01)
+
+
+class TestBootstrap:
+    def test_flags(self):
+        assert BootstrapBounder.ssi is False
+        assert BootstrapBounder.requires_sample_memory is True
+
+    def test_deterministic_given_state(self):
+        bounder = BootstrapBounder(num_resamples=100, seed=7)
+        values = np.random.default_rng(2).normal(size=60)
+        s1, s2 = _fill(bounder, values), _fill(bounder, values)
+        assert bounder.lbound(s1, -5, 5, 1_000, 0.05) == bounder.lbound(
+            s2, -5, 5, 1_000, 0.05
+        )
+
+    def test_interval_encloses_sample_mean(self):
+        bounder = BootstrapBounder(num_resamples=500)
+        values = np.random.default_rng(3).exponential(size=80)
+        state = _fill(bounder, values)
+        ci = bounder.confidence_interval(state, 0.0, 50.0, 10_000, 0.05)
+        assert ci.lo <= float(values.mean()) <= ci.hi
+
+    def test_tiny_delta_uses_normal_tail(self):
+        """δ below 1/B must widen the interval, not saturate at the extreme
+        resample percentile."""
+        bounder = BootstrapBounder(num_resamples=100)
+        values = np.random.default_rng(4).normal(size=50)
+        state = _fill(bounder, values)
+        moderate = bounder.confidence_interval(state, -10, 10, 1_000, 0.05)
+        extreme = bounder.confidence_interval(state, -10, 10, 1_000, 1e-12)
+        assert extreme.width > moderate.width * 2
+
+    def test_rejects_degenerate_resamples(self):
+        with pytest.raises(ValueError):
+            BootstrapBounder(num_resamples=1)
+
+    def test_empty_state_gives_trivial_bounds(self):
+        bounder = BootstrapBounder()
+        state = bounder.init_state()
+        ci = bounder.confidence_interval(state, 0.0, 1.0, 100, 0.05)
+        assert (ci.lo, ci.hi) == (0.0, 1.0)
+
+
+class TestAsymptoticProperties:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=60),
+        st.sampled_from([0.2, 0.05, 0.005]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_clt_lbound_below_rbound(self, values, delta):
+        bounder = CLTBounder()
+        state = _fill(bounder, values)
+        lo = bounder.lbound(state, 0.0, 100.0, 10_000, delta)
+        hi = bounder.rbound(state, 0.0, 100.0, 10_000, delta)
+        assert lo <= hi
+
+    @given(st.integers(min_value=2, max_value=400))
+    @settings(max_examples=40, deadline=None)
+    def test_clt_width_monotone_in_m(self, m):
+        """For fixed σ̂ the CLT width strictly shrinks as m grows."""
+        assert clt_epsilon(m + 1, 10**9, 1.0, 0.05) < clt_epsilon(m, 10**9, 1.0, 0.05)

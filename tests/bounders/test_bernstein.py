@@ -1,0 +1,195 @@
+"""Tests for the (empirical) Bernstein-Serfling bounders (Algorithm 2)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounders.bernstein import (
+    KAPPA_EMPIRICAL,
+    BernsteinSerflingBounder,
+    EmpiricalBernsteinSerflingBounder,
+    _serfling_rho,
+    bernstein_serfling_epsilon,
+    empirical_bernstein_serfling_epsilon,
+)
+from repro.bounders.hoeffding import hoeffding_serfling_epsilon
+
+
+class TestSerflingRho:
+    def test_small_sample_regime(self):
+        """m <= N/2: ρ = 1 − (m−1)/N (Algorithm 2 line 10)."""
+        assert _serfling_rho(100, 1_000) == pytest.approx(1 - 99 / 1_000)
+
+    def test_large_sample_regime(self):
+        """m > N/2: ρ = (1 − m/N)(1 + 1/m) (Algorithm 2 line 11)."""
+        assert _serfling_rho(800, 1_000) == pytest.approx((1 - 0.8) * (1 + 1 / 800))
+
+    def test_continuous_at_boundary(self):
+        below = _serfling_rho(500, 1_000)
+        above = _serfling_rho(501, 1_000)
+        assert abs(below - above) < 0.01
+
+    def test_full_sample_rho_is_zero(self):
+        """Sampling the entire dataset: (1 − m/N) = 0 kills the σ term."""
+        assert _serfling_rho(1_000, 1_000) == 0.0
+
+    def test_never_negative(self):
+        for m in (1, 10, 500, 999, 1000):
+            assert _serfling_rho(m, 1_000) >= 0.0
+
+
+class TestEpsilonFormulas:
+    def test_matches_algorithm2_line12(self):
+        """ε = σ̂·sqrt(2ρ·log(5/δ)/m) + κ·(b−a)·log(5/δ)/m."""
+        m, n, sigma, a, b, delta = 400, 100_000, 2.5, 0.0, 10.0, 0.01
+        rho = 1 - (m - 1) / n
+        log_term = math.log(5 / delta)
+        expected = sigma * math.sqrt(2 * rho * log_term / m) + KAPPA_EMPIRICAL * (
+            b - a
+        ) * log_term / m
+        assert empirical_bernstein_serfling_epsilon(
+            m, n, sigma, a, b, delta
+        ) == pytest.approx(expected)
+
+    def test_kappa_constant(self):
+        assert KAPPA_EMPIRICAL == pytest.approx(7 / 3 + 3 / math.sqrt(2))
+
+    def test_zero_variance_leaves_range_term(self):
+        """With σ̂ = 0, only the O((b−a)/m) term remains — the reason
+        Bernstein escapes PMA's Θ((b−a)/√m) floor."""
+        eps = empirical_bernstein_serfling_epsilon(1_000, 1e9, 0.0, 0, 1, 0.01)
+        assert eps == pytest.approx(KAPPA_EMPIRICAL * math.log(5 / 0.01) / 1_000)
+
+    def test_beats_hoeffding_when_variance_small(self):
+        """The paper's headline comparison: σ ≪ (b−a) ⇒ Bernstein ≪ Hoeffding.
+
+        The gap grows with m: Bernstein's range term decays as 1/m against
+        Hoeffding's 1/√m."""
+        n = 10_000_000
+        bern = empirical_bernstein_serfling_epsilon(100_000, n, 0.01, 0, 1, 1e-10)
+        hoef = hoeffding_serfling_epsilon(100_000, n, 0, 1, 1e-10)
+        assert bern < hoef / 5
+        # And the ratio widens with m.
+        bern_small = empirical_bernstein_serfling_epsilon(1_000, n, 0.01, 0, 1, 1e-10)
+        hoef_small = hoeffding_serfling_epsilon(1_000, n, 0, 1, 1e-10)
+        assert hoef / bern > hoef_small / bern_small
+
+    def test_loses_to_hoeffding_at_worst_case_variance(self):
+        """Two-point data (σ = (b−a)/2): Bernstein's constants are worse."""
+        m, n = 1_000, 1_000_000
+        bern = empirical_bernstein_serfling_epsilon(m, n, 0.5, 0, 1, 0.05)
+        hoef = hoeffding_serfling_epsilon(m, n, 0, 1, 0.05)
+        assert bern > hoef
+
+    def test_trivial_for_empty_sample(self):
+        assert empirical_bernstein_serfling_epsilon(0, 100, 1.0, 0.0, 2.0, 0.05) == 2.0
+
+    def test_known_variance_variant_tighter_constants(self):
+        known = bernstein_serfling_epsilon(500, 100_000, 1.0, 0, 10, 0.01)
+        empirical = empirical_bernstein_serfling_epsilon(500, 100_000, 1.0, 0, 10, 0.01)
+        assert known < empirical
+
+    @given(
+        st.integers(1, 10_000),
+        st.floats(0.0, 5.0),
+        st.floats(1e-15, 0.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_monotone_in_sigma(self, m, sigma, delta):
+        n = 1_000_000
+        eps_lo = empirical_bernstein_serfling_epsilon(m, n, sigma, 0, 1, delta)
+        eps_hi = empirical_bernstein_serfling_epsilon(m, n, sigma + 1.0, 0, 1, delta)
+        assert eps_hi >= eps_lo
+
+
+class TestEmpiricalBernsteinBounder:
+    def setup_method(self):
+        self.bounder = EmpiricalBernsteinSerflingBounder()
+
+    def test_empty_state_trivial(self):
+        state = self.bounder.init_state()
+        assert self.bounder.lbound(state, -2, 3, 10, 0.1) == -2
+        assert self.bounder.rbound(state, -2, 3, 10, 0.1) == 3
+
+    def test_bounds_bracket_sample_mean(self, rng):
+        state = self.bounder.init_state()
+        values = rng.normal(5, 0.5, 400).clip(0, 10)
+        self.bounder.update_batch(state, values)
+        lo = self.bounder.lbound(state, 0, 10, 1_000_000, 0.05)
+        hi = self.bounder.rbound(state, 0, 10, 1_000_000, 0.05)
+        assert lo <= values.mean() <= hi
+
+    def test_no_pma_width_shrinks_with_extremes(self, rng):
+        """§2.3.3: raising the smallest sample values shrinks the CI."""
+        base = rng.uniform(0.0, 0.25, 400)
+        state = self.bounder.init_state()
+        self.bounder.update_batch(state, base)
+        clipped_state = self.bounder.init_state()
+        self.bounder.update_batch(clipped_state, np.maximum(base, 0.25))
+        wide = self.bounder.confidence_interval(state, 0, 1, 100_000, 0.05)
+        narrow = self.bounder.confidence_interval(clipped_state, 0, 1, 100_000, 0.05)
+        assert narrow.width < wide.width
+
+    def test_has_phos_lbound_depends_on_b(self, rng):
+        """§2.3.3: both CI ends depend on both range bounds."""
+        state = self.bounder.init_state()
+        self.bounder.update_batch(state, rng.uniform(0.4, 0.6, 200))
+        lo_narrow = self.bounder.lbound(state, 0, 1, 100_000, 0.05)
+        lo_wide = self.bounder.lbound(state, 0, 100, 100_000, 0.05)
+        assert lo_wide < lo_narrow
+
+    def test_dataset_size_monotonicity(self, rng):
+        state = self.bounder.init_state()
+        self.bounder.update_batch(state, rng.uniform(0, 1, 150))
+        lb = [self.bounder.lbound(state, 0, 1, n, 0.05) for n in (300, 3_000, 300_000)]
+        rb = [self.bounder.rbound(state, 0, 1, n, 0.05) for n in (300, 3_000, 300_000)]
+        assert lb[0] >= lb[1] >= lb[2]
+        assert rb[0] <= rb[1] <= rb[2]
+
+    def test_symmetric_error_form(self, rng):
+        state = self.bounder.init_state()
+        values = rng.uniform(0.3, 0.5, 300)
+        self.bounder.update_batch(state, values)
+        lo = self.bounder.lbound(state, 0, 1, 100_000, 0.05)
+        hi = self.bounder.rbound(state, 0, 1, 100_000, 0.05)
+        mean = values.mean()
+        assert hi - mean == pytest.approx(mean - lo, rel=1e-9)
+
+    def test_batch_equals_sequential(self, rng):
+        values = rng.lognormal(0, 1, 333)
+        seq_state = self.bounder.init_state()
+        for value in values:
+            self.bounder.update(seq_state, float(value))
+        batch_state = self.bounder.init_state()
+        self.bounder.update_batch(batch_state, values)
+        n, delta = 10_000, 0.01
+        assert self.bounder.lbound(batch_state, 0, 100, n, delta) == pytest.approx(
+            self.bounder.lbound(seq_state, 0, 100, n, delta), rel=1e-9
+        )
+
+
+class TestKnownVarianceBounder:
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            BernsteinSerflingBounder(sigma=-1.0)
+
+    def test_oracle_close_to_empirical_at_large_m(self, rng):
+        data = rng.normal(0.5, 0.1, 200_000).clip(0, 1)
+        sigma = float(data.std())
+        oracle = BernsteinSerflingBounder(sigma=sigma)
+        empirical = EmpiricalBernsteinSerflingBounder()
+        sample = data[:20_000]
+        o_state = oracle.init_state()
+        oracle.update_batch(o_state, sample)
+        e_state = empirical.init_state()
+        empirical.update_batch(e_state, sample)
+        o_ci = oracle.confidence_interval(o_state, 0, 1, data.size, 1e-10)
+        e_ci = empirical.confidence_interval(e_state, 0, 1, data.size, 1e-10)
+        # The empirical variant pays only a modest constant-factor premium.
+        assert e_ci.width < 3 * o_ci.width
+        assert o_ci.width < e_ci.width

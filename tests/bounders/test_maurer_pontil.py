@@ -1,0 +1,113 @@
+"""Tests for the Maurer-Pontil empirical Bernstein bounder (no FPC)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounders.bernstein import (
+    EmpiricalBernsteinBounder,
+    EmpiricalBernsteinSerflingBounder,
+    maurer_pontil_epsilon,
+)
+from repro.bounders.registry import get_bounder
+
+
+def _fill(bounder, values):
+    state = bounder.init_state()
+    bounder.update_batch(state, np.asarray(values, dtype=np.float64))
+    return state
+
+
+class TestEpsilon:
+    def test_trivial_below_two_samples(self):
+        assert maurer_pontil_epsilon(1, 0.0, 0.0, 1.0, 0.05) == 1.0
+        assert maurer_pontil_epsilon(0, 0.0, 0.0, 1.0, 0.05) == 1.0
+
+    def test_shrinks_with_m(self):
+        widths = [maurer_pontil_epsilon(m, 1.0, 0.0, 10.0, 0.05) for m in (10, 100, 1_000)]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_variance_term_dominates_for_large_m(self):
+        """ε → σ̃·sqrt(2 log(2/δ)/m): the (b − a)/m term washes out."""
+        m, sigma, delta = 1_000_000, 2.0, 0.01
+        eps = maurer_pontil_epsilon(m, sigma, 0.0, 1.0, delta)
+        limit = sigma * math.sqrt(2.0 * math.log(2.0 / delta) / m)
+        assert eps == pytest.approx(limit, rel=0.01)
+
+    def test_zero_variance_leaves_range_term(self):
+        eps = maurer_pontil_epsilon(100, 0.0, 0.0, 1.0, 0.05)
+        assert 0.0 < eps < 1.0
+
+
+class TestBounder:
+    def test_registered(self):
+        bounder = get_bounder("bernstein-no-fpc")
+        assert isinstance(bounder, EmpiricalBernsteinBounder)
+        assert bounder.ssi is True
+
+    def test_interval_encloses_mean(self):
+        bounder = EmpiricalBernsteinBounder()
+        values = np.random.default_rng(0).uniform(0.0, 1.0, size=500)
+        state = _fill(bounder, values)
+        ci = bounder.confidence_interval(state, 0.0, 1.0, 100_000, 0.05)
+        assert ci.lo <= float(values.mean()) <= ci.hi
+
+    def test_serfling_variant_tighter_at_high_sampling_fraction(self):
+        """The FPC's benefit: at a 90% sampling fraction the Serfling
+        variance term shrinks by ~√10 and its width dips below
+        Maurer-Pontil's despite Serfling's larger constants (κ ≈ 4.45 and
+        log(5/δ) vs κ = 7/3 and log(2/δ))."""
+        values = np.random.default_rng(1).uniform(0.0, 1.0, size=900)
+        n = 1_000  # 90% of the population sampled
+        plain = EmpiricalBernsteinBounder()
+        serfling = EmpiricalBernsteinSerflingBounder()
+        plain_ci = plain.confidence_interval(_fill(plain, values), 0.0, 1.0, n, 0.05)
+        serf_ci = serfling.confidence_interval(
+            _fill(serfling, values), 0.0, 1.0, n, 0.05
+        )
+        assert serf_ci.width < plain_ci.width
+
+    def test_tighter_than_serfling_at_small_sampling_fraction(self):
+        """With m ≪ N the FPC gives nothing and Maurer-Pontil's smaller
+        constants win — the price [12] pays for the Serfling analysis."""
+        values = np.random.default_rng(2).uniform(0.0, 1.0, size=400)
+        plain = EmpiricalBernsteinBounder()
+        serfling = EmpiricalBernsteinSerflingBounder()
+        n = 10_000_000
+        plain_ci = plain.confidence_interval(_fill(plain, values), 0.0, 1.0, n, 0.05)
+        serf_ci = serfling.confidence_interval(
+            _fill(serfling, values), 0.0, 1.0, n, 0.05
+        )
+        assert plain_ci.width < serf_ci.width
+        # Same order of magnitude — the bounds model the same quantity.
+        assert plain_ci.width > serf_ci.width / 3.0
+
+    def test_coverage_without_replacement(self):
+        """SSI under NR sampling (Table 2's asterisk) — Monte Carlo."""
+        rng = np.random.default_rng(3)
+        data = rng.exponential(1.0, size=4_000)
+        a, b = 0.0, float(data.max())
+        truth = float(data.mean())
+        bounder = EmpiricalBernsteinBounder()
+        misses = 0
+        for trial in range(150):
+            sample = np.random.default_rng(trial).choice(data, size=60, replace=False)
+            state = _fill(bounder, sample)
+            ci = bounder.confidence_interval(state, a, b, data.size, 0.1)
+            if not ci.lo <= truth <= ci.hi:
+                misses += 1
+        assert misses / 150 <= 0.1
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=3, max_size=80),
+        st.sampled_from([0.2, 0.01, 1e-6]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_ordered_and_clipped(self, values, delta):
+        bounder = EmpiricalBernsteinBounder()
+        state = _fill(bounder, values)
+        ci = bounder.confidence_interval(state, 0.0, 1.0, 10_000, delta)
+        assert 0.0 <= ci.lo <= ci.hi <= 1.0

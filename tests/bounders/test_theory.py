@@ -1,0 +1,83 @@
+"""Tests for closed-form widths and sample-size planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bounders.bernstein import empirical_bernstein_serfling_epsilon
+from repro.bounders.hoeffding import hoeffding_serfling_epsilon
+from repro.bounders.theory import (
+    anderson_width_floor,
+    half_width,
+    samples_for_width,
+    width_ratio,
+)
+
+
+class TestHalfWidth:
+    def test_hoeffding_dispatch(self):
+        assert half_width("hoeffding", 100, 10_000, 0, 1, 0.05) == pytest.approx(
+            hoeffding_serfling_epsilon(100, 10_000, 0, 1, 0.05)
+        )
+
+    def test_bernstein_dispatch(self):
+        assert half_width(
+            "bernstein", 100, 10_000, 0, 1, 0.05, sigma=0.2
+        ) == pytest.approx(
+            empirical_bernstein_serfling_epsilon(100, 10_000, 0.2, 0, 1, 0.05)
+        )
+
+    def test_unknown_bounder_rejected(self):
+        with pytest.raises(ValueError, match="unknown bounder"):
+            half_width("clt", 100, 1_000, 0, 1, 0.05)
+
+    def test_anderson_floor_scales_with_range(self):
+        narrow = anderson_width_floor(400, 0, 1, 0.05)
+        wide = anderson_width_floor(400, 0, 10, 0.05)
+        assert wide == pytest.approx(10 * narrow)
+
+    def test_anderson_floor_sqrt_m_rate(self):
+        """The Θ((b−a)/√m) endpoint-mass floor that makes Anderson PMA."""
+        at_m = anderson_width_floor(1_000, 0, 1, 0.05)
+        at_4m = anderson_width_floor(4_000, 0, 1, 0.05)
+        assert at_4m == pytest.approx(at_m / 2, rel=1e-9)
+
+
+class TestSamplesForWidth:
+    def test_achieves_target(self):
+        n, a, b, delta = 1_000_000, 0.0, 1.0, 1e-6
+        m = samples_for_width("hoeffding", 0.1, n, a, b, delta)
+        assert 2 * half_width("hoeffding", m, n, a, b, delta / 2) <= 0.1
+        assert 2 * half_width("hoeffding", m - 1, n, a, b, delta / 2) > 0.1
+
+    def test_bernstein_needs_fewer_when_variance_small(self):
+        """The quantitative PMA story: with σ ≪ (b−a), Bernstein reaches a
+        target width with far fewer samples."""
+        n, delta = 10_000_000, 1e-10
+        m_hoeff = samples_for_width("hoeffding", 0.005, n, 0, 1, delta)
+        m_bern = samples_for_width("bernstein", 0.005, n, 0, 1, delta, sigma=0.02)
+        assert m_bern < m_hoeff / 5
+
+    def test_returns_n_when_unachievable(self):
+        """Mirrors F-q5's behaviour: when no sample size suffices, the
+        planner reports a full scan."""
+        n = 1_000
+        m = samples_for_width("hoeffding", 1e-9, n, 0, 1_000, 1e-15)
+        assert m == n
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            samples_for_width("hoeffding", 0.0, 1_000, 0, 1, 0.05)
+
+
+class TestWidthRatio:
+    def test_grows_with_range_to_sigma_gap(self):
+        """Figure 2's regime quantified: the wider the outlier-inflated
+        range relative to σ, the larger Hoeffding's penalty."""
+        modest = width_ratio(10_000, 10_000_000, 0, 10, 1e-10, sigma=2.0)
+        extreme = width_ratio(10_000, 10_000_000, 0, 1_000, 1e-10, sigma=2.0)
+        assert extreme > modest > 1.0
+
+    def test_near_one_for_worst_case_sigma(self):
+        ratio = width_ratio(1_000, 1_000_000, 0, 1, 0.05, sigma=0.5)
+        assert ratio < 1.5

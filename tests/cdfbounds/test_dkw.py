@@ -1,0 +1,152 @@
+"""Tests for DKW bands and Anderson's mean-from-CDF machinery."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdfbounds.dkw import (
+    anderson_mean_bounds,
+    dkw_band,
+    dkw_epsilon,
+    empirical_cdf,
+    mean_from_cdf_upper,
+)
+
+
+class TestDkwEpsilon:
+    def test_one_sided_formula(self):
+        assert dkw_epsilon(100, 0.05) == pytest.approx(
+            math.sqrt(math.log(1 / 0.05) / 200)
+        )
+
+    def test_two_sided_formula(self):
+        assert dkw_epsilon(100, 0.05, two_sided=True) == pytest.approx(
+            math.sqrt(math.log(2 / 0.05) / 200)
+        )
+
+    def test_two_sided_wider(self):
+        assert dkw_epsilon(50, 0.1, two_sided=True) > dkw_epsilon(50, 0.1)
+
+    def test_shrinks_with_m(self):
+        assert dkw_epsilon(10_000, 0.05) < dkw_epsilon(100, 0.05)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            dkw_epsilon(0, 0.05)
+        with pytest.raises(ValueError):
+            dkw_epsilon(10, 0.0)
+
+
+class TestEmpiricalCdf:
+    def test_simple(self):
+        values, heights = empirical_cdf(np.array([3.0, 1.0, 2.0]))
+        np.testing.assert_array_equal(values, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(heights, [1 / 3, 2 / 3, 1.0])
+
+    def test_duplicates_merged(self):
+        values, heights = empirical_cdf(np.array([1.0, 1.0, 2.0, 2.0, 2.0]))
+        np.testing.assert_array_equal(values, [1.0, 2.0])
+        np.testing.assert_allclose(heights, [0.4, 1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_cdf(np.array([]))
+
+    def test_reaches_one(self, rng):
+        _, heights = empirical_cdf(rng.normal(0, 1, 100))
+        assert heights[-1] == pytest.approx(1.0)
+
+
+class TestDkwBand:
+    def test_band_brackets_empirical(self, rng):
+        sample = rng.uniform(0, 1, 200)
+        values, lower, upper = dkw_band(sample, 0.05)
+        _, heights = empirical_cdf(sample)
+        assert np.all(lower <= heights)
+        assert np.all(heights <= upper)
+
+    def test_band_clipped_to_unit(self, rng):
+        _, lower, upper = dkw_band(rng.uniform(0, 1, 10), 0.5)
+        assert lower.min() >= 0.0
+        assert upper.max() <= 1.0
+
+    def test_band_covers_true_uniform_cdf(self, rng):
+        """Monte-Carlo: the (1−δ) band covers F(x) = x everywhere, at
+        least (1−δ)-often."""
+        failures = 0
+        trials = 100
+        for _ in range(trials):
+            sample = rng.uniform(0, 1, 150)
+            values, lower, upper = dkw_band(sample, 0.1)
+            truth = values  # uniform CDF on [0, 1]
+            if np.any(lower > truth) or np.any(upper < truth):
+                failures += 1
+        assert failures / trials <= 0.1 + 3 * math.sqrt(0.1 * 0.9 / trials)
+
+
+class TestMeanFromCdfUpper:
+    def test_zero_shift_recovers_sample_mean(self, rng):
+        """With shift 0 the integral identity gives exactly the sample
+        mean (Lemma 2 applied to the empirical CDF)."""
+        sample = rng.uniform(2, 8, 500)
+        values, heights = empirical_cdf(sample)
+        result = mean_from_cdf_upper(values, heights, 0.0, 0.0, 10.0)
+        assert result == pytest.approx(sample.mean(), rel=1e-12)
+
+    def test_positive_shift_lowers_mean(self, rng):
+        sample = rng.uniform(2, 8, 300)
+        values, heights = empirical_cdf(sample)
+        base = mean_from_cdf_upper(values, heights, 0.0, 0.0, 10.0)
+        shifted = mean_from_cdf_upper(values, heights, 0.1, 0.0, 10.0)
+        assert shifted < base
+
+    def test_full_shift_returns_a(self):
+        values, heights = empirical_cdf(np.array([5.0, 6.0]))
+        assert mean_from_cdf_upper(values, heights, 1.0, 0.0, 10.0) == pytest.approx(0.0)
+
+    def test_matches_numeric_integration(self, rng):
+        sample = rng.normal(5, 1, 400).clip(0, 10)
+        values, heights = empirical_cdf(sample)
+        shift = 0.07
+        xs = np.linspace(0, 10, 200_001)
+        step = np.clip(
+            np.searchsorted(values, xs, side="right") / sample.size + shift, 0, 1
+        )
+        numeric = 10.0 - np.trapezoid(step, xs)
+        exact = mean_from_cdf_upper(values, heights, shift, 0.0, 10.0)
+        assert exact == pytest.approx(numeric, abs=1e-3)
+
+
+class TestAndersonMeanBounds:
+    def test_empty_sample_trivial(self):
+        assert anderson_mean_bounds(np.array([]), 0.0, 1.0, 0.1) == (0.0, 1.0)
+
+    def test_brackets_sample_mean(self, rng):
+        sample = rng.uniform(0, 1, 800)
+        lo, hi = anderson_mean_bounds(sample, 0, 1, 0.05)
+        assert lo <= sample.mean() <= hi
+
+    def test_monte_carlo_coverage(self, rng):
+        data = rng.lognormal(0, 0.8, 20_000).clip(0, 20)
+        truth = data.mean()
+        failures = 0
+        trials = 80
+        for _ in range(trials):
+            sample = data[rng.permutation(data.size)[:400]]
+            lo, hi = anderson_mean_bounds(sample, 0, 20, 0.2)
+            if not lo <= truth <= hi:
+                failures += 1
+        assert failures / trials <= 0.2 + 3 * math.sqrt(0.2 * 0.8 / trials)
+
+    @given(st.integers(10, 400))
+    @settings(max_examples=30, deadline=None)
+    def test_property_bounds_within_range(self, m):
+        rng = np.random.default_rng(m)
+        sample = rng.uniform(3, 7, m)
+        lo, hi = anderson_mean_bounds(sample, 0, 10, 0.1)
+        assert 0.0 <= lo <= hi <= 10.0

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite.
+
+The ``small_scramble`` fixture is session-scoped: the synthetic flights
+table is expensive relative to individual tests, and every consumer treats
+it as read-only (executors never mutate the scramble).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_flights, make_flights_scramble
+
+SMALL_ROWS = 60_000
+
+
+@pytest.fixture(scope="session")
+def small_scramble():
+    """A 60k-row flights scramble shared across integration tests."""
+    return make_flights_scramble(rows=SMALL_ROWS, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_table():
+    """A 60k-row flights table (unshuffled)."""
+    return generate_flights(rows=SMALL_ROWS, seed=7)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,161 @@
+"""Tests for the synthetic Flights generator (the paper-data substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.flights import (
+    DEFAULT_AIRLINES,
+    FlightsConfig,
+    generate_flights,
+    make_flights_scramble,
+)
+
+
+class TestSchema:
+    def test_columns_match_paper(self, small_table):
+        """§5.1: origin airport, airline, departure delay, departure time,
+        day of week."""
+        assert set(small_table.columns()) == {
+            "Origin",
+            "Airline",
+            "DayOfWeek",
+            "DepDelay",
+            "DepTime",
+        }
+
+    def test_row_count(self, small_table):
+        assert small_table.num_rows == 60_000
+
+    def test_airlines_are_figure7b_carriers(self, small_table):
+        names = set(small_table.categorical("Airline").dictionary)
+        assert names == {spec.name for spec in DEFAULT_AIRLINES}
+
+    def test_ord_exists_and_is_popular(self, small_table):
+        origin = small_table.categorical("Origin")
+        counts = np.bincount(origin.codes, minlength=origin.cardinality)
+        ord_count = counts[origin.code_of("ORD")]
+        assert ord_count > 0.02 * small_table.num_rows  # top-rank airport
+
+    def test_day_of_week_domain(self, small_table):
+        days = set(small_table.categorical("DayOfWeek").dictionary)
+        assert days == set(range(1, 8))
+
+    def test_dep_time_is_hhmm(self, small_table):
+        times = small_table.continuous("DepTime")
+        hours = times // 100
+        minutes = times % 100
+        assert hours.min() >= 5
+        assert hours.max() <= 23
+        assert minutes.max() < 60
+
+
+class TestDistributionalProperties:
+    def test_catalog_bounds_enclose_and_exceed_data(self, small_table):
+        """Figure 2's regime: catalog range far wider than the data body."""
+        bounds = small_table.catalog.bounds("DepDelay")
+        delays = small_table.continuous("DepDelay")
+        assert bounds.a <= delays.min()
+        assert bounds.b >= delays.max()
+        assert bounds.width > 8 * delays.std()
+
+    def test_airline_means_ordered_as_figure7b(self):
+        """The carriers' true mean delays preserve NW < DL < … < HP."""
+        table = generate_flights(rows=400_000, seed=1)
+        airline = table.categorical("Airline")
+        delays = table.continuous("DepDelay")
+        means = {}
+        for code, name in enumerate(airline.dictionary):
+            means[name] = delays[airline.codes == code].mean()
+        spec_order = [spec.name for spec in DEFAULT_AIRLINES]
+        measured = [means[name] for name in spec_order]
+        assert measured == sorted(measured), means
+
+    def test_hp_is_max_delay_airline(self):
+        """F-q9's ground truth."""
+        table = generate_flights(rows=300_000, seed=2)
+        airline = table.categorical("Airline")
+        delays = table.continuous("DepDelay")
+        means = {
+            name: delays[airline.codes == code].mean()
+            for code, name in enumerate(airline.dictionary)
+        }
+        assert max(means, key=means.get) == "HP"
+
+    def test_ord_mean_above_ten(self):
+        """F-q4's ground truth: ORD's average delay exceeds 10."""
+        table = generate_flights(rows=300_000, seed=3)
+        origin = table.categorical("Origin")
+        delays = table.continuous("DepDelay")
+        ord_mean = delays[origin.codes == origin.code_of("ORD")].mean()
+        assert ord_mean > 10.0
+
+    def test_some_airports_have_negative_mean(self):
+        """F-q5's HAVING < 0 must be non-trivial."""
+        table = generate_flights(rows=400_000, seed=4)
+        origin = table.categorical("Origin")
+        delays = table.continuous("DepDelay")
+        counts = np.bincount(origin.codes, minlength=origin.cardinality)
+        negative = 0
+        for code in range(origin.cardinality):
+            if counts[code] > 200 and delays[origin.codes == code].mean() < 0:
+                negative += 1
+        assert negative >= 2
+
+    def test_airline_spread_grows_with_departure_time(self):
+        """Figure 8's mechanism: later departure filters increase the
+        variance of per-airline mean delays."""
+        table = generate_flights(rows=400_000, seed=5)
+        airline = table.categorical("Airline")
+        delays = table.continuous("DepDelay")
+        times = table.continuous("DepTime")
+
+        def spread(min_time):
+            mask = times > min_time
+            means = [
+                delays[mask & (airline.codes == code)].mean()
+                for code in range(airline.cardinality)
+            ]
+            return np.var(means)
+
+        assert spread(2000) > spread(600)
+
+    def test_zipf_airport_popularity(self, small_table):
+        origin = small_table.categorical("Origin")
+        counts = np.sort(np.bincount(origin.codes, minlength=origin.cardinality))[::-1]
+        # Heavy head: the top 10 airports carry a large share of rows.
+        assert counts[:10].sum() > 0.4 * small_table.num_rows
+
+    def test_outliers_rare_but_present_at_scale(self):
+        config = FlightsConfig(rows=500_000, outlier_rate=1e-4, seed=6)
+        table = generate_flights(config=config)
+        delays = table.continuous("DepDelay")
+        outliers = (delays > 150).sum()
+        assert 10 <= outliers <= 200
+
+
+class TestReproducibility:
+    def test_same_seed_same_data(self):
+        first = generate_flights(rows=10_000, seed=11)
+        second = generate_flights(rows=10_000, seed=11)
+        np.testing.assert_array_equal(
+            first.continuous("DepDelay"), second.continuous("DepDelay")
+        )
+
+    def test_different_seed_different_data(self):
+        first = generate_flights(rows=10_000, seed=11)
+        second = generate_flights(rows=10_000, seed=12)
+        assert not np.array_equal(
+            first.continuous("DepDelay"), second.continuous("DepDelay")
+        )
+
+    def test_scramble_convenience(self):
+        scramble = make_flights_scramble(rows=5_000, seed=0, block_size=20)
+        assert scramble.num_rows == 5_000
+        assert scramble.block_size == 20
+        assert scramble.table.catalog.bounds("DepDelay").a == -60.0
+
+    def test_shorthand_overrides(self):
+        table = generate_flights(rows=1_234, seed=99)
+        assert table.num_rows == 1_234

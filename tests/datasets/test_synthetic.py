@@ -1,0 +1,50 @@
+"""Tests for the microbenchmark distribution generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    DATASET_GENERATORS,
+    clustered_data,
+    lognormal_data,
+    outlier_data,
+    two_point_data,
+    uniform_data,
+)
+
+
+@pytest.mark.parametrize("name", sorted(DATASET_GENERATORS))
+def test_all_generators_respect_bounds(name, rng):
+    data, a, b = DATASET_GENERATORS[name](5_000, rng)
+    assert data.size == 5_000
+    assert data.min() >= a
+    assert data.max() <= b
+
+
+def test_uniform_spans_range(rng):
+    data, a, b = uniform_data(50_000, rng)
+    assert data.std() == pytest.approx((b - a) / np.sqrt(12), rel=0.05)
+
+
+def test_two_point_worst_case_variance(rng):
+    data, a, b = two_point_data(50_000, rng)
+    assert set(np.unique(data)) == {a, b}
+    assert data.std() == pytest.approx((b - a) / 2, rel=0.05)
+
+
+def test_clustered_small_sigma(rng):
+    data, a, b = clustered_data(20_000, rng, spread=0.01)
+    assert data.std() < 0.02 * (b - a)
+
+
+def test_outlier_range_inflated(rng):
+    data, a, b = outlier_data(200_000, rng)
+    body_max = np.quantile(data, 0.999)
+    assert b > 50 * body_max  # catalog range dominated by outliers
+
+
+def test_lognormal_clipped(rng):
+    data, a, b = lognormal_data(10_000, rng, cap=100.0)
+    assert data.max() <= 100.0

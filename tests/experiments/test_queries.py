@@ -1,0 +1,97 @@
+"""Tests for the F-q1..F-q9 query builders (Figure 5 / Table 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.queries import ALL_QUERIES, GROUP_BY_QUERIES, build_query, fq1, fq3
+from repro.fastframe.predicate import Compare, Eq
+from repro.fastframe.query import AggregateFunction
+from repro.stopping.conditions import (
+    GroupsOrdered,
+    RelativeAccuracy,
+    ThresholdSide,
+    TopKSeparated,
+)
+
+
+def test_all_nine_queries_defined():
+    assert set(ALL_QUERIES) == {f"F-q{i}" for i in range(1, 10)}
+
+
+def test_group_by_queries_subset():
+    assert set(GROUP_BY_QUERIES) <= set(ALL_QUERIES)
+    for name in GROUP_BY_QUERIES:
+        assert build_query(name).group_by, name
+
+
+def test_build_query_unknown():
+    with pytest.raises(KeyError):
+        build_query("F-q10")
+
+
+def test_fq1_stopping_condition():
+    """Table 4: F-q1 stops on relative accuracy (Ì)."""
+    query = fq1(airport="ORD", epsilon=0.25)
+    assert isinstance(query.stopping, RelativeAccuracy)
+    assert query.stopping.epsilon == 0.25
+    assert isinstance(query.predicate, Eq)
+    assert query.aggregate is AggregateFunction.AVG
+
+
+def test_fq2_threshold():
+    query = build_query("F-q2", thresh=5.0)
+    assert isinstance(query.stopping, ThresholdSide)
+    assert query.stopping.threshold == 5.0
+    assert query.group_by == ("Airline",)
+
+
+def test_fq3_bottom_two():
+    """Table 4: F-q3 stops when the bottom 2 airlines separate (Î)."""
+    query = fq3(min_dep_time=1200)
+    assert isinstance(query.stopping, TopKSeparated)
+    assert query.stopping.k == 2
+    assert not query.stopping.largest
+    assert isinstance(query.predicate, Compare)
+    assert query.predicate.threshold == 1200
+
+
+def test_fq4_fixed_threshold_ten():
+    query = build_query("F-q4")
+    assert isinstance(query.stopping, ThresholdSide)
+    assert query.stopping.threshold == 10.0
+    assert query.group_by == ()
+
+
+def test_fq5_negative_delay_airports():
+    query = build_query("F-q5")
+    assert isinstance(query.stopping, ThresholdSide)
+    assert query.stopping.threshold == 0.0
+    assert query.group_by == ("Origin",)
+
+
+def test_fq6_top5_two_column_group():
+    query = build_query("F-q6")
+    assert query.group_by == ("DayOfWeek", "Origin")
+    assert isinstance(query.stopping, TopKSeparated)
+    assert query.stopping.k == 5
+
+
+def test_fq7_groups_ordered():
+    query = build_query("F-q7")
+    assert isinstance(query.stopping, GroupsOrdered)
+    assert isinstance(query.predicate, Eq)
+
+
+def test_fq8_fq9_top1():
+    for name, group in (("F-q8", ("Origin",)), ("F-q9", ("Airline",))):
+        query = build_query(name)
+        assert isinstance(query.stopping, TopKSeparated)
+        assert query.stopping.k == 1
+        assert query.group_by == group
+
+
+def test_describe_mentions_pieces():
+    text = build_query("F-q2").describe()
+    assert "AVG(DepDelay)" in text
+    assert "GROUP BY Airline" in text

@@ -1,0 +1,152 @@
+"""Tests for the experiment runners (small-scale smoke of Tables 5/6)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.format import format_sweep, format_table5, format_table6
+from repro.experiments.queries import build_query
+from repro.experiments.runner import (
+    check_correctness,
+    run_query_once,
+    run_table5,
+    run_table6,
+    warm_metadata,
+)
+from repro.experiments.sweeps import (
+    airports_by_selectivity,
+    sweep_fig7a_relative_error,
+    sweep_fig8_min_dep_time,
+)
+from repro.fastframe.exact import ExactExecutor
+
+#: Moderate delta so the tiny test scramble can terminate early.
+TEST_DELTA = 1e-6
+
+
+class TestRunQueryOnce:
+    def test_returns_result_with_metrics(self, small_scramble):
+        query = build_query("F-q1", epsilon=1.0)
+        result = run_query_once(
+            small_scramble, query, "bernstein+rt", delta=TEST_DELTA
+        )
+        assert result.metrics.rows_read > 0
+        assert result.scalar().interval.width >= 0
+
+
+class TestCheckCorrectness:
+    def test_threshold_semantics(self, small_scramble):
+        query = build_query("F-q2")
+        exact = ExactExecutor(small_scramble).execute(query)
+        approx = run_query_once(small_scramble, query, "bernstein+rt", delta=TEST_DELTA)
+        assert check_correctness(query, approx, exact)
+
+    def test_topk_semantics(self, small_scramble):
+        query = build_query("F-q9")
+        exact = ExactExecutor(small_scramble).execute(query)
+        approx = run_query_once(small_scramble, query, "bernstein+rt", delta=TEST_DELTA)
+        assert check_correctness(query, approx, exact)
+
+    def test_relative_accuracy_semantics(self, small_scramble):
+        query = build_query("F-q1", epsilon=1.0)
+        exact = ExactExecutor(small_scramble).execute(query)
+        approx = run_query_once(small_scramble, query, "bernstein+rt", delta=TEST_DELTA)
+        assert check_correctness(query, approx, exact, epsilon_slack=1e-9)
+
+
+class TestTables:
+    def test_table5_rows_structure(self, small_scramble):
+        rows = run_table5(
+            small_scramble,
+            query_names=("F-q1", "F-q9"),
+            bounders=("hoeffding", "bernstein+rt"),
+            reps=1,
+            delta=TEST_DELTA,
+        )
+        assert [row.query_name for row in rows] == ["F-q1", "F-q9"]
+        for row in rows:
+            assert row.baseline.approach == "Exact"
+            assert len(row.approaches) == 2
+            for cell in row.approaches:
+                assert cell.correct, (row.query_name, cell.approach)
+                assert math.isfinite(cell.speedup_wall)
+                assert cell.blocks_fetched > 0
+
+    def test_table5_formatting(self, small_scramble):
+        rows = run_table5(
+            small_scramble,
+            query_names=("F-q1",),
+            bounders=("bernstein+rt",),
+            reps=1,
+            delta=TEST_DELTA,
+        )
+        text = format_table5(rows)
+        assert "Table 5" in text
+        assert "F-q1" in text
+        assert "Bernstein+RT" in text
+
+    def test_table6_rows_structure(self, small_scramble):
+        rows = run_table6(
+            small_scramble,
+            query_names=("F-q5",),
+            strategies=("scan", "activepeek"),
+            reps=1,
+            delta=TEST_DELTA,
+        )
+        assert rows[0].baseline.approach == "Scan"
+        assert [cell.approach for cell in rows[0].approaches] == ["ActivePeek"]
+        assert rows[0].approaches[0].correct
+
+    def test_table6_formatting(self, small_scramble):
+        rows = run_table6(
+            small_scramble,
+            query_names=("F-q5",),
+            strategies=("scan", "activepeek"),
+            reps=1,
+            delta=TEST_DELTA,
+        )
+        assert "Table 6" in format_table6(rows)
+
+
+class TestSweeps:
+    def test_airports_span_selectivity(self, small_scramble):
+        airports = airports_by_selectivity(small_scramble, count=5)
+        selectivities = [sel for _, sel in airports]
+        assert selectivities == sorted(selectivities, reverse=True)
+        assert selectivities[0] > 10 * selectivities[-1]
+
+    def test_fig7a_errors_within_requested(self, small_scramble):
+        warm_metadata(small_scramble, build_query("F-q1"))
+        result = sweep_fig7a_relative_error(
+            small_scramble,
+            epsilons=(2.0, 1.0),
+            bounders=("bernstein+rt",),
+            delta=TEST_DELTA,
+        )
+        series = result.series_by_name("bernstein+rt")
+        for requested, actual in zip(result.x_values, series.values):
+            assert actual <= requested
+
+    def test_fig8_series_shape(self, small_scramble):
+        result = sweep_fig8_min_dep_time(
+            small_scramble,
+            min_dep_times=(1000, 2000),
+            bounders=("bernstein+rt",),
+            delta=TEST_DELTA,
+        )
+        series = result.series_by_name("bernstein+rt")
+        assert len(series.values) == 2
+        assert all(v > 0 for v in series.values)
+        assert "Figure 8" in format_sweep(result)
+
+    def test_series_by_name_missing(self, small_scramble):
+        result = sweep_fig8_min_dep_time(
+            small_scramble,
+            min_dep_times=(1000,),
+            bounders=("bernstein+rt",),
+            delta=TEST_DELTA,
+        )
+        with pytest.raises(KeyError):
+            result.series_by_name("clt")

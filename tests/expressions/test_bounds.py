@@ -1,0 +1,187 @@
+"""Tests for Appendix B's derived range bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expressions.bounds import (
+    box_maximum,
+    box_minimum,
+    corner_values,
+    derive_range_bounds,
+    monotone_corner_bounds,
+)
+from repro.expressions.expr import (
+    Abs,
+    Exp,
+    Log,
+    _expr_curvature,
+    _expr_monotone,
+    col,
+)
+from repro.fastframe.catalog import RangeBounds
+
+
+class TestMonotoneCertificates:
+    def test_affine_directions(self):
+        expr = 2 * col("x") - 3 * col("y") + 1
+        bounds = {"x": RangeBounds(0, 1), "y": RangeBounds(0, 1)}
+        assert _expr_monotone(expr, bounds) == {"x": 1, "y": -1}
+
+    def test_conflicting_directions_uncertified(self):
+        expr = col("x") - col("x") * 3  # net decreasing but via conflict
+        bounds = {"x": RangeBounds(0, 1)}
+        assert _expr_monotone(expr, bounds) is None
+
+    def test_even_pow_positive_domain(self):
+        expr = col("x") ** 2
+        assert _expr_monotone(expr, {"x": RangeBounds(1, 5)}) == {"x": 1}
+        assert _expr_monotone(expr, {"x": RangeBounds(-5, -1)}) == {"x": -1}
+        assert _expr_monotone(expr, {"x": RangeBounds(-1, 1)}) is None
+
+    def test_product_of_nonnegative_monotone(self):
+        expr = col("x") * col("y")
+        bounds = {"x": RangeBounds(0, 2), "y": RangeBounds(1, 3)}
+        assert _expr_monotone(expr, bounds) == {"x": 1, "y": 1}
+
+    def test_exp_log_preserve_directions(self):
+        bounds = {"x": RangeBounds(1, 2)}
+        assert _expr_monotone(Exp(-col("x")), bounds) == {"x": -1}
+        assert _expr_monotone(Log(col("x")), bounds) == {"x": 1}
+
+    def test_division_by_negative_constant_flips(self):
+        expr = col("x") / -2.0
+        assert _expr_monotone(expr, {"x": RangeBounds(0, 1)}) == {"x": -1}
+
+
+class TestCurvatureCertificates:
+    def test_affine(self):
+        expr = 2 * col("x") + 3 * col("y") - 1
+        bounds = {"x": RangeBounds(0, 1), "y": RangeBounds(0, 1)}
+        assert _expr_curvature(expr, bounds) == "affine"
+
+    def test_square_of_affine_convex(self):
+        expr = (2 * col("x") + 3 * col("y") - 1) ** 2
+        bounds = {"x": RangeBounds(-3, 1), "y": RangeBounds(-1, 3)}
+        assert _expr_curvature(expr, bounds) == "convex"
+
+    def test_negated_square_concave(self):
+        expr = -((col("x") - 1) ** 2)
+        assert _expr_curvature(expr, {"x": RangeBounds(0, 2)}) == "concave"
+
+    def test_exp_convex_log_concave(self):
+        bounds = {"x": RangeBounds(1, 2)}
+        assert _expr_curvature(Exp(col("x")), bounds) == "convex"
+        assert _expr_curvature(Log(col("x")), bounds) == "concave"
+
+    def test_abs_of_affine_convex(self):
+        assert _expr_curvature(Abs(col("x") - 1), {"x": RangeBounds(0, 2)}) == "convex"
+
+    def test_sum_of_convex_is_convex(self):
+        expr = (col("x") ** 2) + Abs(col("x"))
+        assert _expr_curvature(expr, {"x": RangeBounds(-1, 1)}) == "convex"
+
+    def test_mixed_curvature_uncertified(self):
+        expr = (col("x") ** 2) - (col("y") ** 2)
+        bounds = {"x": RangeBounds(-1, 1), "y": RangeBounds(-1, 1)}
+        assert _expr_curvature(expr, bounds) is None
+
+
+class TestCornerAndOptim:
+    def test_corner_values(self):
+        expr = col("x") + 2 * col("y")
+        bounds = {"x": RangeBounds(0, 1), "y": RangeBounds(0, 10)}
+        assert corner_values(expr, bounds) == (0.0, 21.0)
+
+    def test_monotone_corner_bounds_two_evaluations(self):
+        expr = col("x") - col("y")
+        bounds = {"x": RangeBounds(0, 1), "y": RangeBounds(0, 10)}
+        result = monotone_corner_bounds(expr, bounds, {"x": 1, "y": -1})
+        assert (result.a, result.b) == (-10.0, 1.0)
+
+    def test_box_minimum_of_convex(self):
+        expr = (col("x") - 0.3) ** 2 + (col("y") + 0.2) ** 2
+        bounds = {"x": RangeBounds(-1, 1), "y": RangeBounds(-1, 1)}
+        assert box_minimum(expr, bounds) == pytest.approx(0.0, abs=1e-8)
+
+    def test_box_minimum_respects_constraints(self):
+        expr = (col("x") - 5.0) ** 2  # unconstrained min at 5, outside box
+        bounds = {"x": RangeBounds(0, 1)}
+        assert box_minimum(expr, bounds) == pytest.approx(16.0, rel=1e-6)
+
+    def test_box_maximum_of_concave(self):
+        expr = -((col("x") - 0.5) ** 2) + 3.0
+        bounds = {"x": RangeBounds(0, 1)}
+        assert box_maximum(expr, bounds) == pytest.approx(3.0, abs=1e-8)
+
+
+class TestDeriveRangeBounds:
+    def test_appendix_example1(self):
+        """Appendix B Example 1: (2c1 + 3c2 − 1)², c1 ∈ [−3,1], c2 ∈ [−1,3]
+        derives [0, 100] (min via QP, max at corner (1, 3))."""
+        expr = (2 * col("c1") + 3 * col("c2") - 1) ** 2
+        bounds = {"c1": RangeBounds(-3, 1), "c2": RangeBounds(-1, 3)}
+        derived = derive_range_bounds(expr, bounds)
+        assert derived.a == pytest.approx(0.0, abs=1e-6)
+        assert derived.b == pytest.approx(100.0)
+
+    def test_monotone_exact(self):
+        expr = 2 * col("x") + 3 * col("y")
+        bounds = {"x": RangeBounds(0, 1), "y": RangeBounds(0, 1)}
+        derived = derive_range_bounds(expr, bounds)
+        assert (derived.a, derived.b) == (0.0, 5.0)
+
+    def test_concave_case(self):
+        expr = -((col("x") - 0.5) ** 2)
+        derived = derive_range_bounds(expr, {"x": RangeBounds(0, 1)})
+        assert derived.a == pytest.approx(-0.25)
+        assert derived.b == pytest.approx(0.0, abs=1e-6)
+
+    def test_fallback_to_interval(self):
+        expr = col("x") * col("y")  # not certifiable over sign-mixed box
+        bounds = {"x": RangeBounds(-1, 1), "y": RangeBounds(-2, 2)}
+        derived = derive_range_bounds(expr, bounds)
+        assert (derived.a, derived.b) == (-2.0, 2.0)
+
+    def test_constant_expression(self):
+        from repro.expressions.expr import Const
+
+        derived = derive_range_bounds(Const(7.0), {})
+        assert (derived.a, derived.b) == (7.0, 7.0)
+
+    def test_missing_bounds_rejected(self):
+        with pytest.raises(KeyError, match="missing"):
+            derive_range_bounds(col("x") + col("y"), {"x": RangeBounds(0, 1)})
+
+    @given(
+        st.floats(-10, 10),
+        st.floats(0.1, 10),
+        st.floats(-10, 10),
+        st.floats(0.1, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_soundness(self, xa, xw, ya, yw):
+        """Derived bounds always enclose the expression over the box —
+        the invariant the executor's CI correctness rests on."""
+        bounds = {
+            "x": RangeBounds(xa, xa + xw),
+            "y": RangeBounds(ya, ya + yw),
+        }
+        for expr in (
+            2 * col("x") - col("y") + 3,
+            (col("x") + col("y")) ** 2,
+            Abs(col("x")) + Abs(col("y")),
+            col("x") * col("y"),
+        ):
+            derived = derive_range_bounds(expr, bounds)
+            rng = np.random.default_rng(7)
+            for _ in range(15):
+                point = {
+                    "x": rng.uniform(bounds["x"].a, bounds["x"].b),
+                    "y": rng.uniform(bounds["y"].a, bounds["y"].b),
+                }
+                value = expr.evaluate_point(point)
+                assert derived.a - 1e-6 <= value <= derived.b + 1e-6

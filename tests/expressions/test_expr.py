@@ -1,0 +1,145 @@
+"""Tests for the expression AST: evaluation and interval arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expressions.expr import Abs, Col, Const, Exp, Log, Pow, col
+from repro.fastframe.catalog import RangeBounds
+from repro.fastframe.table import Table
+
+
+@pytest.fixture()
+def table():
+    return Table(
+        continuous={
+            "x": np.array([1.0, 2.0, 3.0, 4.0]),
+            "y": np.array([10.0, 20.0, 30.0, 40.0]),
+        }
+    )
+
+
+BOUNDS = {"x": RangeBounds(1.0, 4.0), "y": RangeBounds(10.0, 40.0)}
+
+
+class TestEvaluation:
+    def test_col(self, table):
+        np.testing.assert_array_equal(col("x").evaluate(table), [1, 2, 3, 4])
+
+    def test_col_rows_subset(self, table):
+        np.testing.assert_array_equal(
+            col("x").evaluate(table, np.array([0, 3])), [1, 4]
+        )
+
+    def test_arithmetic_sugar(self, table):
+        expr = (col("x") * 2 + col("y") / 10) - 1
+        np.testing.assert_allclose(expr.evaluate(table), [2, 5, 8, 11])
+
+    def test_right_operators(self, table):
+        expr = 10 - col("x")
+        np.testing.assert_allclose(expr.evaluate(table), [9, 8, 7, 6])
+        expr2 = 2 * col("x")
+        np.testing.assert_allclose(expr2.evaluate(table), [2, 4, 6, 8])
+
+    def test_pow_and_neg(self, table):
+        expr = -(col("x") ** 2)
+        np.testing.assert_allclose(expr.evaluate(table), [-1, -4, -9, -16])
+
+    def test_unary_functions(self, table):
+        np.testing.assert_allclose(
+            Exp(col("x") * 0).evaluate(table), np.ones(4)
+        )
+        np.testing.assert_allclose(
+            Log(col("y")).evaluate(table), np.log([10, 20, 30, 40])
+        )
+        np.testing.assert_allclose(
+            Abs(col("x") - 2.5).evaluate(table), [1.5, 0.5, 0.5, 1.5]
+        )
+
+    def test_evaluate_point_matches_vectorized(self, table):
+        expr = (col("x") + col("y")) * 2 - col("x") ** 2
+        vector = expr.evaluate(table)
+        for i in range(4):
+            point = {"x": float(table.continuous("x")[i]), "y": float(table.continuous("y")[i])}
+            assert expr.evaluate_point(point) == pytest.approx(vector[i])
+
+    def test_columns(self):
+        expr = col("x") * col("y") + 1
+        assert expr.columns() == frozenset({"x", "y"})
+        assert Const(5).columns() == frozenset()
+
+    def test_pow_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            Pow(col("x"), -1)
+
+    def test_repr_readable(self):
+        assert repr(col("x") + 1) == "(x + 1.0)"
+
+
+class TestIntervalArithmetic:
+    def test_add_sub(self):
+        interval = (col("x") + col("y")).interval(BOUNDS)
+        assert (interval.a, interval.b) == (11.0, 44.0)
+        interval = (col("x") - col("y")).interval(BOUNDS)
+        assert (interval.a, interval.b) == (1.0 - 40.0, 4.0 - 10.0)
+
+    def test_mul_corners(self):
+        bounds = {"x": RangeBounds(-2.0, 3.0), "y": RangeBounds(-1.0, 4.0)}
+        interval = (col("x") * col("y")).interval(bounds)
+        assert (interval.a, interval.b) == (-8.0, 12.0)
+
+    def test_div(self):
+        interval = (col("y") / col("x")).interval(BOUNDS)
+        assert (interval.a, interval.b) == (10.0 / 4.0, 40.0 / 1.0)
+
+    def test_div_through_zero_rejected(self):
+        bounds = {"x": RangeBounds(-1.0, 1.0)}
+        with pytest.raises(ValueError, match="zero"):
+            (Const(1.0) / col("x")).interval(bounds)
+
+    def test_even_pow_spanning_zero(self):
+        bounds = {"x": RangeBounds(-2.0, 3.0)}
+        interval = (col("x") ** 2).interval(bounds)
+        assert (interval.a, interval.b) == (0.0, 9.0)
+
+    def test_odd_pow_monotone(self):
+        bounds = {"x": RangeBounds(-2.0, 3.0)}
+        interval = (col("x") ** 3).interval(bounds)
+        assert (interval.a, interval.b) == (-8.0, 27.0)
+
+    def test_abs_spanning_zero(self):
+        bounds = {"x": RangeBounds(-5.0, 3.0)}
+        interval = Abs(col("x")).interval(bounds)
+        assert (interval.a, interval.b) == (0.0, 5.0)
+
+    def test_log_requires_positive_domain(self):
+        with pytest.raises(ValueError, match="positive"):
+            Log(col("x")).interval({"x": RangeBounds(-1.0, 2.0)})
+
+    @given(
+        st.floats(-50, 50),
+        st.floats(0.1, 50),
+        st.floats(-50, 50),
+        st.floats(0.1, 50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_interval_encloses_samples(self, xa, xw, ya, yw):
+        """Interval arithmetic is a sound enclosure: random points inside
+        the box always evaluate within the computed interval."""
+        bounds = {
+            "x": RangeBounds(xa, xa + xw),
+            "y": RangeBounds(ya, ya + yw),
+        }
+        expr = (col("x") * 2 - col("y")) ** 2 + col("x") * col("y")
+        interval = expr.interval(bounds)
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            point = {
+                "x": rng.uniform(bounds["x"].a, bounds["x"].b),
+                "y": rng.uniform(bounds["y"].a, bounds["y"].b),
+            }
+            value = expr.evaluate_point(point)
+            assert interval.a - 1e-6 <= value <= interval.b + 1e-6

@@ -1,0 +1,168 @@
+"""Tests for the outlier-index baseline ([18], §6 related work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounders import Interval, get_bounder
+from repro.fastframe import Eq, Table
+from repro.fastframe.outlier_index import (
+    OutlierIndexedStore,
+    compose_outlier_avg,
+)
+from repro.stopping import AbsoluteAccuracy, SamplesTaken
+
+
+def _salary_table(rows: int = 10_000, seed: int = 0) -> Table:
+    """Figure 2's regime: a tight salary body plus extreme tail rows."""
+    rng = np.random.default_rng(seed)
+    salaries = rng.normal(50.0, 5.0, size=rows)
+    outlier_ids = rng.choice(rows, size=max(rows // 200, 2), replace=False)
+    half = outlier_ids.size // 2
+    salaries[outlier_ids[:half]] = 5_000.0
+    salaries[outlier_ids[half:]] = -1_000.0
+    dept = rng.choice(["eng", "sales", "hr"], size=rows)
+    return Table(continuous={"salary": salaries}, categorical={"dept": dept})
+
+
+class TestComposeOutlierAvg:
+    def test_pure_inlier_passthrough(self):
+        ci = compose_outlier_avg(0, 0.0, Interval(4.0, 6.0), Interval(100.0, 100.0))
+        assert ci.lo == pytest.approx(4.0)
+        assert ci.hi == pytest.approx(6.0)
+
+    def test_pure_outlier_is_exact(self):
+        ci = compose_outlier_avg(4, 40.0, Interval(0.0, 0.0), Interval(0.0, 0.0))
+        assert ci.lo == ci.hi == pytest.approx(10.0)
+
+    def test_mix_shrinks_toward_outlier_mean(self):
+        # 10 outliers at mean 100, ~90-110 inliers near 0.
+        ci = compose_outlier_avg(10, 1_000.0, Interval(-1.0, 1.0), Interval(90.0, 110.0))
+        assert 0.0 < ci.lo < ci.hi < 100.0
+
+    def test_empty_everything_raises(self):
+        with pytest.raises(ValueError):
+            compose_outlier_avg(0, 0.0, Interval(0.0, 0.0), Interval(0.0, 0.0))
+
+    @given(
+        st.integers(min_value=0, max_value=50),
+        st.floats(min_value=-1e4, max_value=1e4),
+        st.floats(min_value=-100.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=1.0, max_value=1e4),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_corners_enclose_interior(self, n_out, s_out, g_mid, g_half, n_mid, n_half):
+        """Any interior (avg, count) pair composes inside the corner hull."""
+        avg_iv = Interval(g_mid - g_half, g_mid + g_half)
+        count_iv = Interval(n_mid, n_mid + n_half)
+        hull = compose_outlier_avg(n_out, s_out, avg_iv, count_iv)
+        for t_g, t_n in [(0.25, 0.5), (0.5, 0.25), (0.75, 0.75)]:
+            g = avg_iv.lo + t_g * avg_iv.width
+            n = count_iv.lo + t_n * count_iv.width
+            value = (s_out + g * n) / (n_out + n)
+            assert hull.lo - 1e-9 <= value <= hull.hi + 1e-9
+
+
+class TestOutlierIndexedStore:
+    def test_split_sizes(self):
+        table = _salary_table(rows=5_000)
+        store = OutlierIndexedStore(table, "salary", outlier_fraction=0.01, rng=np.random.default_rng(0))
+        assert store.outlier_rows == 50  # 0.5% per tail of 5000
+        assert store.inlier_scramble.num_rows == 4_950
+
+    def test_inlier_bounds_tightened(self):
+        table = _salary_table()
+        full = table.catalog.bounds("salary")
+        store = OutlierIndexedStore(table, "salary", outlier_fraction=0.02, rng=np.random.default_rng(0))
+        tight = store.inlier_bounds()
+        assert tight.width < full.width / 10.0
+
+    def test_outliers_are_the_extremes(self):
+        table = _salary_table()
+        store = OutlierIndexedStore(table, "salary", outlier_fraction=0.02, rng=np.random.default_rng(0))
+        outlier_values = store.outlier_table.continuous("salary")
+        inlier_values = store.inlier_scramble.table.continuous("salary")
+        per_tail = store.outlier_rows // 2
+        assert np.sort(outlier_values)[per_tail - 1] <= inlier_values.min()
+        assert np.sort(outlier_values)[per_tail] >= inlier_values.max()
+
+    def test_rejects_bad_fraction(self):
+        table = _salary_table(rows=100)
+        with pytest.raises(ValueError):
+            OutlierIndexedStore(table, "salary", outlier_fraction=0.0)
+        with pytest.raises(ValueError):
+            OutlierIndexedStore(table, "salary", outlier_fraction=0.999)
+
+    def test_avg_interval_encloses_truth(self):
+        table = _salary_table(rows=8_000, seed=1)
+        truth = float(table.continuous("salary").mean())
+        store = OutlierIndexedStore(table, "salary", outlier_fraction=0.01, rng=np.random.default_rng(2))
+        result = store.execute_avg(
+            SamplesTaken(2_000),
+            get_bounder("bernstein+rt"),
+            delta=1e-6,
+            round_rows=1_000,
+            rng=np.random.default_rng(3),
+        )
+        slack = 1e-9 * max(1.0, abs(truth))
+        assert result.interval.lo - slack <= truth <= result.interval.hi + slack
+
+    def test_avg_with_predicate(self):
+        table = _salary_table(rows=8_000, seed=4)
+        salaries = table.continuous("salary")
+        dept = table.categorical("dept")
+        eng_mask = dept.codes == dept.code_of("eng")
+        truth = float(salaries[eng_mask].mean())
+        store = OutlierIndexedStore(table, "salary", outlier_fraction=0.01, rng=np.random.default_rng(5))
+        result = store.execute_avg(
+            SamplesTaken(1_500),
+            get_bounder("bernstein+rt"),
+            predicate=Eq("dept", "eng"),
+            delta=1e-6,
+            rng=np.random.default_rng(6),
+        )
+        assert result.interval.lo <= truth <= result.interval.hi
+        assert result.outlier_rows <= store.outlier_rows
+
+    def test_tighter_than_unindexed_hoeffding(self):
+        """The point of [18]: with outliers parked in the index, a
+        range-driven bounder converges far faster on the inlier store."""
+        from repro.fastframe import ApproximateExecutor, Query, AggregateFunction
+        from repro.fastframe.scramble import Scramble
+
+        # Larger than one 1024-block scan window so neither run is a census.
+        table = _salary_table(rows=120_000, seed=7)
+        store = OutlierIndexedStore(table, "salary", outlier_fraction=0.005, rng=np.random.default_rng(8))
+        indexed = store.execute_avg(
+            SamplesTaken(3_000),
+            get_bounder("hoeffding"),
+            delta=1e-6,
+            round_rows=1_000,
+            rng=np.random.default_rng(9),
+            start_block=0,
+        )
+        plain_scramble = Scramble(table, rng=np.random.default_rng(8))
+        plain_exec = ApproximateExecutor(
+            plain_scramble, get_bounder("hoeffding"), delta=1e-6,
+            round_rows=1_000, rng=np.random.default_rng(9),
+        )
+        plain = plain_exec.execute(
+            Query(AggregateFunction.AVG, "salary", SamplesTaken(3_000)),
+            start_block=0,
+        ).scalar()
+        assert indexed.interval.width < plain.interval.width / 5.0
+
+    def test_absolute_accuracy_stopping(self):
+        table = _salary_table(rows=20_000, seed=10)
+        store = OutlierIndexedStore(table, "salary", outlier_fraction=0.01, rng=np.random.default_rng(11))
+        result = store.execute_avg(
+            AbsoluteAccuracy(5.0),
+            get_bounder("bernstein+rt"),
+            delta=1e-6,
+            rng=np.random.default_rng(12),
+        )
+        truth = float(table.continuous("salary").mean())
+        assert result.interval.lo <= truth <= result.interval.hi

@@ -1,0 +1,154 @@
+"""Tests for the approximate-vs-exact query planner (§7 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_flights_scramble
+from repro.experiments import build_query
+from repro.fastframe import AggregateFunction, Eq, Query
+from repro.fastframe.planner import PlanEstimate, QueryPlanner
+from repro.stopping import (
+    AbsoluteAccuracy,
+    RelativeAccuracy,
+    SamplesTaken,
+    ThresholdSide,
+    TopKSeparated,
+)
+
+
+@pytest.fixture(scope="module")
+def scramble():
+    return make_flights_scramble(rows=200_000, seed=0)
+
+
+def _planner(scramble, **kwargs):
+    defaults = dict(delta=1e-9, pilot_rows=20_000)
+    defaults.update(kwargs)
+    return QueryPlanner(scramble, **defaults)
+
+
+class TestConstruction:
+    def test_rejects_bad_cutover(self, scramble):
+        with pytest.raises(ValueError, match="exact_cutover"):
+            QueryPlanner(scramble, exact_cutover=0.0)
+
+    def test_rejects_bad_pilot(self, scramble):
+        with pytest.raises(ValueError, match="pilot_rows"):
+            QueryPlanner(scramble, pilot_rows=0)
+
+    def test_pilot_clamped_to_table(self):
+        small = make_flights_scramble(rows=5_000, seed=1)
+        planner = QueryPlanner(small, pilot_rows=1_000_000)
+        assert planner.pilot_rows == 5_000
+
+
+class TestPlanning:
+    def test_loose_accuracy_plans_approximate(self, scramble):
+        query = Query(
+            AggregateFunction.AVG, "DepDelay", AbsoluteAccuracy(20.0)
+        )
+        plan = _planner(scramble).plan(query)
+        assert plan.mode == "approximate"
+        assert 0 < plan.expected_rows_scanned < scramble.num_rows / 2
+
+    def test_tight_accuracy_plans_exact(self, scramble):
+        query = Query(
+            AggregateFunction.AVG, "DepDelay", AbsoluteAccuracy(0.001)
+        )
+        plan = _planner(scramble).plan(query)
+        assert plan.mode == "exact"
+        assert plan.scan_fraction >= 0.5
+
+    def test_samples_taken_uses_selectivity(self, scramble):
+        query = Query(
+            AggregateFunction.AVG, "DepDelay", SamplesTaken(1_000),
+            predicate=Eq("Origin", "ORD"),
+        )
+        plan = _planner(scramble).plan(query)
+        # ORD's selectivity is ~0.2, so ~5k rows must be scanned.
+        assert plan.expected_samples == 1_000
+        assert plan.expected_rows_scanned > 1_000
+
+    def test_threshold_far_from_mean_is_cheap(self, scramble):
+        far = Query(AggregateFunction.AVG, "DepDelay", ThresholdSide(-100.0))
+        near = Query(AggregateFunction.AVG, "DepDelay", ThresholdSide(9.0))
+        planner = _planner(scramble)
+        assert (
+            planner.plan(far).expected_rows_scanned
+            <= planner.plan(near).expected_rows_scanned
+        )
+
+    def test_count_always_approximate(self, scramble):
+        query = Query(
+            AggregateFunction.COUNT, None, AbsoluteAccuracy(10.0),
+            predicate=Eq("Origin", "ORD"),
+        )
+        plan = _planner(scramble).plan(query)
+        assert plan.mode == "approximate"
+
+    def test_group_by_bottleneck_reported(self, scramble):
+        query = build_query("F-q2", thresh=0.0)
+        plan = _planner(scramble).plan(query)
+        assert plan.bottleneck  # some airline is the bottleneck
+        assert isinstance(plan, PlanEstimate)
+
+    def test_topk_uses_pairwise_gaps(self, scramble):
+        query = Query(
+            AggregateFunction.AVG, "DepDelay", TopKSeparated(1),
+            group_by=("Airline",),
+        )
+        plan = _planner(scramble).plan(query)
+        assert plan.expected_rows_scanned > 0
+
+    def test_no_matching_rows_plans_exact(self, scramble):
+        # A filter matching nothing in the pilot: impossible DepTime.
+        from repro.fastframe import Compare
+
+        query = Query(
+            AggregateFunction.AVG, "DepDelay", AbsoluteAccuracy(1.0),
+            predicate=Compare("DepTime", ">", 1e9),
+        )
+        plan = _planner(scramble).plan(query)
+        assert plan.mode == "exact"
+        assert "no matching rows" in plan.reason
+
+
+class TestPlanQuality:
+    def test_forecast_brackets_actual_cost(self, scramble):
+        """The point of the optimizer: the prediction should be in the
+        ballpark of the real run (same order of magnitude) for a
+        well-behaved scalar query."""
+        from repro.bounders import get_bounder
+        from repro.fastframe import ApproximateExecutor
+
+        query = Query(
+            AggregateFunction.AVG, "DepDelay", AbsoluteAccuracy(5.0)
+        )
+        plan = _planner(scramble).plan(query)
+        assert plan.mode == "approximate"
+        result = ApproximateExecutor(
+            scramble, get_bounder("bernstein"), delta=1e-9,
+            rng=np.random.default_rng(0),
+        ).execute(query, start_block=0)
+        actual = result.metrics.rows_read
+        assert plan.expected_rows_scanned / 10 <= actual <= plan.expected_rows_scanned * 10
+
+    def test_relative_accuracy_consistent_with_table5_fq1(self, scramble):
+        """F-q1[eps=0.5] stops early in Table 5 under Bernstein+RT; the
+        RangeTrim-aware width model should agree."""
+        plan = _planner(scramble, bounder_name="bernstein+rt").plan(
+            build_query("F-q1", epsilon=0.5)
+        )
+        assert plan.mode == "approximate"
+
+    def test_rangetrim_model_cheaper_than_plain(self, scramble):
+        query = build_query("F-q1", epsilon=0.5)
+        trimmed = _planner(scramble, bounder_name="bernstein+rt").plan(query)
+        plain = _planner(scramble, bounder_name="bernstein").plan(query)
+        assert trimmed.expected_samples <= plain.expected_samples
+
+    def test_hoeffding_model_more_pessimistic(self, scramble):
+        query = Query(AggregateFunction.AVG, "DepDelay", AbsoluteAccuracy(5.0))
+        bern = _planner(scramble, bounder_name="bernstein").plan(query)
+        hoef = _planner(scramble, bounder_name="hoeffding").plan(query)
+        assert hoef.expected_samples >= bern.expected_samples

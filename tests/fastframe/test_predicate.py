@@ -1,0 +1,149 @@
+"""Tests for predicates and their bitmap-skipping requirements."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fastframe.predicate import And, Compare, Eq, In, Not, Or, TruePredicate
+from repro.fastframe.table import Table
+
+
+@pytest.fixture()
+def table():
+    return Table(
+        continuous={"v": np.array([1.0, 2.0, 3.0, 4.0, 5.0])},
+        categorical={"g": ["a", "b", "a", "c", "b"]},
+    )
+
+
+class TestTruePredicate:
+    def test_all_rows(self, table):
+        np.testing.assert_array_equal(
+            TruePredicate().mask(table), [True] * 5
+        )
+
+    def test_sliced(self, table):
+        assert TruePredicate().mask(table, np.array([0, 2])).tolist() == [True, True]
+
+    def test_no_requirements(self, table):
+        assert TruePredicate().categorical_requirements(table) == {}
+
+
+class TestEq:
+    def test_mask(self, table):
+        np.testing.assert_array_equal(
+            Eq("g", "a").mask(table), [True, False, True, False, False]
+        )
+
+    def test_mask_on_rows(self, table):
+        mask = Eq("g", "b").mask(table, np.array([1, 2, 4]))
+        np.testing.assert_array_equal(mask, [True, False, True])
+
+    def test_requirements(self, table):
+        reqs = Eq("g", "c").categorical_requirements(table)
+        assert reqs == {"g": {table.categorical("g").code_of("c")}}
+
+    def test_unknown_value(self, table):
+        with pytest.raises(KeyError):
+            Eq("g", "zzz").mask(table)
+
+
+class TestIn:
+    def test_mask(self, table):
+        np.testing.assert_array_equal(
+            In("g", ["a", "c"]).mask(table), [True, False, True, True, False]
+        )
+
+    def test_requirements_union(self, table):
+        reqs = In("g", ["a", "b"]).categorical_requirements(table)
+        codes = table.categorical("g")
+        assert reqs == {"g": {codes.code_of("a"), codes.code_of("b")}}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            In("g", [])
+
+
+class TestCompare:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            (">", [False, False, False, True, True]),
+            (">=", [False, False, True, True, True]),
+            ("<", [True, True, False, False, False]),
+            ("<=", [True, True, True, False, False]),
+        ],
+    )
+    def test_operators(self, table, op, expected):
+        np.testing.assert_array_equal(Compare("v", op, 3.0).mask(table), expected)
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            Compare("v", "==", 3.0)
+
+    def test_no_requirements(self, table):
+        assert Compare("v", ">", 3.0).categorical_requirements(table) == {}
+
+
+class TestCompositions:
+    def test_and(self, table):
+        predicate = Eq("g", "a") & Compare("v", ">", 1.0)
+        np.testing.assert_array_equal(
+            predicate.mask(table), [False, False, True, False, False]
+        )
+
+    def test_or(self, table):
+        predicate = Eq("g", "c") | Compare("v", "<", 2.0)
+        np.testing.assert_array_equal(
+            predicate.mask(table), [True, False, False, True, False]
+        )
+
+    def test_not(self, table):
+        predicate = ~Eq("g", "a")
+        np.testing.assert_array_equal(
+            predicate.mask(table), [False, True, False, True, True]
+        )
+
+    def test_and_requirements_merge(self, table):
+        predicate = Eq("g", "a") & Compare("v", ">", 1.0)
+        codes = table.categorical("g")
+        assert predicate.categorical_requirements(table) == {
+            "g": {codes.code_of("a")}
+        }
+
+    def test_and_conflicting_requirements_intersect(self, table):
+        """g = 'a' AND g = 'b' can never match: empty requirement set."""
+        predicate = Eq("g", "a") & Eq("g", "b")
+        assert predicate.categorical_requirements(table) == {"g": set()}
+
+    def test_or_requirements_union_when_both_constrain(self, table):
+        predicate = Eq("g", "a") | Eq("g", "b")
+        codes = table.categorical("g")
+        assert predicate.categorical_requirements(table) == {
+            "g": {codes.code_of("a"), codes.code_of("b")}
+        }
+
+    def test_or_with_unconstrained_branch_claims_nothing(self, table):
+        """Eq OR Compare: the Compare branch can match any g value, so no
+        block-skipping requirement is sound."""
+        predicate = Eq("g", "a") | Compare("v", ">", 0.0)
+        assert predicate.categorical_requirements(table) == {}
+
+    def test_not_claims_nothing(self, table):
+        assert (~Eq("g", "a")).categorical_requirements(table) == {}
+
+    def test_requirements_are_sound(self, table):
+        """Any row matching the predicate carries a required code."""
+        predicate = (Eq("g", "a") | Eq("g", "b")) & Compare("v", "<", 5.0)
+        requirements = predicate.categorical_requirements(table)
+        mask = predicate.mask(table)
+        codes = table.categorical("g").codes
+        for column, allowed in requirements.items():
+            assert column == "g"
+            assert all(codes[i] in allowed for i in np.flatnonzero(mask))
+
+    def test_repr_readable(self, table):
+        predicate = Eq("g", "a") & Compare("v", ">", 1.0)
+        assert "g = 'a'" in repr(predicate)
+        assert "v > 1.0" in repr(predicate)

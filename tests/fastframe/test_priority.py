@@ -1,0 +1,173 @@
+"""Tests for the priority-sampling SUM baseline ([22, 9, 62], §6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fastframe import Eq, Table
+from repro.fastframe.priority import PrioritySampleIndex
+
+
+def _weighted_table(rows: int = 4_000, seed: int = 0) -> Table:
+    """Skewed non-negative weights plus a categorical filter column."""
+    rng = np.random.default_rng(seed)
+    weights = rng.exponential(10.0, size=rows)
+    weights[rng.choice(rows, size=rows // 100, replace=False)] *= 200.0
+    region = rng.choice(["east", "west"], size=rows)
+    return Table(continuous={"w": weights}, categorical={"region": region})
+
+
+class TestConstruction:
+    def test_rejects_negative_values(self):
+        table = Table(continuous={"w": np.array([1.0, -2.0, 3.0])})
+        with pytest.raises(ValueError, match="non-negative"):
+            PrioritySampleIndex(table, "w", k=2)
+
+    def test_rejects_bad_k(self):
+        table = Table(continuous={"w": np.array([1.0, 2.0])})
+        with pytest.raises(ValueError):
+            PrioritySampleIndex(table, "w", k=0)
+
+    def test_sample_size(self):
+        table = _weighted_table(rows=500)
+        index = PrioritySampleIndex(table, "w", k=50, rng=np.random.default_rng(0))
+        assert index.row_ids.size == 50
+        assert index.threshold > 0.0
+
+    def test_large_values_always_kept(self):
+        """A value above every priority threshold is sampled surely."""
+        rng = np.random.default_rng(1)
+        weights = rng.uniform(0.0, 1.0, size=1_000)
+        weights[123] = 1e9
+        table = Table(continuous={"w": weights})
+        index = PrioritySampleIndex(table, "w", k=100, rng=np.random.default_rng(2))
+        assert 123 in set(index.row_ids.tolist())
+
+
+class TestExactness:
+    def test_k_at_least_n_is_exact(self):
+        table = _weighted_table(rows=300)
+        index = PrioritySampleIndex(table, "w", k=300, rng=np.random.default_rng(0))
+        assert index.threshold == 0.0
+        truth = float(table.continuous("w").sum())
+        assert index.sum_estimate() == pytest.approx(truth, rel=1e-12)
+        assert index.variance_estimate() == 0.0
+
+    def test_k_beyond_n_clamped(self):
+        table = _weighted_table(rows=100)
+        index = PrioritySampleIndex(table, "w", k=10_000)
+        assert index.k == 100
+
+
+class TestUnbiasedness:
+    def test_total_sum_unbiased(self):
+        """Average of many independent estimates converges to the truth."""
+        table = _weighted_table(rows=2_000, seed=3)
+        truth = float(table.continuous("w").sum())
+        estimates = [
+            PrioritySampleIndex(
+                table, "w", k=200, rng=np.random.default_rng(trial)
+            ).sum_estimate()
+            for trial in range(200)
+        ]
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.02)
+
+    def test_subset_sum_unbiased(self):
+        table = _weighted_table(rows=2_000, seed=4)
+        weights = table.continuous("w")
+        region = table.categorical("region")
+        east = region.codes == region.code_of("east")
+        truth = float(weights[east].sum())
+        predicate = Eq("region", "east")
+        estimates = [
+            PrioritySampleIndex(
+                table, "w", k=200, rng=np.random.default_rng(1_000 + trial)
+            ).sum_estimate(predicate)
+            for trial in range(200)
+        ]
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.05)
+
+
+class TestVarianceAndIntervals:
+    def test_variance_decreases_with_k(self):
+        table = _weighted_table(rows=3_000, seed=5)
+        small = PrioritySampleIndex(table, "w", k=100, rng=np.random.default_rng(0))
+        large = PrioritySampleIndex(table, "w", k=1_000, rng=np.random.default_rng(0))
+        assert large.variance_estimate() < small.variance_estimate()
+
+    def test_interval_centred_and_clipped(self):
+        table = _weighted_table(rows=1_000, seed=6)
+        index = PrioritySampleIndex(table, "w", k=50, rng=np.random.default_rng(0))
+        ci = index.sum_interval(0.05)
+        assert ci.lo >= 0.0
+        assert ci.lo <= index.sum_estimate() <= ci.hi
+
+    def test_interval_coverage_monte_carlo(self):
+        """Asymptotic coverage is near nominal at moderate k (not SSI —
+        but it should not be wildly off on this workload)."""
+        table = _weighted_table(rows=2_000, seed=7)
+        truth = float(table.continuous("w").sum())
+        misses = 0
+        trials = 200
+        for trial in range(trials):
+            index = PrioritySampleIndex(
+                table, "w", k=400, rng=np.random.default_rng(5_000 + trial)
+            )
+            ci = index.sum_interval(0.05)
+            if not ci.lo <= truth <= ci.hi:
+                misses += 1
+        assert misses / trials < 0.15
+
+    def test_rejects_bad_delta(self):
+        table = _weighted_table(rows=100)
+        index = PrioritySampleIndex(table, "w", k=10)
+        with pytest.raises(ValueError):
+            index.sum_interval(0.0)
+
+    def test_beats_uniform_sampling_on_skewed_weights(self):
+        """The outlier-robustness claim: at equal k, priority sampling's
+        SUM estimates have far lower spread than uniform sampling's."""
+        table = _weighted_table(rows=5_000, seed=8)
+        weights = table.continuous("w")
+        truth = float(weights.sum())
+        k = 250
+        priority_errors, uniform_errors = [], []
+        for trial in range(60):
+            rng = np.random.default_rng(trial)
+            estimate = PrioritySampleIndex(
+                table, "w", k=k, rng=rng
+            ).sum_estimate()
+            priority_errors.append(abs(estimate - truth))
+            uniform = rng.choice(weights, size=k, replace=False)
+            uniform_errors.append(abs(float(uniform.mean()) * weights.size - truth))
+        assert np.median(priority_errors) < np.median(uniform_errors) / 3.0
+
+
+class TestPriorityProperties:
+    @given(st.integers(min_value=1, max_value=60), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_estimate_between_sampled_sum_and_k_tau_bound(self, k, seed):
+        """Each adjusted weight is max(w_i, τ), so the estimate lies between
+        the raw sampled sum and the sampled sum plus k·τ."""
+        rng = np.random.default_rng(seed)
+        table = Table(continuous={"w": rng.exponential(1.0, size=80)})
+        index = PrioritySampleIndex(table, "w", k=k, rng=rng)
+        raw = float(index.weights.sum())
+        estimate = index.sum_estimate()
+        assert raw - 1e-9 <= estimate <= raw + index.k * index.threshold + 1e-9
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_disjoint_subsets_partition_estimate(self, seed):
+        """Subset estimates over a partition sum to the total estimate."""
+        rng = np.random.default_rng(seed)
+        rows = 200
+        table = Table(
+            continuous={"w": rng.exponential(1.0, size=rows)},
+            categorical={"region": rng.choice(["east", "west"], size=rows)},
+        )
+        index = PrioritySampleIndex(table, "w", k=40, rng=rng)
+        east = index.sum_estimate(Eq("region", "east"))
+        west = index.sum_estimate(Eq("region", "west"))
+        assert east + west == pytest.approx(index.sum_estimate(), rel=1e-12)

@@ -1,0 +1,100 @@
+"""Tests for scrambles and block layout (Definition 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fastframe.scramble import DEFAULT_BLOCK_SIZE, Scramble
+from repro.fastframe.table import Table
+
+
+def make_table(rows: int = 103) -> Table:
+    return Table(
+        continuous={"v": np.arange(rows, dtype=float)},
+        categorical={"g": np.arange(rows) % 3},
+    )
+
+
+class TestScramble:
+    def test_default_block_size_matches_paper(self):
+        assert DEFAULT_BLOCK_SIZE == 25
+
+    def test_permutation_preserves_multiset(self, rng):
+        table = make_table()
+        scramble = Scramble(table, rng=rng)
+        np.testing.assert_array_equal(
+            np.sort(scramble.table.continuous("v")), table.continuous("v")
+        )
+
+    def test_rows_follow_permutation(self, rng):
+        table = make_table()
+        scramble = Scramble(table, rng=rng)
+        np.testing.assert_array_equal(
+            scramble.table.continuous("v"),
+            table.continuous("v")[scramble.permutation],
+        )
+
+    def test_block_count_ceils(self, rng):
+        scramble = Scramble(make_table(103), block_size=25, rng=rng)
+        assert scramble.num_blocks == 5
+
+    def test_block_rows_and_length(self, rng):
+        scramble = Scramble(make_table(103), block_size=25, rng=rng)
+        assert scramble.block_rows(0) == slice(0, 25)
+        assert scramble.block_rows(4) == slice(100, 103)
+        assert scramble.block_length(4) == 3
+
+    def test_block_out_of_range(self, rng):
+        scramble = Scramble(make_table(103), block_size=25, rng=rng)
+        with pytest.raises(IndexError):
+            scramble.block_rows(5)
+
+    def test_rows_of_blocks(self, rng):
+        scramble = Scramble(make_table(103), block_size=25, rng=rng)
+        rows = scramble.rows_of_blocks(np.array([0, 4]))
+        expected = np.concatenate([np.arange(0, 25), np.arange(100, 103)])
+        np.testing.assert_array_equal(rows, expected)
+
+    def test_rows_of_blocks_empty(self, rng):
+        scramble = Scramble(make_table(), rng=rng)
+        assert scramble.rows_of_blocks(np.array([], dtype=int)).size == 0
+
+    def test_block_order_wraps(self, rng):
+        scramble = Scramble(make_table(103), block_size=25, rng=rng)
+        order = scramble.block_order_from(3)
+        np.testing.assert_array_equal(order, [3, 4, 0, 1, 2])
+
+    def test_block_order_covers_all_blocks_once(self, rng):
+        scramble = Scramble(make_table(500), block_size=25, rng=rng)
+        order = scramble.block_order_from(7)
+        assert sorted(order.tolist()) == list(range(scramble.num_blocks))
+
+    def test_rejects_empty_table(self, rng):
+        with pytest.raises(ValueError):
+            Scramble(Table(), rng=rng)
+
+    def test_rejects_bad_block_size(self, rng):
+        with pytest.raises(ValueError):
+            Scramble(make_table(), block_size=0, rng=rng)
+
+    def test_reproducible_with_seed(self):
+        table = make_table()
+        first = Scramble(table, rng=np.random.default_rng(5))
+        second = Scramble(table, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(first.permutation, second.permutation)
+
+    def test_scan_prefix_is_uniform_sample(self):
+        """Definition 4's purpose: a scan prefix behaves like a
+        without-replacement sample — its mean concentrates on the
+        dataset mean."""
+        table = make_table(50_000)
+        truth = table.continuous("v").mean()
+        prefix_means = []
+        for seed in range(30):
+            scramble = Scramble(table, rng=np.random.default_rng(seed))
+            rows = scramble.rows_of_blocks(np.arange(40))  # 1000-row prefix
+            prefix_means.append(scramble.table.continuous("v")[rows].mean())
+        prefix_means = np.array(prefix_means)
+        assert abs(prefix_means.mean() - truth) < 600  # unbiased
+        assert prefix_means.std() < 1_500  # concentrates

@@ -1,0 +1,132 @@
+"""Tests for multi-query sessions with joint δ accounting (§4.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounders import get_bounder
+from repro.datasets import make_flights_scramble
+from repro.fastframe import Eq
+from repro.fastframe.session import Session
+from repro.experiments import build_query
+from repro.stopping import RelativeAccuracy
+
+
+@pytest.fixture(scope="module")
+def scramble():
+    return make_flights_scramble(rows=30_000, seed=0)
+
+
+def _session(scramble, **kwargs):
+    defaults = dict(
+        bounder=get_bounder("bernstein+rt"),
+        session_delta=1e-6,
+        rng=np.random.default_rng(0),
+    )
+    defaults.update(kwargs)
+    return Session(scramble, **defaults)
+
+
+class TestConstruction:
+    def test_rejects_bad_policy(self, scramble):
+        with pytest.raises(ValueError, match="policy"):
+            _session(scramble, policy="greedy")
+
+    def test_rejects_bad_delta(self, scramble):
+        with pytest.raises(ValueError, match="session_delta"):
+            _session(scramble, session_delta=0.0)
+
+    def test_rejects_non_ssi_bounder(self, scramble):
+        with pytest.raises(ValueError, match="not SSI"):
+            _session(scramble, bounder=get_bounder("clt"))
+
+    def test_rejects_bad_capacity(self, scramble):
+        with pytest.raises(ValueError, match="max_queries"):
+            _session(scramble, policy="even", max_queries=0)
+
+
+class TestEvenPolicy:
+    def test_each_query_gets_equal_share(self, scramble):
+        session = _session(scramble, policy="even", max_queries=10)
+        assert session.next_query_delta() == pytest.approx(1e-7)
+        session.execute(build_query("F-q1", epsilon=0.5))
+        assert session.next_query_delta() == pytest.approx(1e-7)
+
+    def test_capacity_enforced(self, scramble):
+        session = _session(scramble, policy="even", max_queries=1)
+        session.execute(build_query("F-q1", epsilon=0.5))
+        with pytest.raises(RuntimeError, match="run all of them"):
+            session.execute(build_query("F-q4"))
+
+    def test_spent_never_exceeds_budget(self, scramble):
+        session = _session(scramble, policy="even", max_queries=3)
+        for name in ("F-q1", "F-q4", "F-q2"):
+            session.execute(build_query(name))
+        assert session.spent_delta <= session.session_delta + 1e-18
+
+
+class TestHarmonicPolicy:
+    def test_decaying_allocations(self, scramble):
+        session = _session(scramble, policy="harmonic")
+        first = session.next_query_delta()
+        session.execute(build_query("F-q1", epsilon=0.5))
+        second = session.next_query_delta()
+        assert second == pytest.approx(first / 4.0)  # 1/k² decay
+
+    def test_open_ended_sum_bounded(self, scramble):
+        """Σ (6/π²)·δ/k² over any number of queries stays below δ."""
+        session = _session(scramble, policy="harmonic")
+        total = sum(
+            (6.0 / math.pi**2) * session.session_delta / k**2
+            for k in range(1, 10_001)
+        )
+        assert total < session.session_delta
+
+    def test_many_queries_allowed(self, scramble):
+        session = _session(scramble, policy="harmonic")
+        for _ in range(3):
+            session.execute(build_query("F-q1", epsilon=0.5))
+        assert session.queries_run == 3
+        assert session.spent_delta < session.session_delta
+
+
+class TestLedger:
+    def test_ledger_records_each_query(self, scramble):
+        session = _session(scramble, policy="even", max_queries=5)
+        session.execute(build_query("F-q1", epsilon=0.5))
+        session.execute(build_query("F-q4"))
+        ledger = session.audit()
+        assert [entry.index for entry in ledger] == [1, 2]
+        assert ledger[0].name == "F-q1"
+        assert all(entry.rows_read > 0 for entry in ledger)
+
+    def test_results_remain_correct(self, scramble):
+        """Intervals issued under the per-query allocation still enclose
+        the exact answers (they use a smaller δ, hence are only wider)."""
+        from repro.fastframe import ExactExecutor
+
+        session = _session(scramble, policy="even", max_queries=4)
+        exact = ExactExecutor(scramble)
+        for name in ("F-q1", "F-q4"):
+            query = build_query(name)
+            approx = session.execute(query)
+            truth = exact.execute(query).scalar().estimate
+            interval = approx.scalar().interval
+            slack = 1e-9 * max(1.0, abs(truth))
+            assert interval.lo - slack <= truth <= interval.hi + slack
+
+    def test_custom_predicate_query(self, scramble):
+        from repro.fastframe import AggregateFunction, Query
+
+        session = _session(scramble, policy="harmonic")
+        query = Query(
+            AggregateFunction.AVG,
+            "DepDelay",
+            RelativeAccuracy(0.5),
+            predicate=Eq("Origin", "ORD"),
+            name="custom",
+        )
+        result = session.execute(query)
+        assert result.scalar().samples > 0
+        assert session.audit()[0].name == "custom"

@@ -1,0 +1,171 @@
+"""Tests for the offline stratified-sample baseline (§6 offline AQP)."""
+
+import numpy as np
+import pytest
+
+from repro.bounders import get_bounder
+from repro.fastframe import AggregateFunction, Eq, Query, Table
+from repro.fastframe.stratified import (
+    StratifiedSampleStore,
+    UnsupportedQueryError,
+)
+from repro.stopping import SamplesTaken
+
+
+def _table(rows: int = 20_000, seed: int = 0) -> Table:
+    """Skewed group sizes: one dominant airline, several sparse ones."""
+    rng = np.random.default_rng(seed)
+    airlines = rng.choice(
+        ["WN", "AA", "UA", "F9", "HA"], size=rows, p=[0.7, 0.15, 0.1, 0.04, 0.01]
+    )
+    base = {"WN": 8.0, "AA": 10.0, "UA": 12.0, "F9": 14.0, "HA": 4.0}
+    delays = rng.normal([base[a] for a in airlines], 20.0)
+    return Table(
+        continuous={"DepDelay": delays}, categorical={"Airline": airlines}
+    )
+
+
+def _avg_query(**kwargs) -> Query:
+    defaults = dict(group_by=("Airline",))
+    defaults.update(kwargs)
+    return Query(
+        AggregateFunction.AVG, "DepDelay", SamplesTaken(1_000), **defaults
+    )
+
+
+class TestConstruction:
+    def test_requires_group_by(self):
+        with pytest.raises(ValueError, match="GROUP BY"):
+            StratifiedSampleStore(_table(), (), per_stratum=100)
+
+    def test_requires_positive_budget(self):
+        with pytest.raises(ValueError, match="per_stratum"):
+            StratifiedSampleStore(_table(), ("Airline",), per_stratum=0)
+
+    def test_strata_cover_all_groups(self):
+        store = StratifiedSampleStore(
+            _table(), ("Airline",), per_stratum=200, rng=np.random.default_rng(0)
+        )
+        assert {key[0] for key in store.strata} == {"WN", "AA", "UA", "F9", "HA"}
+
+    def test_small_strata_stored_whole(self):
+        table = _table(rows=5_000)
+        store = StratifiedSampleStore(
+            table, ("Airline",), per_stratum=500, rng=np.random.default_rng(0)
+        )
+        airline = table.categorical("Airline")
+        ha_size = int((airline.codes == airline.code_of("HA")).sum())
+        results = store.execute_avg(
+            _avg_query(), get_bounder("bernstein"), delta=1e-6
+        )
+        ha = results[("HA",)]
+        assert ha.samples == min(ha_size, 500)
+        if ha_size <= 500:
+            assert ha.interval.width == 0.0  # census stratum is exact
+
+    def test_footprint_bounded(self):
+        store = StratifiedSampleStore(
+            _table(), ("Airline",), per_stratum=100, rng=np.random.default_rng(0)
+        )
+        assert store.rows_materialized <= 5 * 100
+
+
+class TestDeclaredWorkload:
+    def test_intervals_enclose_truth(self):
+        table = _table(seed=1)
+        store = StratifiedSampleStore(
+            table, ("Airline",), per_stratum=400, rng=np.random.default_rng(2)
+        )
+        results = store.execute_avg(
+            _avg_query(), get_bounder("bernstein+rt"), delta=1e-6
+        )
+        values = table.continuous("DepDelay")
+        airline = table.categorical("Airline")
+        for key, result in results.items():
+            member = airline.codes == airline.code_of(key[0])
+            truth = float(values[member].mean())
+            slack = 1e-9 * max(1.0, abs(truth))
+            assert result.interval.lo - slack <= truth <= result.interval.hi + slack
+            assert result.population == int(member.sum())
+
+    def test_sparse_groups_equal_representation(self):
+        """The stratification payoff: sparse groups get the same sample
+        budget as dense ones, unlike a uniform scan prefix."""
+        store = StratifiedSampleStore(
+            _table(rows=100_000), ("Airline",), per_stratum=300,
+            rng=np.random.default_rng(3),
+        )
+        results = store.execute_avg(
+            _avg_query(), get_bounder("bernstein"), delta=1e-6
+        )
+        assert results[("HA",)].samples == 300
+        assert results[("WN",)].samples == 300
+
+    def test_no_rows_scanned_beyond_samples(self):
+        """Answering touches only materialized rows — the offline win."""
+        store = StratifiedSampleStore(
+            _table(), ("Airline",), per_stratum=100, rng=np.random.default_rng(4)
+        )
+        assert store.rows_materialized == 500
+        results = store.execute_avg(
+            _avg_query(), get_bounder("bernstein"), delta=1e-6
+        )
+        assert sum(r.samples for r in results.values()) == 500
+
+
+class TestWorkloadRigidity:
+    """The limitation the paper's scramble escapes: anything off-workload
+    is refused."""
+
+    def test_other_grouping_refused(self):
+        store = StratifiedSampleStore(
+            _table(), ("Airline",), per_stratum=100, rng=np.random.default_rng(0)
+        )
+        with pytest.raises(UnsupportedQueryError, match="stratified on"):
+            store.execute_avg(
+                _avg_query(group_by=()), get_bounder("bernstein")
+            )
+
+    def test_predicate_refused(self):
+        store = StratifiedSampleStore(
+            _table(), ("Airline",), per_stratum=100, rng=np.random.default_rng(0)
+        )
+        with pytest.raises(UnsupportedQueryError, match="predicates"):
+            store.execute_avg(
+                _avg_query(predicate=Eq("Airline", "WN")),
+                get_bounder("bernstein"),
+            )
+
+    def test_non_avg_refused(self):
+        store = StratifiedSampleStore(
+            _table(), ("Airline",), per_stratum=100, rng=np.random.default_rng(0)
+        )
+        query = Query(
+            AggregateFunction.COUNT, None, SamplesTaken(100), group_by=("Airline",)
+        )
+        with pytest.raises(UnsupportedQueryError, match="AVG only"):
+            store.execute_avg(query, get_bounder("bernstein"))
+
+    def test_scramble_answers_what_strata_cannot(self):
+        """The §6 contrast end-to-end: the ad-hoc (predicated) query the
+        strata refuse is served by the scramble with full guarantees."""
+        from repro.fastframe import ApproximateExecutor, Scramble
+
+        table = _table(rows=60_000, seed=5)
+        store = StratifiedSampleStore(
+            table, ("Airline",), per_stratum=200, rng=np.random.default_rng(6)
+        )
+        adhoc = _avg_query(group_by=(), predicate=Eq("Airline", "UA"))
+        with pytest.raises(UnsupportedQueryError):
+            store.execute_avg(adhoc, get_bounder("bernstein+rt"))
+        scramble = Scramble(table, rng=np.random.default_rng(7))
+        result = ApproximateExecutor(
+            scramble, get_bounder("bernstein+rt"), delta=1e-6,
+            rng=np.random.default_rng(8),
+        ).execute(adhoc)
+        values = table.continuous("DepDelay")
+        airline = table.categorical("Airline")
+        truth = float(values[airline.codes == airline.code_of("UA")].mean())
+        interval = result.scalar().interval
+        slack = 1e-9 * max(1.0, abs(truth))
+        assert interval.lo - slack <= truth <= interval.hi + slack

@@ -1,0 +1,134 @@
+"""Tests for tables, categorical encoding, and the catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fastframe.catalog import Catalog, ColumnKind, RangeBounds
+from repro.fastframe.table import CategoricalColumn, Table
+
+
+class TestRangeBounds:
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            RangeBounds(2.0, 1.0)
+
+    def test_width(self):
+        assert RangeBounds(-2.0, 3.0).width == 5.0
+
+    def test_contains(self):
+        bounds = RangeBounds(0.0, 10.0)
+        assert bounds.contains(np.array([0.0, 5.0, 10.0]))
+        assert not bounds.contains(np.array([11.0]))
+        assert bounds.contains(np.array([]))
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        catalog = Catalog()
+        catalog.register_continuous("x", np.array([1.0, 5.0]))
+        catalog.register_categorical("c")
+        assert catalog.kind("x") is ColumnKind.CONTINUOUS
+        assert catalog.kind("c") is ColumnKind.CATEGORICAL
+        assert catalog.bounds("x") == RangeBounds(1.0, 5.0)
+
+    def test_pad_widens_bounds(self):
+        catalog = Catalog()
+        catalog.register_continuous("x", np.array([0.0, 10.0]), pad=0.1)
+        assert catalog.bounds("x") == RangeBounds(-1.0, 11.0)
+
+    def test_explicit_bounds_must_enclose(self):
+        catalog = Catalog()
+        with pytest.raises(ValueError, match="enclose"):
+            catalog.register_continuous(
+                "x", np.array([0.0, 10.0]), bounds=RangeBounds(1.0, 20.0)
+            )
+
+    def test_explicit_wider_bounds_allowed(self):
+        """§2.2.1: only [a,b] ⊇ [MIN, MAX] is required, not equality."""
+        catalog = Catalog()
+        catalog.register_continuous(
+            "x", np.array([0.0, 10.0]), bounds=RangeBounds(-100.0, 100.0)
+        )
+        assert catalog.bounds("x").width == 200.0
+
+    def test_unknown_column_error_lists_known(self):
+        catalog = Catalog()
+        catalog.register_categorical("c")
+        with pytest.raises(KeyError, match="'c'"):
+            catalog.kind("missing")
+
+    def test_bounds_of_categorical_rejected(self):
+        catalog = Catalog()
+        catalog.register_categorical("c")
+        with pytest.raises(KeyError, match="categorical"):
+            catalog.bounds("c")
+
+    def test_column_listings(self):
+        catalog = Catalog()
+        catalog.register_continuous("x", np.array([0.0]))
+        catalog.register_categorical("c")
+        assert catalog.continuous_columns() == ("x",)
+        assert catalog.categorical_columns() == ("c",)
+
+
+class TestCategoricalColumn:
+    def test_encode_roundtrip(self):
+        column = CategoricalColumn.encode(["b", "a", "b", "c"])
+        assert column.cardinality == 3
+        assert column.decode(column.codes) == ["b", "a", "b", "c"]
+
+    def test_code_of(self):
+        column = CategoricalColumn.encode(["x", "y"])
+        assert column.dictionary[column.code_of("y")] == "y"
+        with pytest.raises(KeyError):
+            column.code_of("zzz")
+
+    def test_codes_dtype_compact(self):
+        column = CategoricalColumn.encode(np.arange(10))
+        assert column.codes.dtype == np.int32
+
+
+class TestTable:
+    def test_build_and_access(self):
+        table = Table(
+            continuous={"v": np.array([1.0, 2.0, 3.0])},
+            categorical={"g": ["a", "b", "a"]},
+        )
+        assert table.num_rows == 3
+        assert table.columns() == ("v", "g")
+        np.testing.assert_array_equal(table.continuous("v"), [1.0, 2.0, 3.0])
+        assert table.categorical("g").cardinality == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            Table(
+                continuous={"v": np.array([1.0, 2.0])},
+                categorical={"g": ["a"]},
+            )
+
+    def test_non_finite_rejected(self):
+        """§5.1: rows with N/A or erroneous values are eliminated at load."""
+        with pytest.raises(ValueError, match="non-finite"):
+            Table(continuous={"v": np.array([1.0, np.nan])})
+
+    def test_unknown_column_errors(self):
+        table = Table(continuous={"v": np.array([1.0])})
+        with pytest.raises(KeyError):
+            table.continuous("w")
+        with pytest.raises(KeyError):
+            table.categorical("v")
+
+    def test_take_permutes_and_keeps_bounds(self):
+        table = Table(continuous={"v": np.array([1.0, 2.0, 3.0])}, range_pad=1.0)
+        original_bounds = table.catalog.bounds("v")
+        taken = table.take(np.array([2, 0, 1]))
+        np.testing.assert_array_equal(taken.continuous("v"), [3.0, 1.0, 2.0])
+        assert taken.catalog.bounds("v") == original_bounds
+
+    def test_take_subset_keeps_padded_bounds(self):
+        """Catalog bounds survive even when the subset's min/max shrink."""
+        table = Table(continuous={"v": np.arange(100.0)})
+        taken = table.take(np.arange(10))
+        assert taken.catalog.bounds("v") == RangeBounds(0.0, 99.0)

@@ -1,0 +1,237 @@
+"""Tests for SQL→Query compilation, including all nine Figure 5 queries."""
+
+import numpy as np
+import pytest
+
+from repro.expressions import Expression
+from repro.fastframe import AggregateFunction, And, Compare, Eq, In, Not
+from repro.sql import SqlCompileError, parse_query
+from repro.stopping import (
+    GroupsOrdered,
+    RelativeAccuracy,
+    ThresholdSide,
+    TopKSeparated,
+)
+
+#: The paper's Figure 5, verbatim (modulo whitespace), with the stopping
+#: condition Table 4 assigns to each.
+FIGURE5_SQL = {
+    "F-q1": "SELECT AVG(DepDelay) FROM flights WHERE Origin = 'ORD'",
+    "F-q2": (
+        "SELECT Airline FROM flights "
+        "GROUP BY Airline HAVING AVG(DepDelay) > 0"
+    ),
+    "F-q3": (
+        "SELECT Airline FROM flights WHERE DepTime > 10:50pm "
+        "GROUP BY Airline ORDER BY AVG(DepDelay) ASC LIMIT 2"
+    ),
+    "F-q4": (
+        "SELECT (CASE WHEN AVG(DepDelay) > 10 THEN 1 ELSE 0 END) "
+        "FROM flights WHERE Origin = 'ORD'"
+    ),
+    "F-q5": (
+        "SELECT Origin FROM flights "
+        "GROUP BY Origin HAVING AVG(DepDelay) < 0"
+    ),
+    "F-q6": (
+        "SELECT DayOfWeek, Origin FROM flights "
+        "WHERE DepTime > 1:50pm GROUP BY DayOfWeek, Origin "
+        "ORDER BY AVG(DepDelay) DESC LIMIT 5"
+    ),
+    "F-q7": (
+        "SELECT DayOfWeek, AVG(DepDelay) FROM flights "
+        "WHERE Airline = 'HP' GROUP BY DayOfWeek "
+        "ORDER BY AVG(DepDelay)"
+    ),
+    "F-q8": (
+        "SELECT Origin FROM flights GROUP BY Origin "
+        "ORDER BY AVG(DepDelay) DESC LIMIT 1"
+    ),
+    "F-q9": (
+        "SELECT Airline FROM flights GROUP BY Airline "
+        "ORDER BY AVG(DepDelay) DESC LIMIT 1"
+    ),
+}
+
+
+class TestFigure5:
+    def test_fq1(self):
+        query = parse_query(FIGURE5_SQL["F-q1"], stopping=RelativeAccuracy(0.5))
+        assert query.aggregate is AggregateFunction.AVG
+        assert query.column == "DepDelay"
+        assert isinstance(query.predicate, Eq)
+        assert isinstance(query.stopping, RelativeAccuracy)
+
+    def test_fq2(self):
+        query = parse_query(FIGURE5_SQL["F-q2"])
+        assert query.group_by == ("Airline",)
+        assert isinstance(query.stopping, ThresholdSide)
+        assert query.stopping.threshold == 0.0
+
+    def test_fq3(self):
+        query = parse_query(FIGURE5_SQL["F-q3"])
+        assert isinstance(query.predicate, Compare)
+        assert query.predicate.threshold == 2250.0
+        assert isinstance(query.stopping, TopKSeparated)
+        assert query.stopping.k == 2 and query.stopping.largest is False
+
+    def test_fq4(self):
+        query = parse_query(FIGURE5_SQL["F-q4"])
+        assert isinstance(query.stopping, ThresholdSide)
+        assert query.stopping.threshold == 10.0
+        assert query.group_by == ()
+
+    def test_fq5(self):
+        query = parse_query(FIGURE5_SQL["F-q5"])
+        assert query.group_by == ("Origin",)
+        assert isinstance(query.stopping, ThresholdSide)
+
+    def test_fq6(self):
+        query = parse_query(FIGURE5_SQL["F-q6"])
+        assert query.group_by == ("DayOfWeek", "Origin")
+        assert query.predicate.threshold == 1350.0
+        assert query.stopping.k == 5 and query.stopping.largest is True
+
+    def test_fq7(self):
+        query = parse_query(FIGURE5_SQL["F-q7"])
+        assert isinstance(query.stopping, GroupsOrdered)
+        assert isinstance(query.predicate, Eq)
+
+    @pytest.mark.parametrize("name", ["F-q8", "F-q9"])
+    def test_top1_queries(self, name):
+        query = parse_query(FIGURE5_SQL[name])
+        assert query.stopping.k == 1 and query.stopping.largest is True
+
+    def test_matches_programmatic_builders(self):
+        """SQL compilation and the handwritten builders agree on structure."""
+        from repro.experiments import build_query
+
+        sql_query = parse_query(FIGURE5_SQL["F-q3"])
+        built = build_query("F-q3")
+        assert sql_query.aggregate is built.aggregate
+        assert sql_query.column == built.column
+        assert sql_query.group_by == built.group_by
+        assert type(sql_query.stopping) is type(built.stopping)
+        assert sql_query.stopping.k == built.stopping.k
+        assert sql_query.predicate.threshold == built.predicate.threshold
+
+
+class TestPredicateLowering:
+    def test_not_equal(self):
+        query = parse_query(
+            "SELECT AVG(x) FROM t WHERE Origin != 'ORD'",
+            stopping=RelativeAccuracy(0.5),
+        )
+        assert isinstance(query.predicate, Not)
+        assert isinstance(query.predicate.inner, Eq)
+
+    def test_in_list(self):
+        query = parse_query(
+            "SELECT AVG(x) FROM t WHERE Origin IN ('ORD', 'SFO')",
+            stopping=RelativeAccuracy(0.5),
+        )
+        assert isinstance(query.predicate, In)
+        assert query.predicate.values == ("ORD", "SFO")
+
+    def test_flipped_comparison(self):
+        query = parse_query(
+            "SELECT AVG(x) FROM t WHERE 1000 < DepTime",
+            stopping=RelativeAccuracy(0.5),
+        )
+        assert isinstance(query.predicate, Compare)
+        assert query.predicate.op == ">"
+
+    def test_and_or_combination(self):
+        query = parse_query(
+            "SELECT AVG(x) FROM t WHERE a = 'p' AND (b = 'q' OR c > 1)",
+            stopping=RelativeAccuracy(0.5),
+        )
+        assert isinstance(query.predicate, And)
+
+    def test_string_ordering_rejected(self):
+        with pytest.raises(SqlCompileError, match="not defined for string"):
+            parse_query(
+                "SELECT AVG(x) FROM t WHERE Origin > 'ORD'",
+                stopping=RelativeAccuracy(0.5),
+            )
+
+
+class TestExpressionAggregates:
+    def test_arithmetic_argument_becomes_expression(self):
+        query = parse_query(
+            "SELECT AVG(2 * DepDelay + 1) FROM flights",
+            stopping=RelativeAccuracy(0.5),
+        )
+        assert isinstance(query.column, Expression)
+
+    def test_bare_column_stays_string(self):
+        query = parse_query(
+            "SELECT AVG(DepDelay) FROM flights", stopping=RelativeAccuracy(0.5)
+        )
+        assert query.column == "DepDelay"
+
+    def test_count_star(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM flights WHERE Origin = 'ORD'",
+            stopping=RelativeAccuracy(0.5),
+        )
+        assert query.aggregate is AggregateFunction.COUNT
+        assert query.column is None
+
+    def test_sum(self):
+        query = parse_query(
+            "SELECT SUM(DepDelay) FROM flights", stopping=RelativeAccuracy(0.5)
+        )
+        assert query.aggregate is AggregateFunction.SUM
+
+
+class TestCompileErrors:
+    def test_no_aggregate(self):
+        with pytest.raises(SqlCompileError, match="no aggregate"):
+            parse_query("SELECT Origin FROM flights GROUP BY Origin")
+
+    def test_two_distinct_aggregates(self):
+        with pytest.raises(SqlCompileError, match="distinct aggregates"):
+            parse_query(
+                "SELECT AVG(x), SUM(y) FROM t", stopping=RelativeAccuracy(0.5)
+            )
+
+    def test_missing_stopping(self):
+        with pytest.raises(SqlCompileError, match="stopping"):
+            parse_query("SELECT AVG(x) FROM t")
+
+    def test_ungrouped_bare_column(self):
+        with pytest.raises(SqlCompileError, match="GROUP BY"):
+            parse_query(
+                "SELECT Origin, AVG(x) FROM t", stopping=RelativeAccuracy(0.5)
+            )
+
+    def test_order_by_non_aggregate(self):
+        with pytest.raises(SqlCompileError, match="ORDER BY"):
+            parse_query("SELECT AVG(x) FROM t ORDER BY y")
+
+    def test_having_against_expression(self):
+        with pytest.raises(SqlCompileError, match="numeric literal"):
+            parse_query(
+                "SELECT a FROM t GROUP BY a HAVING AVG(x) > AVG(x)"
+            )
+
+
+class TestEndToEnd:
+    def test_sql_query_executes_and_matches_exact(self):
+        from repro.bounders import get_bounder
+        from repro.datasets import make_flights_scramble
+        from repro.fastframe import ApproximateExecutor, ExactExecutor
+
+        scramble = make_flights_scramble(rows=40_000, seed=0)
+        query = parse_query(FIGURE5_SQL["F-q2"])
+        executor = ApproximateExecutor(
+            scramble,
+            get_bounder("bernstein+rt"),
+            delta=1e-6,
+            rng=np.random.default_rng(0),
+        )
+        approx = executor.execute(query)
+        exact = ExactExecutor(scramble).execute(query)
+        exact_above = {k for k, g in exact.groups.items() if g.estimate > 0.0}
+        assert approx.keys_above(0.0) == exact_above

@@ -1,0 +1,117 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql.lexer import SqlSyntaxError, TokenType, tokenize
+
+
+def _values(sql):
+    return [(t.type, t.value) for t in tokenize(sql) if t.type is not TokenType.END]
+
+
+class TestBasicTokens:
+    def test_keywords_case_insensitive(self):
+        assert _values("select FROM Where") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.KEYWORD, "WHERE"),
+        ]
+
+    def test_identifiers_preserve_case(self):
+        assert _values("DepDelay origin_2") == [
+            (TokenType.IDENTIFIER, "DepDelay"),
+            (TokenType.IDENTIFIER, "origin_2"),
+        ]
+
+    def test_numbers(self):
+        assert _values("10 2.5 .5 1e3") == [
+            (TokenType.NUMBER, 10.0),
+            (TokenType.NUMBER, 2.5),
+            (TokenType.NUMBER, 0.5),
+            (TokenType.NUMBER, 1000.0),
+        ]
+
+    def test_strings_with_escape(self):
+        assert _values("'ORD' 'O''Hare'") == [
+            (TokenType.STRING, "ORD"),
+            (TokenType.STRING, "O'Hare"),
+        ]
+
+    def test_operators_longest_match(self):
+        assert _values("<= >= <> != < > =") == [
+            (TokenType.OPERATOR, "<="),
+            (TokenType.OPERATOR, ">="),
+            (TokenType.OPERATOR, "<>"),
+            (TokenType.OPERATOR, "!="),
+            (TokenType.OPERATOR, "<"),
+            (TokenType.OPERATOR, ">"),
+            (TokenType.OPERATOR, "="),
+        ]
+
+    def test_punctuation(self):
+        assert _values("(a, b);") == [
+            (TokenType.PUNCT, "("),
+            (TokenType.IDENTIFIER, "a"),
+            (TokenType.PUNCT, ","),
+            (TokenType.IDENTIFIER, "b"),
+            (TokenType.PUNCT, ")"),
+            (TokenType.PUNCT, ";"),
+        ]
+
+    def test_end_token_present(self):
+        tokens = tokenize("SELECT")
+        assert tokens[-1].type is TokenType.END
+
+
+class TestTimeLiterals:
+    def test_pm(self):
+        assert _values("1:50pm") == [(TokenType.NUMBER, 1350.0)]
+
+    def test_am(self):
+        assert _values("9:05am") == [(TokenType.NUMBER, 905.0)]
+
+    def test_noon_and_midnight(self):
+        assert _values("12:00pm 12:00am") == [
+            (TokenType.NUMBER, 1200.0),
+            (TokenType.NUMBER, 0.0),
+        ]
+
+    def test_24_hour(self):
+        assert _values("22:50") == [(TokenType.NUMBER, 2250.0)]
+
+    def test_invalid_minutes(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("10:75pm")
+
+    def test_invalid_hour(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("25:00")
+
+
+class TestComments:
+    def test_hash_comment(self):
+        assert _values("# hello\nSELECT") == [(TokenType.KEYWORD, "SELECT")]
+
+    def test_dash_comment(self):
+        assert _values("SELECT -- trailing\nFROM") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+        ]
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("SELECT @")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("ab @")
+        except SqlSyntaxError as exc:
+            assert exc.position == 3
+        else:  # pragma: no cover
+            pytest.fail("expected SqlSyntaxError")

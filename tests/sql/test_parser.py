@@ -1,0 +1,152 @@
+"""Tests for the SQL parser (AST shapes)."""
+
+import pytest
+
+from repro.sql.ast import (
+    AggregateCall,
+    BinaryArith,
+    BoolOp,
+    CaseWhen,
+    ColumnRef,
+    Comparison,
+    InList,
+    NotOp,
+    NumberLiteral,
+    StringLiteral,
+)
+from repro.sql.lexer import SqlSyntaxError
+from repro.sql.parser import parse
+
+
+class TestSelectShapes:
+    def test_scalar_aggregate(self):
+        stmt = parse("SELECT AVG(DepDelay) FROM flights")
+        assert stmt.table == "flights"
+        assert stmt.select[0].expression == AggregateCall("AVG", ColumnRef("DepDelay"))
+        assert stmt.where is None and stmt.group_by == ()
+
+    def test_count_star(self):
+        stmt = parse("SELECT COUNT(*) FROM flights")
+        assert stmt.select[0].expression == AggregateCall("COUNT", None)
+
+    def test_alias(self):
+        stmt = parse("SELECT AVG(x) AS mean_x FROM t")
+        assert stmt.select[0].alias == "mean_x"
+
+    def test_multiple_select_items(self):
+        stmt = parse("SELECT DayOfWeek, AVG(DepDelay) FROM flights GROUP BY DayOfWeek")
+        assert stmt.select[0].expression == ColumnRef("DayOfWeek")
+        assert isinstance(stmt.select[1].expression, AggregateCall)
+
+    def test_group_by_multiple(self):
+        stmt = parse("SELECT a, b, AVG(x) FROM t GROUP BY a, b")
+        assert stmt.group_by == ("a", "b")
+
+    def test_order_by_limit(self):
+        stmt = parse("SELECT a FROM t GROUP BY a ORDER BY AVG(x) DESC LIMIT 5")
+        assert stmt.order_by.ascending is False
+        assert stmt.limit == 5
+
+    def test_order_by_default_ascending(self):
+        stmt = parse("SELECT a FROM t GROUP BY a ORDER BY AVG(x)")
+        assert stmt.order_by.ascending is True
+        assert stmt.limit is None
+
+    def test_trailing_semicolon(self):
+        assert parse("SELECT AVG(x) FROM t;").table == "t"
+
+
+class TestWhereShapes:
+    def test_string_equality(self):
+        stmt = parse("SELECT AVG(x) FROM t WHERE Origin = 'ORD'")
+        assert stmt.where == Comparison("=", ColumnRef("Origin"), StringLiteral("ORD"))
+
+    def test_numeric_comparison(self):
+        stmt = parse("SELECT AVG(x) FROM t WHERE DepTime > 1:50pm")
+        assert stmt.where == Comparison(">", ColumnRef("DepTime"), NumberLiteral(1350.0))
+
+    def test_and_or_precedence(self):
+        stmt = parse("SELECT AVG(x) FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, BoolOp) and stmt.where.op == "OR"
+        assert isinstance(stmt.where.parts[1], BoolOp)
+        assert stmt.where.parts[1].op == "AND"
+
+    def test_parenthesized_condition(self):
+        stmt = parse("SELECT AVG(x) FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(stmt.where, BoolOp) and stmt.where.op == "AND"
+        assert isinstance(stmt.where.parts[0], BoolOp)
+
+    def test_not(self):
+        stmt = parse("SELECT AVG(x) FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, NotOp)
+
+    def test_in_list(self):
+        stmt = parse("SELECT AVG(x) FROM t WHERE Origin IN ('ORD', 'SFO')")
+        assert stmt.where == InList(
+            ColumnRef("Origin"), (StringLiteral("ORD"), StringLiteral("SFO"))
+        )
+
+    def test_parenthesized_value_comparison(self):
+        stmt = parse("SELECT AVG(x) FROM t WHERE (a + b) > 0")
+        assert isinstance(stmt.where, Comparison)
+        assert isinstance(stmt.where.left, BinaryArith)
+
+
+class TestExpressions:
+    def test_arithmetic_precedence(self):
+        stmt = parse("SELECT AVG(a + b * c) FROM t")
+        argument = stmt.select[0].expression.argument
+        assert argument.op == "+"
+        assert argument.right.op == "*"
+
+    def test_parentheses_override(self):
+        stmt = parse("SELECT AVG((a + b) * c) FROM t")
+        argument = stmt.select[0].expression.argument
+        assert argument.op == "*"
+
+    def test_unary_minus(self):
+        stmt = parse("SELECT AVG(-a) FROM t")
+        argument = stmt.select[0].expression.argument
+        assert type(argument).__name__ == "UnaryMinus"
+
+    def test_case_when(self):
+        stmt = parse(
+            "SELECT (CASE WHEN AVG(DepDelay) > 10 THEN 1 ELSE 0 END) FROM flights"
+        )
+        case = stmt.select[0].expression
+        assert isinstance(case, CaseWhen)
+        assert case.condition == Comparison(
+            ">", AggregateCall("AVG", ColumnRef("DepDelay")), NumberLiteral(10.0)
+        )
+        assert case.then_value == NumberLiteral(1.0)
+
+
+class TestHaving:
+    def test_having_comparison(self):
+        stmt = parse(
+            "SELECT Airline FROM flights GROUP BY Airline HAVING AVG(DepDelay) > 0"
+        )
+        assert stmt.having == Comparison(
+            ">", AggregateCall("AVG", ColumnRef("DepDelay")), NumberLiteral(0.0)
+        )
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "AVG(x) FROM t",                      # missing SELECT
+            "SELECT AVG(x)",                      # missing FROM
+            "SELECT AVG(x) FROM",                 # missing table
+            "SELECT AVG(x FROM t",                # unbalanced paren
+            "SELECT AVG(x) FROM t WHERE",         # dangling WHERE
+            "SELECT AVG(x) FROM t LIMIT 2.5",     # fractional limit
+            "SELECT AVG(x) FROM t GROUP BY",      # dangling GROUP BY
+            "SELECT AVG(x) FROM t trailing",      # trailing garbage
+            "SELECT AVG(x) FROM t WHERE a IN ()", # empty IN
+            "SELECT CASE WHEN AVG(x) > 1 THEN 1 END FROM t",  # missing ELSE
+        ],
+    )
+    def test_rejected(self, sql):
+        with pytest.raises(SqlSyntaxError):
+            parse(sql)

@@ -1,0 +1,137 @@
+"""Property-based tests for the SQL pipeline: generated queries must lex,
+parse, and compile without crashing, and compiled structure must match the
+generating components."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fastframe import AggregateFunction
+from repro.sql import parse, parse_query, tokenize
+from repro.stopping import (
+    GroupsOrdered,
+    RelativeAccuracy,
+    ThresholdSide,
+    TopKSeparated,
+)
+
+_IDENT = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,10}", fullmatch=True).filter(
+    lambda s: s.upper()
+    not in {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+        "ASC", "DESC", "AND", "OR", "NOT", "IN", "AS", "AVG", "SUM", "COUNT",
+        "CASE", "WHEN", "THEN", "ELSE", "END",
+    }
+)
+_NUMBER = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+).map(lambda x: round(x, 3))
+_STRING = st.from_regex(r"[A-Za-z0-9 ]{1,12}", fullmatch=True)
+_AGG = st.sampled_from(["AVG", "SUM"])
+_CMP = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+
+
+@st.composite
+def _where_clause(draw) -> str:
+    column = draw(_IDENT)
+    kind = draw(st.sampled_from(["eq", "cmp", "in", "and", "not"]))
+    if kind == "eq":
+        value = draw(_STRING)
+        return f"{column} = '{value}'"
+    if kind == "cmp":
+        op = draw(st.sampled_from(["<", "<=", ">", ">="]))
+        return f"{column} {op} {draw(_NUMBER)}"
+    if kind == "in":
+        values = draw(st.lists(_STRING, min_size=1, max_size=3))
+        body = ", ".join(f"'{value}'" for value in values)
+        return f"{column} IN ({body})"
+    if kind == "and":
+        left = draw(_where_clause())
+        right = draw(_where_clause())
+        return f"({left}) AND ({right})"
+    inner = draw(_where_clause())
+    return f"NOT ({inner})"
+
+
+@st.composite
+def _query_sql(draw) -> tuple[str, dict]:
+    """A random single-aggregate SELECT plus its expected structure."""
+    agg = draw(_AGG)
+    value_column = draw(_IDENT)
+    table = draw(_IDENT)
+    group_column = draw(_IDENT)
+    shape = draw(st.sampled_from(["scalar", "having", "order_limit", "order"]))
+    where = draw(st.one_of(st.none(), _where_clause()))
+    where_sql = f" WHERE {where}" if where else ""
+    expected: dict = {"aggregate": agg, "column": value_column}
+    if shape == "scalar":
+        sql = f"SELECT {agg}({value_column}) FROM {table}{where_sql}"
+        expected["stopping"] = RelativeAccuracy
+        expected["group_by"] = ()
+    elif shape == "having":
+        threshold = draw(_NUMBER)
+        op = draw(st.sampled_from(["<", ">"]))
+        sql = (
+            f"SELECT {group_column} FROM {table}{where_sql} "
+            f"GROUP BY {group_column} HAVING {agg}({value_column}) {op} {threshold}"
+        )
+        expected["stopping"] = ThresholdSide
+        expected["group_by"] = (group_column,)
+        expected["threshold"] = threshold
+    elif shape == "order_limit":
+        k = draw(st.integers(min_value=1, max_value=9))
+        direction = draw(st.sampled_from(["ASC", "DESC"]))
+        sql = (
+            f"SELECT {group_column} FROM {table}{where_sql} "
+            f"GROUP BY {group_column} "
+            f"ORDER BY {agg}({value_column}) {direction} LIMIT {k}"
+        )
+        expected["stopping"] = TopKSeparated
+        expected["group_by"] = (group_column,)
+        expected["k"] = k
+        expected["largest"] = direction == "DESC"
+    else:
+        sql = (
+            f"SELECT {group_column}, {agg}({value_column}) FROM {table}{where_sql} "
+            f"GROUP BY {group_column} ORDER BY {agg}({value_column})"
+        )
+        expected["stopping"] = GroupsOrdered
+        expected["group_by"] = (group_column,)
+    return sql, expected
+
+
+class TestSqlProperties:
+    @given(_query_sql())
+    @settings(max_examples=150, deadline=None)
+    def test_generated_queries_compile(self, sql_and_expected):
+        sql, expected = sql_and_expected
+        query = parse_query(sql, stopping=RelativeAccuracy(0.5))
+        assert query.aggregate is AggregateFunction[expected["aggregate"]]
+        assert query.column == expected["column"]
+        assert query.group_by == expected["group_by"]
+        assert isinstance(query.stopping, expected["stopping"])
+        if "threshold" in expected:
+            assert query.stopping.threshold == expected["threshold"]
+        if "k" in expected:
+            assert query.stopping.k == expected["k"]
+            assert query.stopping.largest == expected["largest"]
+
+    @given(_query_sql())
+    @settings(max_examples=100, deadline=None)
+    def test_tokenize_parse_stable(self, sql_and_expected):
+        """Lexing is deterministic and parsing a statement twice yields
+        equal ASTs (dataclass equality)."""
+        sql, _ = sql_and_expected
+        assert tokenize(sql) == tokenize(sql)
+        assert parse(sql) == parse(sql)
+
+    @given(st.text(alphabet="SELECT FROMWHERE()<>=',.0123456789abc", max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_garbage_never_crashes_unexpectedly(self, text):
+        """Arbitrary near-SQL garbage either parses or raises the two
+        documented error types — never an unhandled exception."""
+        from repro.sql import SqlCompileError, SqlSyntaxError
+
+        try:
+            parse_query(text, stopping=RelativeAccuracy(0.5))
+        except (SqlSyntaxError, SqlCompileError, KeyError):
+            pass

@@ -1,0 +1,202 @@
+"""Unit and property tests for streaming moment statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.streaming import ExtremaState, MomentState
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestMomentState:
+    def test_empty_state(self):
+        state = MomentState()
+        assert state.count == 0
+        assert state.mean == 0.0
+        assert state.variance == 0.0
+        assert state.std == 0.0
+
+    def test_single_value(self):
+        state = MomentState()
+        state.update(5.0)
+        assert state.count == 1
+        assert state.mean == 5.0
+        assert state.variance == 0.0
+
+    def test_mean_matches_numpy(self, rng):
+        values = rng.normal(3.0, 2.0, 1000)
+        state = MomentState()
+        for value in values:
+            state.update(float(value))
+        assert state.mean == pytest.approx(values.mean(), rel=1e-12)
+
+    def test_variance_matches_numpy_biased(self, rng):
+        values = rng.normal(0.0, 4.0, 500)
+        state = MomentState()
+        for value in values:
+            state.update(float(value))
+        assert state.variance == pytest.approx(values.var(), rel=1e-10)
+
+    def test_batch_equals_sequential(self, rng):
+        values = rng.lognormal(0, 1, 777)
+        sequential = MomentState()
+        for value in values:
+            sequential.update(float(value))
+        batched = MomentState()
+        batched.update_batch(values)
+        assert batched.count == sequential.count
+        assert batched.mean == pytest.approx(sequential.mean, rel=1e-12)
+        assert batched.m2 == pytest.approx(sequential.m2, rel=1e-9)
+
+    def test_batch_in_chunks(self, rng):
+        values = rng.normal(0, 1, 1000)
+        whole = MomentState()
+        whole.update_batch(values)
+        chunked = MomentState()
+        for chunk in np.array_split(values, 7):
+            chunked.update_batch(chunk)
+        assert chunked.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert chunked.variance == pytest.approx(whole.variance, rel=1e-9)
+
+    def test_empty_batch_is_noop(self):
+        state = MomentState()
+        state.update(1.0)
+        state.update_batch(np.array([]))
+        assert state.count == 1
+
+    def test_merge(self, rng):
+        left_values = rng.normal(10, 3, 400)
+        right_values = rng.normal(-5, 1, 300)
+        left = MomentState()
+        left.update_batch(left_values)
+        right = MomentState()
+        right.update_batch(right_values)
+        left.merge(right)
+        combined = np.concatenate([left_values, right_values])
+        assert left.count == 700
+        assert left.mean == pytest.approx(combined.mean(), rel=1e-12)
+        assert left.variance == pytest.approx(combined.var(), rel=1e-9)
+
+    def test_merge_into_empty(self):
+        left = MomentState()
+        right = MomentState()
+        right.update_batch(np.array([1.0, 2.0, 3.0]))
+        left.merge(right)
+        assert left.count == 3
+        assert left.mean == pytest.approx(2.0)
+
+    def test_reflection_flips_mean_keeps_variance(self, rng):
+        values = rng.uniform(0, 10, 200)
+        state = MomentState()
+        state.update_batch(values)
+        reflected = state.reflected(0.0, 10.0)
+        assert reflected.mean == pytest.approx(10.0 - state.mean, rel=1e-12)
+        assert reflected.variance == pytest.approx(state.variance, rel=1e-12)
+        assert reflected.count == state.count
+
+    def test_reflection_matches_reflected_data(self, rng):
+        values = rng.uniform(-3, 7, 150)
+        state = MomentState()
+        state.update_batch(values)
+        direct = MomentState()
+        direct.update_batch((-3.0 + 7.0) - values)
+        reflected = state.reflected(-3.0, 7.0)
+        assert reflected.mean == pytest.approx(direct.mean, rel=1e-12)
+        assert reflected.variance == pytest.approx(direct.variance, rel=1e-9)
+
+    def test_copy_is_independent(self):
+        state = MomentState()
+        state.update(1.0)
+        clone = state.copy()
+        clone.update(100.0)
+        assert state.count == 1
+        assert clone.count == 2
+
+    def test_variance_never_negative_after_cancellation(self):
+        # Huge offset stresses floating-point cancellation.
+        state = MomentState()
+        state.update_batch(np.full(100, 1e12) + np.linspace(0, 1e-4, 100))
+        assert state.variance >= 0.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_numpy(self, values):
+        array = np.array(values)
+        state = MomentState()
+        state.update_batch(array)
+        assert state.count == len(values)
+        assert math.isclose(state.mean, array.mean(), rel_tol=1e-9, abs_tol=1e-6)
+        assert state.variance >= 0.0
+        assert math.isclose(
+            state.variance, array.var(), rel_tol=1e-6, abs_tol=1e-4
+        )
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=80),
+        st.lists(finite_floats, min_size=1, max_size=80),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_merge_associative_with_concat(self, left_values, right_values):
+        left = MomentState()
+        left.update_batch(np.array(left_values))
+        right = MomentState()
+        right.update_batch(np.array(right_values))
+        left.merge(right)
+        combined = np.array(left_values + right_values)
+        assert math.isclose(
+            left.mean, combined.mean(), rel_tol=1e-9, abs_tol=1e-6
+        )
+
+
+class TestExtremaState:
+    def test_empty(self):
+        state = ExtremaState()
+        assert state.empty
+        assert state.min == math.inf
+        assert state.max == -math.inf
+
+    def test_update(self):
+        state = ExtremaState()
+        for value in (3.0, -1.0, 7.0, 2.0):
+            state.update(value)
+        assert state.min == -1.0
+        assert state.max == 7.0
+        assert not state.empty
+
+    def test_batch_matches_sequential(self, rng):
+        values = rng.normal(0, 5, 300)
+        sequential = ExtremaState()
+        for value in values:
+            sequential.update(float(value))
+        batched = ExtremaState()
+        batched.update_batch(values)
+        assert batched.min == sequential.min
+        assert batched.max == sequential.max
+
+    def test_empty_batch_noop(self):
+        state = ExtremaState()
+        state.update_batch(np.array([]))
+        assert state.empty
+
+    def test_copy_is_independent(self):
+        state = ExtremaState()
+        state.update(1.0)
+        clone = state.copy()
+        clone.update(99.0)
+        assert state.max == 1.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_min_max(self, values):
+        state = ExtremaState()
+        state.update_batch(np.array(values))
+        assert state.min == min(values)
+        assert state.max == max(values)

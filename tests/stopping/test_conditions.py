@@ -1,0 +1,224 @@
+"""Tests for stopping conditions Ê-Ï and their active-group rules (§4.2-4.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bounders.base import Interval
+from repro.stopping.conditions import (
+    AbsoluteAccuracy,
+    GroupsOrdered,
+    GroupSnapshot,
+    RelativeAccuracy,
+    SamplesTaken,
+    ThresholdSide,
+    TopKSeparated,
+    relative_error,
+)
+
+
+def snap(lo, hi, estimate=None, samples=100, exhausted=False):
+    interval = Interval(lo, hi)
+    if estimate is None:
+        estimate = interval.midpoint
+    return GroupSnapshot(
+        interval=interval, estimate=estimate, samples=samples, exhausted=exhausted
+    )
+
+
+class TestRelativeError:
+    def test_matches_paper_statistic(self):
+        """max{(g_r − ĝ)/g_r, (ĝ − g_l)/g_l} (Table 4 / condition Ì)."""
+        interval, est = Interval(8.0, 12.0), 10.0
+        assert relative_error(interval, est) == pytest.approx(
+            max((12 - 10) / 12, (10 - 8) / 8)
+        )
+
+    def test_infinite_when_straddling_zero(self):
+        assert relative_error(Interval(-1, 1), 0.0) == math.inf
+
+    def test_negative_interval_finite(self):
+        assert math.isfinite(relative_error(Interval(-12, -8), -10.0))
+
+
+class TestSamplesTaken:
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            SamplesTaken(0)
+
+    def test_active_until_m_reached(self):
+        cond = SamplesTaken(100)
+        groups = {"a": snap(0, 1, samples=50), "b": snap(0, 1, samples=150)}
+        assert cond.active_groups(groups) == {"a"}
+        assert not cond.satisfied(groups)
+
+    def test_satisfied_when_all_reach_m(self):
+        cond = SamplesTaken(100)
+        groups = {"a": snap(0, 1, samples=100)}
+        assert cond.satisfied(groups)
+
+    def test_exhausted_groups_never_active(self):
+        cond = SamplesTaken(100)
+        groups = {"a": snap(0, 1, samples=10, exhausted=True)}
+        assert cond.satisfied(groups)
+
+
+class TestAbsoluteAccuracy:
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            AbsoluteAccuracy(0.0)
+
+    def test_active_while_wide(self):
+        cond = AbsoluteAccuracy(1.0)
+        groups = {"wide": snap(0, 5), "narrow": snap(0, 0.5)}
+        assert cond.active_groups(groups) == {"wide"}
+
+    def test_boundary_width_still_active(self):
+        """Width == ε does not satisfy the strict < of condition Ë."""
+        cond = AbsoluteAccuracy(1.0)
+        assert cond.active_groups({"g": snap(0, 1.0)}) == {"g"}
+
+
+class TestRelativeAccuracy:
+    def test_active_by_relative_width(self):
+        cond = RelativeAccuracy(0.5)
+        groups = {
+            "tight": snap(9, 11, estimate=10),
+            "loose": snap(1, 30, estimate=10),
+        }
+        assert cond.active_groups(groups) == {"loose"}
+
+    def test_zero_straddling_never_satisfies(self):
+        cond = RelativeAccuracy(10.0)
+        assert cond.active_groups({"g": snap(-1, 1, estimate=0)}) == {"g"}
+
+
+class TestThresholdSide:
+    def test_active_while_threshold_inside(self):
+        cond = ThresholdSide(0.0)
+        groups = {
+            "above": snap(1, 3),
+            "below": snap(-3, -1),
+            "unknown": snap(-1, 1),
+        }
+        assert cond.active_groups(groups) == {"unknown"}
+        assert not cond.satisfied(groups)
+
+    def test_satisfied_when_all_sides_determined(self):
+        cond = ThresholdSide(5.0)
+        groups = {"a": snap(6, 8), "b": snap(0, 4)}
+        assert cond.satisfied(groups)
+
+    def test_threshold_on_boundary_is_active(self):
+        """Closed intervals: v ∈ [g_l, g_r] includes the endpoints."""
+        cond = ThresholdSide(3.0)
+        assert cond.active_groups({"g": snap(3.0, 5.0)}) == {"g"}
+
+
+class TestTopKSeparated:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            TopKSeparated(0)
+
+    def test_trivially_satisfied_with_few_groups(self):
+        cond = TopKSeparated(5)
+        groups = {"a": snap(0, 10), "b": snap(0, 10)}
+        assert cond.satisfied(groups)
+        assert cond.active_groups(groups) == set()
+
+    def test_separated_top1(self):
+        cond = TopKSeparated(1)
+        groups = {
+            "winner": snap(10, 12),
+            "mid": snap(5, 8),
+            "low": snap(0, 3),
+        }
+        assert cond.satisfied(groups)
+
+    def test_not_separated_when_overlapping(self):
+        cond = TopKSeparated(1)
+        groups = {"winner": snap(8, 12), "rival": snap(7, 9)}
+        assert not cond.satisfied(groups)
+
+    def test_active_groups_use_midpoint_rule(self):
+        """§4.3 Î: active iff the inner bound crosses the midpoint between
+        the K-th and (K+1)-th ranked estimates."""
+        cond = TopKSeparated(1)
+        groups = {
+            "top": snap(6, 14, estimate=10),   # lo 6 < midpoint 7.5 -> active
+            "second": snap(2, 7, estimate=5),  # hi 7 < 7.5? no: 7 <= 7.5 -> not crossing
+            "third": snap(0, 8, estimate=4),   # hi 8 >= 7.5 -> active
+        }
+        active = cond.active_groups(groups)
+        assert "top" in active
+        assert "third" in active
+        assert "second" not in active
+
+    def test_bottom_k_mirrors(self):
+        cond = TopKSeparated(1, largest=False)
+        groups = {
+            "best": snap(0, 2, estimate=1),
+            "rest": snap(5, 9, estimate=7),
+        }
+        assert cond.satisfied(groups)
+
+    def test_bottom_k_active_rule(self):
+        cond = TopKSeparated(1, largest=False)
+        groups = {
+            "best": snap(0, 5, estimate=2),    # hi 5 >= midpoint 4 -> active
+            "other": snap(3, 9, estimate=6),   # lo 3 <= 4 -> active
+            "far": snap(8, 10, estimate=9),    # lo 8 > 4 -> inactive
+        }
+        active = cond.active_groups(groups)
+        assert active == {"best", "other"}
+
+
+class TestGroupsOrdered:
+    def test_satisfied_when_disjoint(self):
+        cond = GroupsOrdered()
+        groups = {"a": snap(0, 1), "b": snap(2, 3), "c": snap(4, 5)}
+        assert cond.satisfied(groups)
+        assert cond.active_groups(groups) == set()
+
+    def test_overlapping_pair_active(self):
+        cond = GroupsOrdered()
+        groups = {"a": snap(0, 2), "b": snap(1, 3), "c": snap(10, 11)}
+        assert cond.active_groups(groups) == {"a", "b"}
+
+    def test_containment_counts_as_overlap(self):
+        cond = GroupsOrdered()
+        groups = {"big": snap(0, 10), "inner": snap(4, 5), "out": snap(20, 21)}
+        assert cond.active_groups(groups) == {"big", "inner"}
+
+    def test_non_adjacent_overlap_detected(self):
+        """A wide interval overlapping a far one must be caught even when
+        the between-neighbour intervals do not overlap it... (exact
+        all-pairs semantics via rank counting)."""
+        cond = GroupsOrdered()
+        groups = {
+            "wide": snap(0, 100),
+            "near": snap(1, 2),
+            "far": snap(50, 60),
+        }
+        assert cond.active_groups(groups) == {"wide", "near", "far"}
+
+    def test_touching_intervals_overlap(self):
+        cond = GroupsOrdered()
+        groups = {"a": snap(0, 1), "b": snap(1, 2)}
+        assert cond.active_groups(groups) == {"a", "b"}
+
+    def test_single_group_trivially_ordered(self):
+        cond = GroupsOrdered()
+        assert cond.satisfied({"only": snap(0, 100)})
+
+    def test_exhausted_groups_not_reported_active(self):
+        cond = GroupsOrdered()
+        groups = {
+            "done": snap(0, 2, exhausted=True),
+            "live": snap(1, 3),
+        }
+        assert cond.active_groups(groups) == {"live"}
+        # but the overlap still prevents satisfaction
+        assert not cond.satisfied(groups)
