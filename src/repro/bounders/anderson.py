@@ -134,3 +134,31 @@ class AndersonBounder(ErrorBounder):
         validate_bound_args(a, b, n, delta)
         # Algorithm 3 line 11: reflect the sample about (a + b)/2.
         return (a + b) - anderson_lower_bound((a + b) - state.values, a, delta)
+
+    # -- pool flavour ---------------------------------------------------
+    # The pool is the base class's list-of-states bank: Anderson's state is
+    # the full O(m) sample, so ingest batches per present view (bounded by
+    # the distinct views in a window, via iter_segments) and the bound's
+    # per-view partition is irreducible.  The batch CI below skips the
+    # per-call argument validation and bounds only the requested slots.
+
+    def confidence_interval_batch(
+        self,
+        pool,
+        a: float,
+        b: float,
+        n: np.ndarray,
+        delta: float,
+        indices: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if indices is None:
+            indices = np.arange(len(pool), dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        half = delta / 2.0
+        lo = np.empty(indices.size, dtype=np.float64)
+        hi = np.empty(indices.size, dtype=np.float64)
+        for position, slot in enumerate(indices):
+            values = pool[int(slot)].values
+            lo[position] = anderson_lower_bound(values, a, half)
+            hi[position] = (a + b) - anderson_lower_bound((a + b) - values, a, half)
+        return self._clip_interval_arrays(lo, hi, a, b)

@@ -37,8 +37,12 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import stats as _scipy_stats
 
-from repro.bounders.base import ErrorBounder, validate_bound_args
-from repro.stats.streaming import MomentState
+from repro.bounders.base import (
+    ErrorBounder,
+    MomentPoolBounderMixin,
+    validate_bound_args,
+)
+from repro.stats.streaming import MomentPool, MomentState
 
 __all__ = [
     "CLTBounder",
@@ -82,7 +86,7 @@ def clt_epsilon(
     return z * sigma_hat / math.sqrt(m) * math.sqrt(fpc)
 
 
-class CLTBounder(ErrorBounder):
+class CLTBounder(MomentPoolBounderMixin, ErrorBounder):
     """Normal-approximation CI: ``ĝ ± z_{1−δ}·σ̂/√m·sqrt(FPC)``.
 
     This is the interval BlinkDB-style systems display [7, 6, 5].  It is
@@ -130,6 +134,19 @@ class CLTBounder(ErrorBounder):
             return b
         return state.mean + self._epsilon(state, n, delta)
 
+    def _epsilon_batch(
+        self, pool: MomentPool, indices: np.ndarray, a, b, n: np.ndarray, delta: float
+    ) -> np.ndarray:
+        m = pool.count[indices].astype(np.float64)
+        n = np.asarray(n, dtype=np.float64)
+        z = float(_scipy_stats.norm.ppf(1.0 - delta))
+        fpc = np.ones_like(m)
+        if self.finite_population:
+            big = n > 1
+            fpc = np.where(big, np.maximum((n - m) / np.maximum(n - 1.0, 1.0), 0.0), 1.0)
+        eps = z * pool.std_of(indices) / np.sqrt(np.maximum(m, 1.0)) * np.sqrt(fpc)
+        return np.where(m < 1, math.inf, eps)
+
 
 class StudentTBounder(CLTBounder):
     """Student's t CI [61]: like :class:`CLTBounder` with t-quantiles.
@@ -151,6 +168,21 @@ class StudentTBounder(CLTBounder):
         if self.finite_population and n > 1:
             fpc = max((n - m) / (n - 1), 0.0)
         return t * unbiased_std / math.sqrt(m) * math.sqrt(fpc)
+
+    def _epsilon_batch(
+        self, pool: MomentPool, indices: np.ndarray, a, b, n: np.ndarray, delta: float
+    ) -> np.ndarray:
+        m = pool.count[indices].astype(np.float64)
+        n = np.asarray(n, dtype=np.float64)
+        m_safe = np.maximum(m, 2.0)
+        t = _scipy_stats.t.ppf(1.0 - delta, df=m_safe - 1.0)
+        unbiased_std = np.sqrt(np.maximum(pool.m2[indices] / (m_safe - 1.0), 0.0))
+        fpc = np.ones_like(m)
+        if self.finite_population:
+            big = n > 1
+            fpc = np.where(big, np.maximum((n - m) / np.maximum(n - 1.0, 1.0), 0.0), 1.0)
+        eps = t * unbiased_std / np.sqrt(m_safe) * np.sqrt(fpc)
+        return np.where(m < 2, math.inf, eps)
 
 
 @dataclass

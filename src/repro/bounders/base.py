@@ -10,6 +10,14 @@ aggregation pipeline:
 * ``Rbound(S, a, b, N, δ)`` — confidence upper bound, typically implemented
   in terms of ``Lbound`` after reflecting the state about ``(a + b) / 2``.
 
+The executor's vectorized core additionally drives a *pool* flavour of the
+same interface — one state slot per aggregate view, updated and bounded for
+every view at once (``init_pool`` / ``update_pool`` /
+``confidence_interval_batch``).  The base class provides loop fall-backs so
+any scalar bounder participates unchanged; the built-in bounders override
+them with numpy implementations whose per-slot results match the scalar
+path up to floating-point summation order.
+
 :class:`ErrorBounder` is the abstract base class realizing this interface.
 A bounder is **SSI** (sample-size independent, Definition 1) when, for every
 sample size, the probability that ``[Lbound, Rbound]`` fails to enclose
@@ -30,7 +38,33 @@ from typing import Any, NamedTuple
 
 import numpy as np
 
-__all__ = ["Interval", "ErrorBounder", "validate_bound_args"]
+__all__ = [
+    "Interval",
+    "ErrorBounder",
+    "MomentPoolBounderMixin",
+    "validate_bound_args",
+    "iter_segments",
+]
+
+
+def iter_segments(sorted_indices: np.ndarray):
+    """Yield ``(start, end, slot)`` runs of equal values in a sorted array.
+
+    Shared by the loop fall-backs of the pool bounder API and by bounders
+    whose per-slot state is irreducibly per-view (Anderson's O(m) sample
+    buffers): the number of runs is bounded by the distinct views actually
+    receiving rows, never the full view count.
+    """
+    if sorted_indices.size == 0:
+        return
+    boundaries = np.flatnonzero(np.diff(sorted_indices)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [sorted_indices.size]))
+    for start, end in zip(starts, ends):
+        yield int(start), int(end), int(sorted_indices[start])
+
+
+_iter_segments = iter_segments
 
 
 class Interval(NamedTuple):
@@ -164,6 +198,148 @@ class ErrorBounder(ABC):
         """
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Pool (struct-of-arrays) flavour — one state slot per aggregate view.
+    # Defaults delegate to the scalar methods per slot so any bounder is
+    # pool-capable; numpy overrides in subclasses remove the Python loop.
+    # ------------------------------------------------------------------
+
+    def init_pool(self, size: int) -> Any:
+        """Bank of ``size`` fresh states (default: a list of scalar states)."""
+        return [self.init_state() for _ in range(size)]
+
+    def update_pool(self, pool: Any, indices: np.ndarray, values: np.ndarray) -> None:
+        """Fold ``values[j]`` into pool slot ``indices[j]`` for all j.
+
+        ``indices`` must be sorted ascending with ties in stream order (the
+        executor's stable sort by group code guarantees this); order matters
+        for stream-sensitive bounders like RangeTrim.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        for start, end, slot in _iter_segments(indices):
+            self.update_batch(pool[slot], values[start:end])
+
+    def pool_counts(self, pool: Any) -> np.ndarray:
+        """Per-slot sample counts (int64 array)."""
+        return np.array([self.sample_count(state) for state in pool], dtype=np.int64)
+
+    def lbound_batch(
+        self,
+        pool: Any,
+        a,
+        b,
+        n: np.ndarray,
+        delta: float,
+        indices: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-slot (1 − δ) confidence lower bounds (array of len(indices)).
+
+        ``a`` / ``b`` may be scalars or per-slot arrays (RangeTrim queries
+        its inner bounder with per-view trimmed ranges); ``n`` is the
+        per-slot dataset-size upper bound N⁺.  The default delegates to the
+        scalar :meth:`lbound` per slot.
+        """
+        if indices is None:
+            indices = np.arange(self.pool_size(pool), dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        a_arr = np.broadcast_to(np.asarray(a, dtype=np.float64), indices.shape)
+        b_arr = np.broadcast_to(np.asarray(b, dtype=np.float64), indices.shape)
+        n_arr = np.broadcast_to(np.asarray(n), indices.shape)
+        out = np.empty(indices.size, dtype=np.float64)
+        for position, slot in enumerate(indices):
+            out[position] = self.lbound(
+                pool[int(slot)],
+                float(a_arr[position]),
+                float(b_arr[position]),
+                int(n_arr[position]),
+                delta,
+            )
+        return out
+
+    def rbound_batch(
+        self,
+        pool: Any,
+        a,
+        b,
+        n: np.ndarray,
+        delta: float,
+        indices: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-slot (1 − δ) confidence upper bounds (mirror of lbound_batch)."""
+        if indices is None:
+            indices = np.arange(self.pool_size(pool), dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        a_arr = np.broadcast_to(np.asarray(a, dtype=np.float64), indices.shape)
+        b_arr = np.broadcast_to(np.asarray(b, dtype=np.float64), indices.shape)
+        n_arr = np.broadcast_to(np.asarray(n), indices.shape)
+        out = np.empty(indices.size, dtype=np.float64)
+        for position, slot in enumerate(indices):
+            out[position] = self.rbound(
+                pool[int(slot)],
+                float(a_arr[position]),
+                float(b_arr[position]),
+                int(n_arr[position]),
+                delta,
+            )
+        return out
+
+    def pool_size(self, pool: Any) -> int:
+        """Number of slots in a pool (default: ``len``)."""
+        return len(pool)
+
+    def confidence_interval_batch(
+        self,
+        pool: Any,
+        a: float,
+        b: float,
+        n: np.ndarray,
+        delta: float,
+        indices: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(1 − δ) two-sided CIs for a set of pool slots at once.
+
+        Parameters
+        ----------
+        pool:
+            Bank produced by :meth:`init_pool` / :meth:`update_pool`.
+        a, b:
+            A-priori range bounds (scalars, shared by every view).
+        n:
+            Per-slot dataset-size upper bounds N⁺, aligned with ``indices``
+            (or with the whole pool when ``indices`` is None).
+        delta:
+            Per-view error probability (δ/2 per side, as the scalar
+            :meth:`confidence_interval`).
+        indices:
+            Optional subset of slot indices to bound (the executor passes
+            only the views whose intervals a round recomputes).
+
+        Returns
+        -------
+        (lo, hi):
+            Arrays aligned with ``indices``, clipped to ``[a, b]`` with the
+            same degenerate-input collapse rule as the scalar path.
+        """
+        half = delta / 2.0
+        lo = self.lbound_batch(pool, a, b, n, half, indices)
+        hi = self.rbound_batch(pool, a, b, n, half, indices)
+        return self._clip_interval_arrays(lo, hi, a, b)
+
+    @staticmethod
+    def _clip_interval_arrays(
+        lo: np.ndarray, hi: np.ndarray, a: float, b: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Array version of :meth:`confidence_interval`'s clip + collapse."""
+        lo = np.clip(lo, a, b)
+        hi = np.clip(hi, a, b)
+        inverted = lo > hi
+        if inverted.any():
+            mid = 0.5 * (lo[inverted] + hi[inverted])
+            lo[inverted] = mid
+            hi[inverted] = mid
+        return lo, hi
+
     def confidence_interval(
         self, state: Any, a: float, b: float, n: int, delta: float
     ) -> Interval:
@@ -185,3 +361,72 @@ class ErrorBounder(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+class MomentPoolBounderMixin:
+    """Pool flavour for bounders whose state is a ``MomentState`` and whose
+    half-width ε is invariant under reflection about ``(a + b)/2``.
+
+    Reflection flips the mean and preserves the count, variance, and range
+    span — everything ε consults for the Hoeffding, Bernstein, and CLT
+    families — so the reflected ``Rbound`` reduces to ``mean + ε`` and both
+    sides share one vectorized ε kernel (:meth:`_epsilon_batch`).
+    """
+
+    def init_pool(self, size: int):
+        from repro.stats.streaming import MomentPool
+
+        return MomentPool(size)
+
+    def update_pool(self, pool, indices: np.ndarray, values: np.ndarray) -> None:
+        pool.update_indexed(indices, values)
+
+    def pool_counts(self, pool) -> np.ndarray:
+        return pool.count.copy()
+
+    def pool_size(self, pool) -> int:
+        return pool.size
+
+    def _epsilon_batch(
+        self, pool, indices: np.ndarray, a, b, n: np.ndarray, delta: float
+    ) -> np.ndarray:
+        """Per-slot one-sided half-widths; subclasses implement."""
+        raise NotImplementedError
+
+    def _empty_slot_mask(self, pool, indices: np.ndarray) -> np.ndarray:
+        """Slots that must report the trivial bounds (no samples yet)."""
+        return pool.count[indices] == 0
+
+    def lbound_batch(self, pool, a, b, n, delta, indices=None):
+        if indices is None:
+            indices = np.arange(pool.size, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        eps = self._epsilon_batch(pool, indices, a, b, n, delta)
+        a_arr = np.broadcast_to(np.asarray(a, dtype=np.float64), indices.shape)
+        return np.where(
+            self._empty_slot_mask(pool, indices), a_arr, pool.mean[indices] - eps
+        )
+
+    def rbound_batch(self, pool, a, b, n, delta, indices=None):
+        if indices is None:
+            indices = np.arange(pool.size, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        eps = self._epsilon_batch(pool, indices, a, b, n, delta)
+        b_arr = np.broadcast_to(np.asarray(b, dtype=np.float64), indices.shape)
+        return np.where(
+            self._empty_slot_mask(pool, indices), b_arr, pool.mean[indices] + eps
+        )
+
+    def confidence_interval_batch(self, pool, a, b, n, delta, indices=None):
+        """Both sides from one ε evaluation (the kernel is symmetric)."""
+        if indices is None:
+            indices = np.arange(pool.size, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        eps = self._epsilon_batch(pool, indices, a, b, n, delta / 2.0)
+        empty = self._empty_slot_mask(pool, indices)
+        mean = pool.mean[indices]
+        a_arr = np.broadcast_to(np.asarray(a, dtype=np.float64), indices.shape)
+        b_arr = np.broadcast_to(np.asarray(b, dtype=np.float64), indices.shape)
+        lo = np.where(empty, a_arr, mean - eps)
+        hi = np.where(empty, b_arr, mean + eps)
+        return self._clip_interval_arrays(lo, hi, a, b)

@@ -29,14 +29,19 @@ import math
 
 import numpy as np
 
-from repro.bounders.base import ErrorBounder, validate_bound_args
-from repro.stats.streaming import MomentState
+from repro.bounders.base import (
+    ErrorBounder,
+    MomentPoolBounderMixin,
+    validate_bound_args,
+)
+from repro.stats.streaming import MomentPool, MomentState
 
 __all__ = [
     "EmpiricalBernsteinSerflingBounder",
     "BernsteinSerflingBounder",
     "EmpiricalBernsteinBounder",
     "empirical_bernstein_serfling_epsilon",
+    "empirical_bernstein_serfling_epsilon_batch",
     "bernstein_serfling_epsilon",
     "maurer_pontil_epsilon",
     "KAPPA_EMPIRICAL",
@@ -97,6 +102,37 @@ def empirical_bernstein_serfling_epsilon(
     ) * log_term / m
 
 
+def _serfling_rho_batch(m: np.ndarray, n: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_serfling_rho` over per-view arrays."""
+    small = m <= n / 2.0
+    m_safe = np.maximum(m, 1.0)
+    rho = np.where(
+        small, 1.0 - (m - 1.0) / n, (1.0 - m / n) * (1.0 + 1.0 / m_safe)
+    )
+    return np.maximum(rho, 0.0)
+
+
+def empirical_bernstein_serfling_epsilon_batch(
+    m: np.ndarray, n: np.ndarray, sigma_hat: np.ndarray, a, b, delta: float
+) -> np.ndarray:
+    """Vectorized :func:`empirical_bernstein_serfling_epsilon`.
+
+    ``m``, ``n``, ``sigma_hat`` are per-view arrays; ``a`` / ``b`` may be
+    scalars or per-view arrays (RangeTrim's trimmed ranges).
+    """
+    m = np.asarray(m, dtype=np.float64)
+    n = np.asarray(n, dtype=np.float64)
+    sigma_hat = np.asarray(sigma_hat, dtype=np.float64)
+    span = np.asarray(b, dtype=np.float64) - np.asarray(a, dtype=np.float64)
+    m_eff = np.maximum(np.minimum(m, n), 1.0)
+    rho = _serfling_rho_batch(m_eff, n)
+    log_term = math.log(5.0 / delta)
+    eps = sigma_hat * np.sqrt(2.0 * rho * log_term / m_eff) + KAPPA_EMPIRICAL * span * (
+        log_term / m_eff
+    )
+    return np.where(m < 1, span, eps)
+
+
 def bernstein_serfling_epsilon(
     m: int, n: int, sigma: float, a: float, b: float, delta: float
 ) -> float:
@@ -115,7 +151,7 @@ def bernstein_serfling_epsilon(
     ) * log_term / m
 
 
-class EmpiricalBernsteinSerflingBounder(ErrorBounder):
+class EmpiricalBernsteinSerflingBounder(MomentPoolBounderMixin, ErrorBounder):
     """Algorithm 2: the empirical Bernstein-Serfling error bounder.
 
     State is an O(1) :class:`~repro.stats.streaming.MomentState`; unlike the
@@ -160,6 +196,13 @@ class EmpiricalBernsteinSerflingBounder(ErrorBounder):
         reflected = state.reflected(a, b)
         return (a + b) - (reflected.mean - self.epsilon(reflected, a, b, n, delta))
 
+    def _epsilon_batch(
+        self, pool: MomentPool, indices: np.ndarray, a, b, n: np.ndarray, delta: float
+    ) -> np.ndarray:
+        return empirical_bernstein_serfling_epsilon_batch(
+            pool.count[indices], n, pool.std_of(indices), a, b, delta
+        )
+
 
 def maurer_pontil_epsilon(
     m: int, sigma_hat_unbiased: float, a: float, b: float, delta: float
@@ -200,6 +243,19 @@ class EmpiricalBernsteinBounder(EmpiricalBernsteinSerflingBounder):
         unbiased_std = math.sqrt(max(state.m2 / (m - 1), 0.0))
         return maurer_pontil_epsilon(m, unbiased_std, a, b, delta)
 
+    def _epsilon_batch(
+        self, pool: MomentPool, indices: np.ndarray, a, b, n: np.ndarray, delta: float
+    ) -> np.ndarray:
+        m = pool.count[indices].astype(np.float64)
+        span = np.asarray(b, dtype=np.float64) - np.asarray(a, dtype=np.float64)
+        m_safe = np.maximum(m, 2.0)
+        unbiased_std = np.sqrt(np.maximum(pool.m2[indices] / (m_safe - 1.0), 0.0))
+        log_term = math.log(2.0 / delta)
+        eps = unbiased_std * np.sqrt(2.0 * log_term / m_safe) + 7.0 * span * (
+            log_term / (3.0 * (m_safe - 1.0))
+        )
+        return np.where(m < 2, span, eps)
+
 
 class BernsteinSerflingBounder(EmpiricalBernsteinSerflingBounder):
     """Known-variance Bernstein-Serfling bounder (ablation baseline).
@@ -222,3 +278,17 @@ class BernsteinSerflingBounder(EmpiricalBernsteinSerflingBounder):
 
     def epsilon(self, state: MomentState, a: float, b: float, n: int, delta: float) -> float:
         return bernstein_serfling_epsilon(state.count, n, self.sigma, a, b, delta)
+
+    def _epsilon_batch(
+        self, pool: MomentPool, indices: np.ndarray, a, b, n: np.ndarray, delta: float
+    ) -> np.ndarray:
+        m = pool.count[indices].astype(np.float64)
+        n = np.asarray(n, dtype=np.float64)
+        span = np.asarray(b, dtype=np.float64) - np.asarray(a, dtype=np.float64)
+        m_eff = np.maximum(np.minimum(m, n), 1.0)
+        rho = _serfling_rho_batch(m_eff, n)
+        log_term = math.log(3.0 / delta)
+        eps = self.sigma * np.sqrt(2.0 * rho * log_term / m_eff) + KAPPA_KNOWN_VARIANCE * span * (
+            log_term / m_eff
+        )
+        return np.where(m < 1, span, eps)

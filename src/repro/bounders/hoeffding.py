@@ -23,10 +23,19 @@ import math
 
 import numpy as np
 
-from repro.bounders.base import ErrorBounder, validate_bound_args
-from repro.stats.streaming import MomentState
+from repro.bounders.base import (
+    ErrorBounder,
+    MomentPoolBounderMixin,
+    validate_bound_args,
+)
+from repro.stats.streaming import MomentPool, MomentState
 
-__all__ = ["HoeffdingSerflingBounder", "HoeffdingBounder", "hoeffding_serfling_epsilon"]
+__all__ = [
+    "HoeffdingSerflingBounder",
+    "HoeffdingBounder",
+    "hoeffding_serfling_epsilon",
+    "hoeffding_serfling_epsilon_batch",
+]
 
 
 def hoeffding_serfling_epsilon(
@@ -56,7 +65,33 @@ def hoeffding_serfling_epsilon(
     return (b - a) * math.sqrt(rho * math.log(1.0 / delta) / (2.0 * m))
 
 
-class HoeffdingSerflingBounder(ErrorBounder):
+def hoeffding_serfling_epsilon_batch(
+    m: np.ndarray,
+    n: np.ndarray,
+    a,
+    b,
+    delta: float,
+    finite_population: bool = True,
+) -> np.ndarray:
+    """Vectorized :func:`hoeffding_serfling_epsilon` over per-view arrays.
+
+    ``m`` and ``n`` are per-view sample counts and dataset-size bounds;
+    ``a`` / ``b`` may be scalars or per-view arrays (RangeTrim's trimmed
+    ranges).  Slots with ``m < 1`` get the trivial width ``b − a``.
+    """
+    m = np.asarray(m, dtype=np.float64)
+    n = np.asarray(n, dtype=np.float64)
+    span = np.asarray(b, dtype=np.float64) - np.asarray(a, dtype=np.float64)
+    m_eff = np.maximum(np.minimum(m, n), 1.0)
+    if finite_population:
+        rho = np.maximum(1.0 - (m_eff - 1.0) / n, 0.0)
+    else:
+        rho = np.ones_like(m_eff)
+    eps = span * np.sqrt(rho * math.log(1.0 / delta) / (2.0 * m_eff))
+    return np.where(m < 1, span, eps)
+
+
+class HoeffdingSerflingBounder(MomentPoolBounderMixin, ErrorBounder):
     """Error bounder derived from the Hoeffding-Serfling inequality.
 
     State is an O(1) :class:`~repro.stats.streaming.MomentState` (only the
@@ -110,6 +145,14 @@ class HoeffdingSerflingBounder(ErrorBounder):
         # Algorithm 1 step 4: reflect the state about (a + b)/2 and negate.
         reflected = state.reflected(a, b)
         return (a + b) - (reflected.mean - self.epsilon(reflected, a, b, n, delta))
+
+    def _epsilon_batch(
+        self, pool: MomentPool, indices: np.ndarray, a, b, n: np.ndarray, delta: float
+    ) -> np.ndarray:
+        return hoeffding_serfling_epsilon_batch(
+            pool.count[indices], n, a, b, delta,
+            finite_population=self.finite_population,
+        )
 
 
 class HoeffdingBounder(HoeffdingSerflingBounder):

@@ -29,6 +29,7 @@ queried with dataset size ``N − 1``).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any
 
@@ -37,7 +38,79 @@ import numpy as np
 from repro.bounders.base import ErrorBounder, validate_bound_args
 from repro.stats.streaming import ExtremaState
 
-__all__ = ["RangeTrimBounder", "RangeTrimState"]
+__all__ = ["RangeTrimBounder", "RangeTrimState", "RangeTrimPool"]
+
+
+@dataclass
+class RangeTrimPool:
+    """Struct-of-arrays bank of :class:`RangeTrimState` slots.
+
+    ``left`` / ``right`` are *inner-bounder pools* (whatever the inner
+    bounder's :meth:`~repro.bounders.base.ErrorBounder.init_pool` returns);
+    ``min`` / ``max`` / ``count`` are per-slot arrays mirroring the scalar
+    state's extrema and total sample count.
+    """
+
+    left: Any
+    right: Any
+    min: np.ndarray
+    max: np.ndarray
+    count: np.ndarray
+
+
+def _segmented_prior_extrema(
+    values: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    carry_max: np.ndarray,
+    carry_min: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-element *exclusive* running max/min within segments, with carry.
+
+    ``prior_max[j]`` for the ``k``-th element of segment ``i`` is
+    ``max(carry_max[i], values of the segment's first k − 1 elements)`` —
+    exactly the "extrema of all earlier samples" that Algorithm 6 clips
+    against.  Dense 2-D accumulation when the padding is affordable,
+    per-segment accumulation otherwise (pathologically skewed segment
+    sizes), both exact.
+    """
+    total = values.size
+    lengths = ends - starts
+    num_segments = starts.size
+    longest = int(lengths.max()) if num_segments else 0
+    prior_max = np.empty(total, dtype=np.float64)
+    prior_min = np.empty(total, dtype=np.float64)
+    if num_segments and num_segments * (longest + 1) <= max(4 * total, 4096):
+        rows = np.repeat(np.arange(num_segments, dtype=np.int64), lengths)
+        cols = np.arange(total, dtype=np.int64) - np.repeat(starts, lengths)
+        grid = np.full((num_segments, longest + 1), -math.inf, dtype=np.float64)
+        grid[:, 0] = carry_max
+        grid[rows, cols + 1] = values
+        np.maximum.accumulate(grid, axis=1, out=grid)
+        prior_max[:] = grid[rows, cols]
+        grid = np.full((num_segments, longest + 1), math.inf, dtype=np.float64)
+        grid[:, 0] = carry_min
+        grid[rows, cols + 1] = values
+        np.minimum.accumulate(grid, axis=1, out=grid)
+        prior_min[:] = grid[rows, cols]
+    else:
+        for i in range(num_segments):
+            start, end = int(starts[i]), int(ends[i])
+            segment = values[start:end]
+            prior_max[start] = carry_max[i]
+            prior_min[start] = carry_min[i]
+            if end - start > 1:
+                np.maximum(
+                    np.maximum.accumulate(segment[:-1]),
+                    carry_max[i],
+                    out=prior_max[start + 1 : end],
+                )
+                np.minimum(
+                    np.minimum.accumulate(segment[:-1]),
+                    carry_min[i],
+                    out=prior_min[start + 1 : end],
+                )
+    return prior_max, prior_min
 
 
 @dataclass
@@ -175,3 +248,85 @@ class RangeTrimBounder(ErrorBounder):
         if state.count == 1:
             return b
         return self.inner.rbound(state.right, a_prime, max(b, a_prime), inner_n, delta)
+
+    # -- pool flavour ---------------------------------------------------
+
+    def init_pool(self, size: int) -> RangeTrimPool:
+        return RangeTrimPool(
+            left=self.inner.init_pool(size),
+            right=self.inner.init_pool(size),
+            min=np.full(size, np.inf, dtype=np.float64),
+            max=np.full(size, -np.inf, dtype=np.float64),
+            count=np.zeros(size, dtype=np.int64),
+        )
+
+    def pool_counts(self, pool: RangeTrimPool) -> np.ndarray:
+        return pool.count.copy()
+
+    def pool_size(self, pool: RangeTrimPool) -> int:
+        return pool.count.size
+
+    def update_pool(
+        self, pool: RangeTrimPool, indices: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Vectorized Algorithm 6 across views: segmented clip-then-feed.
+
+        ``indices`` must be sorted with ties in stream order.  Per segment
+        (= per view receiving rows this window): the first-ever sample only
+        seeds the extrema; every other sample is clipped against the
+        extrema of all *earlier* samples of its view (carry + exclusive
+        running extrema) before feeding the inner pools.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if indices.size == 0:
+            return
+        boundaries = np.flatnonzero(np.diff(indices)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [indices.size]))
+        slots = indices[starts]
+        prior_max, prior_min = _segmented_prior_extrema(
+            values, starts, ends, pool.max[slots], pool.min[slots]
+        )
+        # Algorithm 4 lines 3-4: the first sample of a fresh view seeds the
+        # extrema and is never fed to the inner states.
+        seed_positions = starts[pool.count[slots] == 0]
+        feed = np.ones(indices.size, dtype=bool)
+        feed[seed_positions] = False
+        self.inner.update_pool(
+            pool.left, indices[feed], np.minimum(values, prior_max)[feed]
+        )
+        self.inner.update_pool(
+            pool.right, indices[feed], np.maximum(values, prior_min)[feed]
+        )
+        pool.max[slots] = np.maximum(pool.max[slots], np.maximum.reduceat(values, starts))
+        pool.min[slots] = np.minimum(pool.min[slots], np.minimum.reduceat(values, starts))
+        pool.count[slots] += ends - starts
+
+    def lbound_batch(self, pool: RangeTrimPool, a, b, n, delta, indices=None):
+        if indices is None:
+            indices = np.arange(pool.count.size, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        a_arr = np.broadcast_to(np.asarray(a, dtype=np.float64), indices.shape)
+        b_arr = np.broadcast_to(np.asarray(b, dtype=np.float64), indices.shape)
+        trivial = pool.count[indices] < 2  # empty or extrema-seed only
+        b_prime = np.where(trivial, b_arr, pool.max[indices])
+        inner_n = np.maximum(np.asarray(n) - 1, 1)
+        inner_lo = self.inner.lbound_batch(
+            pool.left, np.minimum(a_arr, b_prime), b_prime, inner_n, delta, indices
+        )
+        return np.where(trivial, a_arr, inner_lo)
+
+    def rbound_batch(self, pool: RangeTrimPool, a, b, n, delta, indices=None):
+        if indices is None:
+            indices = np.arange(pool.count.size, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        a_arr = np.broadcast_to(np.asarray(a, dtype=np.float64), indices.shape)
+        b_arr = np.broadcast_to(np.asarray(b, dtype=np.float64), indices.shape)
+        trivial = pool.count[indices] < 2
+        a_prime = np.where(trivial, a_arr, pool.min[indices])
+        inner_n = np.maximum(np.asarray(n) - 1, 1)
+        inner_hi = self.inner.rbound_batch(
+            pool.right, a_prime, np.maximum(b_arr, a_prime), inner_n, delta, indices
+        )
+        return np.where(trivial, b_arr, inner_hi)

@@ -20,8 +20,10 @@ from repro.fastframe.exact import ExactExecutor
 from repro.fastframe.executor import (
     COUNT_METHODS,
     DEFAULT_ROUND_ROWS,
+    ENGINES,
     ApproximateExecutor,
 )
+from repro.fastframe.viewpool import ViewPool
 from repro.fastframe.hypergeometric import (
     hypergeometric_count_interval,
     hypergeometric_upper_bound_population,
@@ -71,6 +73,7 @@ __all__ = [
     "Compare",
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_ROUND_ROWS",
+    "ENGINES",
     "Dimension",
     "EVALUATED_STRATEGIES",
     "Eq",
@@ -104,6 +107,7 @@ __all__ = [
     "Table",
     "TruePredicate",
     "UnsupportedQueryError",
+    "ViewPool",
     "compose_outlier_avg",
     "count_interval",
     "denormalize",

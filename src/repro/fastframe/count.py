@@ -25,6 +25,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.bounders.base import Interval
 from repro.bounders.hoeffding import hoeffding_serfling_epsilon
 
@@ -32,8 +34,11 @@ __all__ = [
     "SelectivityState",
     "selectivity_interval",
     "count_interval",
+    "count_interval_batch",
     "upper_bound_population",
+    "upper_bound_population_batch",
     "sum_interval",
+    "sum_interval_batch",
     "DEFAULT_ALPHA",
 ]
 
@@ -124,6 +129,73 @@ def upper_bound_population(
     n_plus = (state.in_view / r + eps) * scramble_rows
     n_plus_int = int(math.ceil(n_plus))
     return max(min(n_plus_int, scramble_rows), state.in_view, 1)
+
+
+def count_interval_batch(
+    in_view: np.ndarray, covered: np.ndarray, scramble_rows: int, delta: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`count_interval` over per-view counter arrays.
+
+    ``in_view`` / ``covered`` are the executor pool's selectivity counters;
+    one Lemma 5 evaluation covers every view.  Views with ``covered == 0``
+    get the trivial ``[0, R]``.
+    """
+    in_view = np.asarray(in_view, dtype=np.float64)
+    covered = np.asarray(covered, dtype=np.float64)
+    r_safe = np.maximum(covered, 1.0)
+    m_eff = np.minimum(r_safe, scramble_rows)
+    rho = np.maximum(1.0 - (m_eff - 1.0) / scramble_rows, 0.0)
+    eps = np.sqrt(rho * math.log(2.0 / delta) / (2.0 * m_eff))
+    estimate = in_view / r_safe
+    sel_lo = np.maximum(estimate - eps, 0.0)
+    sel_hi = np.minimum(estimate + eps, 1.0)
+    lo = np.maximum(sel_lo * scramble_rows, in_view)
+    hi = np.minimum(sel_hi * scramble_rows, float(scramble_rows))
+    hi = np.maximum(hi, lo)
+    uncovered = covered == 0
+    lo[uncovered] = 0.0
+    hi[uncovered] = float(scramble_rows)
+    return lo, hi
+
+
+def upper_bound_population_batch(
+    in_view: np.ndarray,
+    covered: np.ndarray,
+    scramble_rows: int,
+    delta: float,
+    alpha: float = DEFAULT_ALPHA,
+) -> np.ndarray:
+    """Vectorized :func:`upper_bound_population` (int64 array of N⁺)."""
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    in_view = np.asarray(in_view, dtype=np.int64)
+    covered = np.asarray(covered, dtype=np.int64)
+    r = covered.astype(np.float64)
+    r_safe = np.maximum(r, 1.0)
+    fpc = np.maximum(1.0 - (r - 1.0) / scramble_rows, 0.0)
+    eps = np.sqrt(math.log(1.0 / ((1.0 - alpha) * delta)) / (2.0 * r_safe) * fpc)
+    n_plus = np.ceil((in_view / r_safe + eps) * scramble_rows).astype(np.int64)
+    n_plus = np.maximum(np.minimum(n_plus, scramble_rows), np.maximum(in_view, 1))
+    n_plus[covered == 0] = scramble_rows
+    return n_plus
+
+
+def sum_interval_batch(
+    count_lo: np.ndarray,
+    count_hi: np.ndarray,
+    avg_lo: np.ndarray,
+    avg_hi: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`sum_interval`: interval hull over corner products."""
+    corners = np.stack(
+        (
+            count_lo * avg_lo,
+            count_lo * avg_hi,
+            count_hi * avg_lo,
+            count_hi * avg_hi,
+        )
+    )
+    return corners.min(axis=0), corners.max(axis=0)
 
 
 def sum_interval(count_ci: Interval, avg_ci: Interval) -> Interval:

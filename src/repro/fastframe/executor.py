@@ -15,6 +15,22 @@ against a :class:`~repro.fastframe.scramble.Scramble`:
    running intersection, refreshes the active-group set, and tests the
    stopping condition.
 
+Two engines implement identical semantics (the parity test-suite pins
+their outputs to each other within floating-point tolerance):
+
+* ``engine="pool"`` — the vectorized core: all per-view state lives in a
+  struct-of-arrays :class:`~repro.fastframe.viewpool.ViewPool`; ingest is a
+  few ``np.bincount`` passes per window and each round is a fixed number of
+  array expressions over all views at once ("the per-view bounder state is
+  updated vectorized", §4.2).
+* ``engine="scalar"`` — the reference implementation: one ``_ViewState``
+  object per view, Python loops over views.  Kept as the executable
+  specification the pool engine is tested against, and for few-view
+  workloads where the loop is the faster of the two.
+
+The default ``engine="auto"`` dispatches per query: pool at or above
+:data:`AUTO_POOL_THRESHOLD` aggregate views, scalar below.
+
 Error-probability accounting (δ = 1e-15 by default, as in §5.2):
 ``δ → ÷ #aggregate-views (§4.1) → × 6/π²k⁻² per round (Alg. 5) →
 Theorem 3 split (1 − α for N⁺, α for the CI) → δ/2 per CI side``.
@@ -47,12 +63,17 @@ from repro.fastframe.count import (
     DEFAULT_ALPHA,
     SelectivityState,
     count_interval,
+    count_interval_batch,
     sum_interval,
+    sum_interval_batch,
     upper_bound_population,
+    upper_bound_population_batch,
 )
 from repro.fastframe.hypergeometric import (
     hypergeometric_count_interval,
+    hypergeometric_count_interval_batch,
     hypergeometric_upper_bound_population,
+    hypergeometric_upper_bound_population_batch,
 )
 from repro.fastframe.query import (
     AggregateFunction,
@@ -63,12 +84,13 @@ from repro.fastframe.query import (
 )
 from repro.fastframe.scan import SamplingStrategy, ScanContext, ScanStrategy
 from repro.fastframe.scramble import Scramble
+from repro.fastframe.viewpool import ViewPool
 from repro.stats.delta import DEFAULT_DELTA, DeltaBudget
-from repro.stats.streaming import MomentState
-from repro.stopping.conditions import GroupSnapshot, SamplesTaken
+from repro.stats.streaming import MomentPool, MomentState
+from repro.stopping.conditions import GroupSnapshot, SamplesTaken, SnapshotColumns
 from repro.stopping.optstop import RunningIntersection
 
-__all__ = ["ApproximateExecutor", "DEFAULT_ROUND_ROWS", "COUNT_METHODS"]
+__all__ = ["ApproximateExecutor", "DEFAULT_ROUND_ROWS", "COUNT_METHODS", "ENGINES"]
 
 #: Recompute bounds every 40,000 rows read, as in the paper (§4.2).
 DEFAULT_ROUND_ROWS = 40_000
@@ -76,12 +98,35 @@ DEFAULT_ROUND_ROWS = 40_000
 #: Selectivity/COUNT bounding methods: Lemma 5's Hoeffding-Serfling bound
 #: (the paper's choice, "a simple strategy", §4.1) or exact hypergeometric
 #: test inversion (the tailored alternative the paper mentions).  Each maps
-#: to a ``(count_interval, upper_bound_population)`` pair with identical
-#: signatures and guarantees.
+#: to a ``(count_interval, upper_bound_population, count_interval_batch,
+#: upper_bound_population_batch)`` tuple — scalar and vectorized flavours
+#: with identical signatures and guarantees.
 COUNT_METHODS = {
-    "serfling": (count_interval, upper_bound_population),
-    "exact": (hypergeometric_count_interval, hypergeometric_upper_bound_population),
+    "serfling": (
+        count_interval,
+        upper_bound_population,
+        count_interval_batch,
+        upper_bound_population_batch,
+    ),
+    "exact": (
+        hypergeometric_count_interval,
+        hypergeometric_upper_bound_population,
+        hypergeometric_count_interval_batch,
+        hypergeometric_upper_bound_population_batch,
+    ),
 }
+
+#: Executor engines: ``"pool"`` is the vectorized struct-of-arrays core,
+#: ``"scalar"`` the per-view-object reference implementation it is
+#: parity-tested against, and ``"auto"`` (the default) picks per query:
+#: pool at or above :data:`AUTO_POOL_THRESHOLD` views, scalar below, where
+#: the constant-factor overhead of array machinery still loses to a short
+#: Python loop.
+ENGINES = ("auto", "pool", "scalar")
+
+#: View count at which ``engine="auto"`` switches to the pool engine (the
+#: measured crossover sits between 10 and 100 views; see PERFORMANCE.md).
+AUTO_POOL_THRESHOLD = 32
 
 
 @dataclass
@@ -126,6 +171,11 @@ class ApproximateExecutor:
         (hypergeometric test inversion — tighter, more CPU per round).
     rng:
         Randomness for the scan start position.
+    engine:
+        ``"pool"`` for the vectorized struct-of-arrays core, ``"scalar"``
+        for the per-view-object reference implementation, or ``"auto"``
+        (default) to pick per query by view count.  Semantics are identical
+        within floating-point tolerance.
     """
 
     def __init__(
@@ -138,11 +188,16 @@ class ApproximateExecutor:
         alpha: float = DEFAULT_ALPHA,
         count_method: str = "serfling",
         rng: np.random.Generator | None = None,
+        engine: str = "auto",
     ) -> None:
         if count_method not in COUNT_METHODS:
             raise ValueError(
                 f"unknown count_method {count_method!r}; "
                 f"expected one of {sorted(COUNT_METHODS)}"
+            )
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
             )
         self.scramble = scramble
         self.bounder = bounder
@@ -151,7 +206,13 @@ class ApproximateExecutor:
         self.round_rows = round_rows
         self.alpha = alpha
         self.count_method = count_method
-        self._count_interval, self._upper_bound_population = COUNT_METHODS[count_method]
+        self.engine = engine
+        (
+            self._count_interval,
+            self._upper_bound_population,
+            self._count_interval_batch,
+            self._upper_bound_population_batch,
+        ) = COUNT_METHODS[count_method]
         self.rng = rng or np.random.default_rng()
 
     # ------------------------------------------------------------------
@@ -190,17 +251,29 @@ class ApproximateExecutor:
     def _combined_codes(
         self, group_by: tuple[str, ...], rows: np.ndarray | None
     ) -> np.ndarray:
-        """Row-aligned combined group codes (mixed-radix over the columns)."""
+        """Row-aligned combined group codes (mixed-radix over the columns).
+
+        The full-table array is computed once per GROUP BY column set and
+        cached on the scramble (invalidated by inserts, like the bitmap
+        indexes); per-window calls just slice it.
+        """
         if not group_by:
             length = self.scramble.num_rows if rows is None else len(rows)
             return np.zeros(length, dtype=np.int64)
-        cards = self._cardinalities(group_by)
-        combined = None
-        for column, card in zip(group_by, cards):
-            codes = self.scramble.table.categorical(column).codes
-            codes = codes if rows is None else codes[rows]
-            combined = codes.astype(np.int64) if combined is None else combined * card + codes
-        return combined
+        cache = self.scramble.metadata_cache
+        key = ("combined", group_by)
+        if key not in cache:
+            combined = None
+            for column, card in zip(group_by, self._cardinalities(group_by)):
+                codes = self.scramble.table.categorical(column).codes
+                combined = (
+                    codes.astype(np.int64)
+                    if combined is None
+                    else combined * card + codes
+                )
+            cache[key] = combined
+        full = cache[key]
+        return full if rows is None else full[rows]
 
     def _split_combined(
         self, combined: int, group_by: tuple[str, ...]
@@ -239,6 +312,45 @@ class ApproximateExecutor:
         for column in predicate_requirements:
             indexes.setdefault(column, self.index_for(column))
 
+        if start_block is None:
+            start_block = int(self.rng.integers(self.scramble.num_blocks))
+        order = self.scramble.block_order_from(start_block)
+
+        engine = self.engine
+        if engine == "auto":
+            engine = "pool" if domain.size >= AUTO_POOL_THRESHOLD else "scalar"
+        run = self._run_pool if engine == "pool" else self._run_scalar
+        groups = run(
+            query, metrics, values_of, bounds, domain, indexes,
+            predicate_requirements, order,
+        )
+        metrics.merge_index_counters(indexes.values())
+        metrics.wall_time_s = time.perf_counter() - start_time
+        return QueryResult(query=query, groups=groups, metrics=metrics)
+
+    def _window_rows(self, window: np.ndarray) -> int:
+        """Total rows spanned by a window of blocks (last block may be short)."""
+        block_size = self.scramble.block_size
+        return int(
+            (
+                np.minimum((window + 1) * block_size, self.scramble.num_rows)
+                - window * block_size
+            ).sum()
+        )
+
+    def _run_scalar(
+        self,
+        query: Query,
+        metrics: ExecutionMetrics,
+        values_of: Callable[[np.ndarray], np.ndarray] | None,
+        bounds: tuple[float, float],
+        domain: np.ndarray,
+        indexes: dict[str, BlockBitmapIndex],
+        predicate_requirements: dict[str, set[int]],
+        order: np.ndarray,
+    ) -> dict:
+        """Reference engine: one ``_ViewState`` object per view."""
+        group_by = query.group_by
         views: dict[int, _ViewState] = {
             int(code): _ViewState(
                 key_codes=self._split_combined(int(code), group_by),
@@ -248,10 +360,6 @@ class ApproximateExecutor:
         }
         num_views = max(len(views), 1)
         view_budget = DeltaBudget(self.delta).split_even(num_views)
-
-        if start_block is None:
-            start_block = int(self.rng.integers(self.scramble.num_blocks))
-        order = self.scramble.block_order_from(start_block)
 
         cursor = 0
         rows_since_bound = 0
@@ -277,13 +385,7 @@ class ApproximateExecutor:
             )
             mask = self.strategy.select_blocks(window, context)
             read_blocks = window[mask]
-            block_size = self.scramble.block_size
-            window_rows = int(
-                (
-                    np.minimum((window + 1) * block_size, self.scramble.num_rows)
-                    - window * block_size
-                ).sum()
-            )
+            window_rows = self._window_rows(window)
             metrics.blocks_fetched += int(mask.sum())
             metrics.blocks_skipped += int(window.size - mask.sum())
 
@@ -315,19 +417,91 @@ class ApproximateExecutor:
             )
         metrics.stopped_early = satisfied and cursor < order.size
         self._finalize_exhausted(query, views)
-        metrics.merge_index_counters(indexes.values())
-        metrics.wall_time_s = time.perf_counter() - start_time
-        return QueryResult(
-            query=query,
-            groups={
-                self._decode_key(view.key_codes, group_by): self._group_result(
-                    query, view, group_by
-                )
-                for view in views.values()
-                if not view.dropped
-            },
-            metrics=metrics,
+        return {
+            self._decode_key(view.key_codes, group_by): self._group_result(
+                query, view, group_by
+            )
+            for view in views.values()
+            if not view.dropped
+        }
+
+    def _run_pool(
+        self,
+        query: Query,
+        metrics: ExecutionMetrics,
+        values_of: Callable[[np.ndarray], np.ndarray] | None,
+        bounds: tuple[float, float],
+        domain: np.ndarray,
+        indexes: dict[str, BlockBitmapIndex],
+        predicate_requirements: dict[str, set[int]],
+        order: np.ndarray,
+    ) -> dict:
+        """Vectorized engine: struct-of-arrays state, bincount ingest."""
+        group_by = query.group_by
+        key_codes = [
+            self._split_combined(int(code), group_by) for code in domain
+        ]
+        pool = ViewPool.build(domain, key_codes, self.bounder)
+        num_views = max(pool.size, 1)
+        view_budget = DeltaBudget(self.delta).split_even(num_views)
+        combined_full = (
+            self._combined_codes(group_by, rows=None) if group_by else None
         )
+
+        cursor = 0
+        rows_since_bound = 0
+        round_index = 0
+        satisfied = False
+        uses_active = self.strategy.uses_active_groups
+        freezes_groups = uses_active and bool(group_by)
+        fixed_sample_mode = isinstance(query.stopping, SamplesTaken)
+        while cursor < order.size and not satisfied:
+            window = order[cursor : cursor + self.strategy.window_blocks]
+            cursor += window.size
+            if uses_active:
+                active_rows = np.flatnonzero(pool.active & ~pool.dropped)
+                active_groups = [pool.key_codes[i] for i in active_rows]
+            else:
+                active_groups = []
+            context = ScanContext(
+                indexes=indexes,
+                predicate_requirements=predicate_requirements,
+                group_columns=group_by,
+                active_groups=active_groups,
+            )
+            mask = self.strategy.select_blocks(window, context)
+            read_blocks = window[mask]
+            window_rows = self._window_rows(window)
+            metrics.blocks_fetched += int(mask.sum())
+            metrics.blocks_skipped += int(window.size - mask.sum())
+
+            rows = self.scramble.rows_of_blocks(read_blocks)
+            metrics.rows_read += rows.size
+            self._ingest_pool(
+                query, pool, rows, window_rows, values_of,
+                freezes_groups, combined_full,
+            )
+            rows_since_bound += rows.size
+
+            if rows_since_bound >= self.round_rows or cursor >= order.size:
+                rows_since_bound = 0
+                round_index += 1
+                metrics.rounds = round_index
+                if not fixed_sample_mode:
+                    self._recompute_bounds_pool(
+                        query, pool, bounds, view_budget, round_index
+                    )
+                columns = self._snapshot_columns(pool, bounds)
+                self._refresh_active_pool(query, pool, columns)
+                satisfied = query.stopping.satisfied_columns(columns)
+
+        if fixed_sample_mode:
+            self._recompute_bounds_pool(
+                query, pool, bounds, view_budget, round_index=None
+            )
+        metrics.stopped_early = satisfied and cursor < order.size
+        self._finalize_exhausted_pool(query, pool)
+        return self._pool_results(query, pool, group_by)
 
     # ------------------------------------------------------------------
     # Internals
@@ -552,3 +726,246 @@ class ApproximateExecutor:
             samples=view.sample_moments.count,
             exhausted=view.exhausted,
         )
+
+    # ------------------------------------------------------------------
+    # Pool-engine internals — array mirrors of the scalar methods above.
+    # Every step is a fixed number of numpy expressions over all views.
+    # ------------------------------------------------------------------
+
+    def _ingest_pool(
+        self,
+        query: Query,
+        pool: ViewPool,
+        rows: np.ndarray,
+        window_rows: int,
+        values_of: Callable[[np.ndarray], np.ndarray] | None,
+        freezes_groups: bool,
+        combined_full: np.ndarray | None,
+    ) -> None:
+        """Fold one window into the pool: bincount passes, no view loop."""
+        eligible = ~pool.dropped & ~pool.exhausted
+        if freezes_groups:
+            settling = eligible & pool.active
+        else:
+            settling = eligible
+        if rows.size:
+            view_mask = query.predicate.mask(self.scramble.table, rows)
+            view_rows = rows[view_mask]
+        else:
+            view_rows = rows
+        if view_rows.size:
+            if pool.size == 1:
+                # Single view: no partitioning needed, keep stream order.
+                view_idx = np.zeros(view_rows.size, dtype=np.int64)
+                ordered_rows = view_rows
+            else:
+                combined = combined_full[view_rows]
+                # Stable sort by group code: stream order within each view
+                # is preserved, as the order-sensitive bounder pools require.
+                sort_order = np.argsort(combined, kind="stable")
+                view_idx = pool.lookup(combined[sort_order])
+                ordered_rows = view_rows[sort_order]
+            # `settling ⊆ eligible`, so when every view settles (the common
+            # case: nothing frozen or dropped) the O(rows) element masks can
+            # be skipped entirely — decided by O(views) flag tests.
+            everything = bool(settling.all())
+            if everything:
+                elements_eligible = elements_settling = slice(None)
+                identical = True
+            else:
+                elements_eligible = eligible[view_idx]
+                elements_settling = settling[view_idx]
+                identical = np.array_equal(elements_eligible, elements_settling)
+            if values_of is not None:
+                values = values_of(ordered_rows)
+                if identical:
+                    # The all-read and sampled moments receive the same
+                    # batch — compute per-view statistics once, merge twice.
+                    idx = view_idx if everything else view_idx[elements_settling]
+                    vals = values if everything else values[elements_settling]
+                    stats = MomentPool.batch_stats(idx, vals, pool.size)
+                    pool.all_read.merge_arrays(*stats)
+                    pool.sample.merge_arrays(*stats)
+                    self.bounder.update_pool(pool.bounder_pool, idx, vals)
+                else:
+                    pool.all_read.update_indexed(
+                        view_idx[elements_eligible], values[elements_eligible]
+                    )
+                    pool.sample.update_indexed(
+                        view_idx[elements_settling], values[elements_settling]
+                    )
+                    self.bounder.update_pool(
+                        pool.bounder_pool,
+                        view_idx[elements_settling],
+                        values[elements_settling],
+                    )
+            else:
+                pool.all_read.count += np.bincount(
+                    view_idx[elements_eligible], minlength=pool.size
+                )
+            pool.in_view += np.bincount(
+                view_idx[elements_settling], minlength=pool.size
+            )
+        # Lemma 5's covered-row accounting: the whole window settles for
+        # every non-frozen surviving view (rows read, plus rows of skipped
+        # blocks the bitmap index certifies hold no tuple of the view).
+        pool.covered[settling] += window_rows
+
+    def _recompute_bounds_pool(
+        self,
+        query: Query,
+        pool: ViewPool,
+        bounds: tuple[float, float],
+        view_budget: DeltaBudget,
+        round_index: int | None,
+    ) -> None:
+        """One OptStop round over the whole pool at once (Algorithm 5)."""
+        a, b = bounds
+        scramble_rows = self.scramble.num_rows
+        single_shot = round_index is None
+        round_budget = (
+            view_budget if single_shot else view_budget.for_round(round_index)
+        )
+        recompute = ~pool.dropped & ~pool.exhausted
+        if not single_shot and self.strategy.uses_active_groups:
+            recompute &= pool.active
+        idx = np.flatnonzero(recompute)
+        if idx.size == 0:
+            return
+        if query.aggregate is AggregateFunction.COUNT:
+            count_budget, avg_budget = round_budget, None
+        else:
+            count_budget = avg_budget = round_budget.split_even(2)
+        count_lo, count_hi = self._count_interval_batch(
+            pool.in_view[idx], pool.covered[idx], scramble_rows, count_budget.delta
+        )
+        count_lo, count_hi = pool.fold_count(idx, count_lo, count_hi)
+        pool.civ_lo[idx] = count_lo
+        pool.civ_hi[idx] = count_hi
+        # Certified empty: the view contributes no row, so its aggregate
+        # does not exist in the exact answer either.
+        empty = count_hi < 1.0
+        if empty.any():
+            pool.dropped[idx[empty]] = True
+            idx = idx[~empty]
+            count_lo = count_lo[~empty]
+            count_hi = count_hi[~empty]
+            if idx.size == 0:
+                return
+        if query.aggregate is AggregateFunction.COUNT:
+            pool.iv_lo[idx] = count_lo
+            pool.iv_hi[idx] = count_hi
+            return
+        _, ci_budget = avg_budget.split_unknown_n(self.alpha)
+        n_plus = self._upper_bound_population_batch(
+            pool.in_view[idx], pool.covered[idx], scramble_rows,
+            avg_budget.delta, alpha=self.alpha,
+        )
+        avg_lo, avg_hi = self.bounder.confidence_interval_batch(
+            pool.bounder_pool, a, b, n_plus, ci_budget.delta, indices=idx
+        )
+        avg_lo, avg_hi = pool.fold_value(idx, avg_lo, avg_hi)
+        if query.aggregate is AggregateFunction.AVG:
+            pool.iv_lo[idx] = avg_lo
+            pool.iv_hi[idx] = avg_hi
+        else:
+            sum_lo, sum_hi = sum_interval_batch(count_lo, count_hi, avg_lo, avg_hi)
+            pool.iv_lo[idx] = sum_lo
+            pool.iv_hi[idx] = sum_hi
+
+    def _snapshot_columns(
+        self, pool: ViewPool, bounds: tuple[float, float]
+    ) -> SnapshotColumns:
+        """Array mirror of :meth:`_snapshots` over the non-dropped views."""
+        a, b = bounds
+        live = np.flatnonzero(~pool.dropped)
+        lo = pool.iv_lo[live]
+        hi = pool.iv_hi[live]
+        trivial = ~(np.isfinite(lo) & np.isfinite(hi))
+        lo = np.where(trivial, a, lo)
+        hi = np.where(trivial, b, hi)
+        samples = pool.sample.count[live]
+        estimate = np.where(
+            samples > 0, pool.sample.mean[live], 0.5 * (lo + hi)
+        )
+        columns = SnapshotColumns(
+            keys=pool.codes[live],
+            lo=lo,
+            hi=hi,
+            estimate=estimate,
+            samples=samples,
+            exhausted=pool.exhausted[live],
+        )
+        columns.rows = live  # pool row per snapshot row (executor-internal)
+        return columns
+
+    def _refresh_active_pool(
+        self, query: Query, pool: ViewPool, columns: SnapshotColumns
+    ) -> None:
+        active = query.stopping.active_mask(columns)
+        pool.active[:] = False
+        pool.active[columns.rows] = active & ~pool.exhausted[columns.rows]
+
+    def _finalize_exhausted_pool(self, query: Query, pool: ViewPool) -> None:
+        """Mark views whose every row is settled; their aggregates are exact."""
+        scramble_rows = self.scramble.num_rows
+        done = ~pool.dropped & (pool.covered >= scramble_rows)
+        if not done.any():
+            return
+        pool.exhausted |= done
+        pool.dropped |= done & (pool.in_view == 0)
+        idx = np.flatnonzero(done & ~pool.dropped)
+        if idx.size == 0:
+            return
+        exact_count = pool.in_view[idx].astype(np.float64)
+        pool.civ_lo[idx] = exact_count
+        pool.civ_hi[idx] = exact_count
+        if query.aggregate is AggregateFunction.COUNT:
+            exact = exact_count
+        elif query.aggregate is AggregateFunction.AVG:
+            exact = pool.all_read.mean[idx]
+        else:
+            exact = pool.all_read.mean[idx] * exact_count
+        pool.iv_lo[idx] = exact
+        pool.iv_hi[idx] = exact
+
+    def _pool_results(
+        self, query: Query, pool: ViewPool, group_by: tuple[str, ...]
+    ) -> dict:
+        """Materialize per-group results (the only O(views) Python loop)."""
+        live = np.flatnonzero(~pool.dropped)
+        lo = pool.iv_lo[live]
+        hi = pool.iv_hi[live]
+        trivial = ~(np.isfinite(lo) & np.isfinite(hi))
+        lo = np.where(trivial, -np.inf, lo)
+        hi = np.where(trivial, np.inf, hi)
+        samples = pool.sample.count[live]
+        count_estimate = (
+            pool.in_view[live]
+            / np.maximum(pool.covered[live], 1)
+            * self.scramble.num_rows
+        )
+        if query.aggregate is AggregateFunction.COUNT:
+            estimate = count_estimate
+        else:
+            estimate = np.where(
+                samples > 0, pool.sample.mean[live], 0.5 * (lo + hi)
+            )
+            if query.aggregate is AggregateFunction.SUM:
+                estimate = np.where(
+                    samples > 0, pool.sample.mean[live] * count_estimate, estimate
+                )
+        groups = {}
+        for position, row in enumerate(live):
+            key = self._decode_key(pool.key_codes[row], group_by)
+            groups[key] = GroupResult(
+                key=key,
+                estimate=float(estimate[position]),
+                interval=Interval(float(lo[position]), float(hi[position])),
+                count_interval=Interval(
+                    float(pool.civ_lo[row]), float(pool.civ_hi[row])
+                ),
+                samples=int(samples[position]),
+                exhausted=bool(pool.exhausted[row]),
+            )
+        return groups

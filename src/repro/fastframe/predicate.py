@@ -78,9 +78,20 @@ class Eq(Predicate):
     def __init__(self, column: str, value) -> None:
         self.column = column
         self.value = value
+        self._resolved: tuple[object, int] | None = None
 
     def _code(self, table: Table) -> int:
-        return table.categorical(self.column).code_of(self.value)
+        # Resolve the dictionary code once per column *object*: the scan
+        # loop calls mask() per window, and re-resolving was O(windows).
+        # Keyed by identity (a held reference, so ids cannot be recycled);
+        # appends replace the column object, invalidating the cache.
+        column = table.categorical(self.column)
+        cached = self._resolved
+        if cached is not None and cached[0] is column:
+            return cached[1]
+        code = column.code_of(self.value)
+        self._resolved = (column, code)
+        return code
 
     def mask(self, table: Table, rows: slice | np.ndarray | None = None) -> np.ndarray:
         codes = _column_slice(table, self.column, rows)
@@ -101,14 +112,26 @@ class In(Predicate):
         self.values = tuple(values)
         if not self.values:
             raise ValueError("IN predicate requires at least one value")
+        self._resolved: tuple[object, set[int], np.ndarray] | None = None
+
+    def _resolve(self, table: Table) -> tuple[set[int], np.ndarray]:
+        # Same per-column-object memoization as Eq._code (identity-keyed,
+        # invalidated automatically when appends rebuild the column).
+        column = table.categorical(self.column)
+        cached = self._resolved
+        if cached is not None and cached[0] is column:
+            return cached[1], cached[2]
+        codes = {column.code_of(value) for value in self.values}
+        sorted_codes = np.array(sorted(codes), dtype=np.int64)
+        self._resolved = (column, codes, sorted_codes)
+        return codes, sorted_codes
 
     def _codes(self, table: Table) -> set[int]:
-        column = table.categorical(self.column)
-        return {column.code_of(value) for value in self.values}
+        return self._resolve(table)[0]
 
     def mask(self, table: Table, rows: slice | np.ndarray | None = None) -> np.ndarray:
         codes = _column_slice(table, self.column, rows)
-        return np.isin(codes, sorted(self._codes(table)))
+        return np.isin(codes, self._resolve(table)[1])
 
     def categorical_requirements(self, table: Table) -> dict[str, set[int]]:
         return {self.column: self._codes(table)}

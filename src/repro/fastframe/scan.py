@@ -98,11 +98,13 @@ class SamplingStrategy(ABC):
             if column not in context.indexes:
                 continue
             index = context.indexes[column]
-            column_mask = np.zeros(window.shape, dtype=bool)
-            for code in sorted(codes):
-                if batched:
-                    column_mask |= index.probe_batch(window, code)
-                else:
+            if batched:
+                # One multi-code batch probe for the whole window instead
+                # of a probe per required code.
+                column_mask = index.probe_batch_any(window, sorted(codes))
+            else:
+                column_mask = np.zeros(window.shape, dtype=bool)
+                for code in sorted(codes):
                     for position, block in enumerate(window):
                         if not column_mask[position]:
                             column_mask[position] = index.probe(int(block), code)
@@ -174,6 +176,15 @@ class ActivePeekStrategy(SamplingStrategy):
             return mask
         if not context.active_groups:
             return np.zeros(window.shape, dtype=bool)
+        if len(context.group_columns) == 1:
+            # Single GROUP BY column: "block holds some active group" is a
+            # plain multi-code membership test — one merged batch probe for
+            # the whole window, however many groups are active.
+            index = context.indexes[context.group_columns[0]]
+            any_active = index.probe_batch_any(
+                window, [codes[0] for codes in context.active_groups]
+            )
+            return mask & any_active
         any_active = np.zeros(window.shape, dtype=bool)
         for codes in context.active_groups:
             remaining = mask & ~any_active

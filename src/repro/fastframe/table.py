@@ -35,15 +35,21 @@ class CategoricalColumn:
     codes: np.ndarray
     dictionary: tuple
 
+    def __post_init__(self) -> None:
+        # O(1) reverse lookup (value -> code); rebuilt whenever a new
+        # column instance is constructed (encode / extended / take), so it
+        # can never go stale.
+        self._code_index = {value: code for code, value in enumerate(self.dictionary)}
+
     @property
     def cardinality(self) -> int:
         return len(self.dictionary)
 
     def code_of(self, value) -> int:
-        """Dictionary code of ``value``; KeyError if absent."""
+        """Dictionary code of ``value``; KeyError if absent.  O(1)."""
         try:
-            return self.dictionary.index(value)
-        except ValueError:
+            return self._code_index[value]
+        except KeyError:
             raise KeyError(
                 f"value {value!r} is not in the column dictionary"
             ) from None
@@ -67,7 +73,7 @@ class CategoricalColumn:
         bitmap indexes and group domains key on codes).
         """
         dictionary = list(self.dictionary)
-        index_of = {value: code for code, value in enumerate(dictionary)}
+        index_of = dict(self._code_index)
         new_codes = np.empty(len(values), dtype=np.int32)
         for position, value in enumerate(values):
             if value not in index_of:

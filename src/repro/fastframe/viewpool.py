@@ -1,0 +1,126 @@
+"""Struct-of-arrays per-view state for the vectorized executor core.
+
+The seed executor kept one ``_ViewState`` object per aggregate view and
+drove both ingest and bound recomputation with Python loops over every
+view — interpreter overhead that dominates wall time for high-cardinality
+GROUP BYs.  :class:`ViewPool` stores the same state as parallel numpy
+arrays, one row per view, indexed by combined (mixed-radix) group code:
+
+* sample and all-read moments (:class:`~repro.stats.streaming.MomentPool`);
+* selectivity counters ``in_view`` / ``covered`` (Lemma 5's m_v and r);
+* running-intersection endpoints for the value and COUNT intervals
+  (Theorem 4's ``[max_k L_k, min_k R_k]``), plus the last certified
+  intervals;
+* ``active`` / ``dropped`` / ``exhausted`` flags;
+* an opaque *bounder pool* holding every view's error-bounder state in the
+  bounder's own struct-of-arrays layout.
+
+Ingest then becomes a handful of ``np.bincount`` passes per scan window and
+each OptStop round a fixed number of array expressions, regardless of the
+number of views.  Row ``i`` of the pool evolves exactly like the scalar
+``_ViewState`` fed the same rows (up to floating-point summation order);
+the parity test-suite pins this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.bounders.base import ErrorBounder
+from repro.stats.streaming import MomentPool
+
+__all__ = ["ViewPool"]
+
+
+@dataclass
+class ViewPool:
+    """All per-view executor state, as parallel arrays (one row per view)."""
+
+    codes: np.ndarray          #: sorted combined group codes (int64)
+    key_codes: list            #: per-view tuples of per-column codes
+    bounder_pool: Any          #: bounder-owned struct-of-arrays state bank
+    sample: MomentPool         #: moments of the sampled (settled) values
+    all_read: MomentPool       #: moments of every value read for the view
+    in_view: np.ndarray        #: settled rows belonging to the view (int64)
+    covered: np.ndarray        #: settled rows, Lemma 5's r (int64)
+    run_lo: np.ndarray         #: value-interval running intersection (lo)
+    run_hi: np.ndarray
+    crun_lo: np.ndarray        #: COUNT-interval running intersection (lo)
+    crun_hi: np.ndarray
+    iv_lo: np.ndarray          #: last certified value interval
+    iv_hi: np.ndarray
+    civ_lo: np.ndarray         #: last certified COUNT interval
+    civ_hi: np.ndarray
+    active: np.ndarray         #: bool — group currently prioritized
+    dropped: np.ndarray        #: bool — certified empty, out of the result
+    exhausted: np.ndarray      #: bool — every row settled, aggregate exact
+
+    @classmethod
+    def build(
+        cls, domain: np.ndarray, key_codes: list, bounder: ErrorBounder
+    ) -> "ViewPool":
+        """Pool over a (sorted) combined-code domain with fresh state."""
+        size = int(domain.size)
+        return cls(
+            codes=np.asarray(domain, dtype=np.int64),
+            key_codes=key_codes,
+            bounder_pool=bounder.init_pool(size),
+            sample=MomentPool(size),
+            all_read=MomentPool(size),
+            in_view=np.zeros(size, dtype=np.int64),
+            covered=np.zeros(size, dtype=np.int64),
+            run_lo=np.full(size, -np.inf),
+            run_hi=np.full(size, np.inf),
+            crun_lo=np.full(size, -np.inf),
+            crun_hi=np.full(size, np.inf),
+            iv_lo=np.full(size, -np.inf),
+            iv_hi=np.full(size, np.inf),
+            civ_lo=np.zeros(size),
+            civ_hi=np.full(size, np.inf),
+            active=np.ones(size, dtype=bool),
+            dropped=np.zeros(size, dtype=bool),
+            exhausted=np.zeros(size, dtype=bool),
+        )
+
+    @property
+    def size(self) -> int:
+        return self.codes.size
+
+    def lookup(self, combined: np.ndarray) -> np.ndarray:
+        """Pool row index per combined code (codes must be in the domain)."""
+        return np.searchsorted(self.codes, combined)
+
+    @staticmethod
+    def _fold(
+        run_lo: np.ndarray,
+        run_hi: np.ndarray,
+        idx: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Array form of ``RunningIntersection.fold`` (with midpoint collapse)."""
+        folded_lo = np.maximum(run_lo[idx], lo)
+        folded_hi = np.minimum(run_hi[idx], hi)
+        inverted = folded_lo > folded_hi
+        if inverted.any():
+            mid = 0.5 * (folded_lo[inverted] + folded_hi[inverted])
+            folded_lo[inverted] = mid
+            folded_hi[inverted] = mid
+        run_lo[idx] = folded_lo
+        run_hi[idx] = folded_hi
+        return folded_lo, folded_hi
+
+    def fold_value(
+        self, idx: np.ndarray, lo: np.ndarray, hi: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Intersect the value running intersections of rows ``idx``."""
+        return self._fold(self.run_lo, self.run_hi, idx, lo, hi)
+
+    def fold_count(
+        self, idx: np.ndarray, lo: np.ndarray, hi: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Intersect the COUNT running intersections of rows ``idx``."""
+        return self._fold(self.crun_lo, self.crun_hi, idx, lo, hi)

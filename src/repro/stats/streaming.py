@@ -11,6 +11,13 @@ moment of a stream, supports O(1) single-value updates, vectorized batch
 updates, and pairwise merging (Chan/Golub/LeVeque), and supports the affine
 "reflection" transform ``v -> (a + b) - v`` used by the paper's ``Rbound``
 implementations (Algorithms 1 and 2, step 4).
+
+:class:`MomentPool` is the struct-of-arrays counterpart used by the
+vectorized executor core: one slot per aggregate view, updated for *all*
+views of a scan window in O(rows) with ``np.bincount`` — no per-view
+Python iteration.  Slot ``i`` evolves exactly like an independent
+:class:`MomentState` fed the same values (up to floating-point summation
+order), which the parity test-suite verifies.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["MomentState", "ExtremaState"]
+__all__ = ["MomentState", "ExtremaState", "MomentPool"]
 
 
 @dataclass
@@ -152,3 +159,134 @@ class ExtremaState:
     def copy(self) -> "ExtremaState":
         """Independent copy of this state."""
         return ExtremaState(self.min, self.max)
+
+
+class MomentPool:
+    """Struct-of-arrays bank of :class:`MomentState`-equivalent slots.
+
+    Parameters
+    ----------
+    size:
+        Number of slots (one per aggregate view).
+
+    Attributes
+    ----------
+    count, mean, m2:
+        Parallel arrays; slot ``i`` carries the same semantics as a
+        :class:`MomentState` with those fields.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        self.size = size
+        self.count = np.zeros(size, dtype=np.int64)
+        self.mean = np.zeros(size, dtype=np.float64)
+        self.m2 = np.zeros(size, dtype=np.float64)
+
+    @staticmethod
+    def batch_stats(
+        indices: np.ndarray, values: np.ndarray, size: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-slot ``(counts, means, m2s)`` of one indexed batch, in O(len).
+
+        Accumulated with ``np.bincount`` plus the corrected two-pass
+        refinement (Chan/Golub/LeVeque): the residual sum recovers the
+        accuracy bincount's sequential summation loses relative to numpy's
+        pairwise ``mean``, and its square corrects the second moment.
+        A single-slot pool short-circuits to the pairwise path directly.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if size == 1:
+            counts = np.array([values.size], dtype=np.int64)
+            if values.size == 0:
+                return counts, np.zeros(1), np.zeros(1)
+            mean = float(values.mean())
+            m2 = float(np.square(values - mean).sum())
+            return counts, np.array([mean]), np.array([m2])
+        counts = np.bincount(indices, minlength=size)
+        sums = np.bincount(indices, weights=values, minlength=size)
+        safe_counts = np.maximum(counts, 1)
+        batch_mean = sums / safe_counts
+        deviations = values - batch_mean[indices]
+        residual = np.bincount(indices, weights=deviations, minlength=size)
+        batch_mean += residual / safe_counts
+        batch_m2 = (
+            np.bincount(indices, weights=deviations * deviations, minlength=size)
+            - residual * residual / safe_counts
+        )
+        return counts, batch_mean, np.maximum(batch_m2, 0.0)
+
+    def update_indexed(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Fold ``values[j]`` into slot ``indices[j]``, for all j, in O(len).
+
+        One vectorized Chan/Golub/LeVeque merge of :meth:`batch_stats`,
+        matching :meth:`MomentState.update_batch` applied per slot.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return
+        counts, means, m2s = self.batch_stats(indices, values, self.size)
+        self.merge_arrays(counts, means, m2s)
+
+    def merge_arrays(
+        self,
+        counts: np.ndarray,
+        means: np.ndarray,
+        m2s: np.ndarray,
+        present: np.ndarray | None = None,
+    ) -> None:
+        """Chan/Golub/LeVeque merge of per-slot aggregates (vectorized).
+
+        ``present`` restricts the merge to slots with a non-empty batch
+        (defaults to ``counts > 0``).
+        """
+        if present is None:
+            present = counts > 0
+        if not present.any():
+            return
+        n = counts[present]
+        old_count = self.count[present]
+        fresh = old_count == 0
+        total = old_count + n
+        delta = means[present] - self.mean[present]
+        weight = n / total
+        merged_mean = self.mean[present] + delta * weight
+        merged_m2 = self.m2[present] + m2s[present] + delta * delta * old_count * weight
+        # Slots previously empty adopt the batch aggregates verbatim, exactly
+        # like MomentState._merge's early return (avoids 0·∞-style noise).
+        self.mean[present] = np.where(fresh, means[present], merged_mean)
+        self.m2[present] = np.where(fresh, m2s[present], merged_m2)
+        self.count[present] = total
+
+    @property
+    def variance(self) -> np.ndarray:
+        """Per-slot biased sample variance ``m2 / count`` (0 when empty)."""
+        out = np.zeros(self.size, dtype=np.float64)
+        filled = self.count > 0
+        out[filled] = self.m2[filled] / self.count[filled]
+        return np.maximum(out, 0.0)
+
+    @property
+    def std(self) -> np.ndarray:
+        """Per-slot biased sample standard deviation."""
+        return np.sqrt(self.variance)
+
+    def std_of(self, indices: np.ndarray) -> np.ndarray:
+        """Biased sample standard deviation of selected slots only.
+
+        Equivalent to ``self.std[indices]`` without computing the variance
+        of every slot first (the per-round bounder kernels bound only the
+        views a round recomputes).
+        """
+        variance = self.m2[indices] / np.maximum(self.count[indices], 1)
+        return np.sqrt(np.maximum(variance, 0.0))
+
+    def state_of(self, index: int) -> MomentState:
+        """Scalar :class:`MomentState` copy of one slot (tests/debugging)."""
+        return MomentState(
+            count=int(self.count[index]),
+            mean=float(self.mean[index]),
+            m2=float(self.m2[index]),
+        )

@@ -13,6 +13,14 @@ tuples of any active group.
 All conditions consume :class:`GroupSnapshot` views: the current confidence
 interval, point estimate, and sample count per group (a single-aggregate
 query is a one-group special case).
+
+The vectorized executor core evaluates conditions over
+:class:`SnapshotColumns` — the struct-of-arrays equivalent of a snapshot
+mapping — via :meth:`StoppingCondition.active_mask` /
+:meth:`StoppingCondition.satisfied_columns`.  The base class bridges both
+representations, so custom conditions written against the mapping API keep
+working inside the array engine; every built-in condition overrides the
+array path with pure numpy.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from repro.bounders.base import Interval
 
 __all__ = [
     "GroupSnapshot",
+    "SnapshotColumns",
     "StoppingCondition",
     "SamplesTaken",
     "AbsoluteAccuracy",
@@ -64,6 +73,49 @@ class GroupSnapshot:
     estimate: float
     samples: int
     exhausted: bool = False
+
+
+@dataclass
+class SnapshotColumns:
+    """Struct-of-arrays form of a group-snapshot mapping (one row per group).
+
+    Attributes
+    ----------
+    keys:
+        Per-row group identifiers (the executor passes combined group
+        codes; any hashable-convertible array works).
+    lo, hi:
+        Confidence-interval endpoints.
+    estimate:
+        Point estimates.
+    samples:
+        Contributing sample counts.
+    exhausted:
+        Per-row exhaustion flags.
+    """
+
+    keys: np.ndarray
+    lo: np.ndarray
+    hi: np.ndarray
+    estimate: np.ndarray
+    samples: np.ndarray
+    exhausted: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return self.keys.size
+
+    def to_mapping(self) -> dict[GroupKey, GroupSnapshot]:
+        """Materialize the mapping view (compatibility bridge)."""
+        return {
+            int(self.keys[i]): GroupSnapshot(
+                interval=Interval(float(self.lo[i]), float(self.hi[i])),
+                estimate=float(self.estimate[i]),
+                samples=int(self.samples[i]),
+                exhausted=bool(self.exhausted[i]),
+            )
+            for i in range(self.size)
+        }
 
 
 def relative_error(interval: Interval, estimate: float) -> float:
@@ -105,6 +157,29 @@ class StoppingCondition(ABC):
         """
         return not self.active_groups(groups)
 
+    # -- struct-of-arrays flavour ---------------------------------------
+
+    def active_mask(self, columns: SnapshotColumns) -> np.ndarray:
+        """Boolean row mask over ``columns``: True = group is active.
+
+        The default materializes the mapping and delegates to
+        :meth:`active_groups`, so any custom condition participates in the
+        vectorized executor unchanged; built-ins override with numpy.
+        """
+        active = self.active_groups(columns.to_mapping())
+        return np.fromiter(
+            (int(key) in active for key in columns.keys),
+            dtype=bool,
+            count=columns.size,
+        )
+
+    def satisfied_columns(self, columns: SnapshotColumns) -> bool:
+        """Array-flavoured :meth:`satisfied` (same default rule)."""
+        if type(self).satisfied is StoppingCondition.satisfied:
+            return not self.active_mask(columns).any()
+        # The condition customizes `satisfied`; take the compatible route.
+        return self.satisfied(columns.to_mapping())
+
     @staticmethod
     def _live(groups: Mapping[GroupKey, GroupSnapshot]) -> dict[GroupKey, GroupSnapshot]:
         return {key: snap for key, snap in groups.items() if not snap.exhausted}
@@ -128,6 +203,9 @@ class SamplesTaken(StoppingCondition):
             key for key, snap in self._live(groups).items() if snap.samples < self.m
         }
 
+    def active_mask(self, columns: SnapshotColumns) -> np.ndarray:
+        return (columns.samples < self.m) & ~columns.exhausted
+
     def __repr__(self) -> str:
         return f"SamplesTaken(m={self.m})"
 
@@ -147,6 +225,9 @@ class AbsoluteAccuracy(StoppingCondition):
             if snap.interval.width >= self.epsilon
         }
 
+    def active_mask(self, columns: SnapshotColumns) -> np.ndarray:
+        return ((columns.hi - columns.lo) >= self.epsilon) & ~columns.exhausted
+
     def __repr__(self) -> str:
         return f"AbsoluteAccuracy(epsilon={self.epsilon})"
 
@@ -165,6 +246,18 @@ class RelativeAccuracy(StoppingCondition):
             for key, snap in self._live(groups).items()
             if relative_error(snap.interval, snap.estimate) >= self.epsilon
         }
+
+    def active_mask(self, columns: SnapshotColumns) -> np.ndarray:
+        lo, hi, est = columns.lo, columns.hi, columns.estimate
+        straddles = (lo <= 0.0) & (hi >= 0.0)
+        # Non-straddling intervals have same-sign nonzero endpoints, so the
+        # guarded denominators are only cosmetic (they silence the unused
+        # branch of the where()).
+        safe_hi = np.where(straddles, 1.0, np.abs(hi))
+        safe_lo = np.where(straddles, 1.0, np.abs(lo))
+        rel = np.maximum((hi - est) / safe_hi, (est - lo) / safe_lo)
+        rel = np.where(straddles, math.inf, rel)
+        return (rel >= self.epsilon) & ~columns.exhausted
 
     def __repr__(self) -> str:
         return f"RelativeAccuracy(epsilon={self.epsilon})"
@@ -187,6 +280,10 @@ class ThresholdSide(StoppingCondition):
             for key, snap in self._live(groups).items()
             if self.threshold in snap.interval
         }
+
+    def active_mask(self, columns: SnapshotColumns) -> np.ndarray:
+        contains = (columns.lo <= self.threshold) & (self.threshold <= columns.hi)
+        return contains & ~columns.exhausted
 
     def __repr__(self) -> str:
         return f"ThresholdSide(threshold={self.threshold})"
@@ -262,6 +359,38 @@ class TopKSeparated(StoppingCondition):
                 active.add(key)
         return active
 
+    def _ranked_order(self, estimate: np.ndarray) -> np.ndarray:
+        """Row order by estimate (descending for top-K), stable on ties —
+        matching ``sorted(..., reverse=self.largest)`` over mapping keys."""
+        return np.argsort(-estimate if self.largest else estimate, kind="stable")
+
+    def satisfied_columns(self, columns: SnapshotColumns) -> bool:
+        if columns.size <= self.k:
+            return True
+        order = self._ranked_order(columns.estimate)
+        selected, rest = order[: self.k], order[self.k :]
+        overlaps = (columns.lo[selected][:, None] <= columns.hi[rest][None, :]) & (
+            columns.lo[rest][None, :] <= columns.hi[selected][:, None]
+        )
+        return not bool(overlaps.any())
+
+    def active_mask(self, columns: SnapshotColumns) -> np.ndarray:
+        if columns.size <= self.k:
+            return np.zeros(columns.size, dtype=bool)
+        order = self._ranked_order(columns.estimate)
+        selected, rest = order[: self.k], order[self.k :]
+        midpoint = 0.5 * (
+            columns.estimate[selected[-1]] + columns.estimate[rest[0]]
+        )
+        active = np.zeros(columns.size, dtype=bool)
+        if self.largest:
+            active[selected] = columns.lo[selected] <= midpoint
+            active[rest] = columns.hi[rest] >= midpoint
+        else:
+            active[selected] = columns.hi[selected] >= midpoint
+            active[rest] = columns.lo[rest] <= midpoint
+        return active & ~columns.exhausted
+
     def __repr__(self) -> str:
         kind = "top" if self.largest else "bottom"
         return f"TopKSeparated(k={self.k}, {kind})"
@@ -295,6 +424,16 @@ class GroupsOrdered(StoppingCondition):
             for key, count in zip(keys, partners)
             if count > 1 and not groups[key].exhausted
         }
+
+    def active_mask(self, columns: SnapshotColumns) -> np.ndarray:
+        if columns.size < 2:
+            return np.zeros(columns.size, dtype=bool)
+        sorted_lows = np.sort(columns.lo)
+        sorted_highs = np.sort(columns.hi)
+        partners = np.searchsorted(
+            sorted_lows, columns.hi, side="right"
+        ) - np.searchsorted(sorted_highs, columns.lo, side="left")
+        return (partners > 1) & ~columns.exhausted
 
     def __repr__(self) -> str:
         return "GroupsOrdered()"
