@@ -1,10 +1,18 @@
-"""Hot-path benchmark: vectorized pool engine vs the scalar reference.
+"""Hot-path benchmark: vectorized pool engine vs the scalar reference,
+plus shared-scan gather vs sequential dashboard execution.
 
-Times a full-scan AVG GROUP BY query (an unachievable accuracy target, so
-every row is ingested and every round recomputes bounds for every view) at
-1, 10, 100, and 1000 groups, for both executor engines, and emits
-``BENCH_hot_path.json`` with rows/sec and per-round latency — the start of
-the repository's performance trajectory (see PERFORMANCE.md).
+Part 1 times a full-scan AVG GROUP BY query (an unachievable accuracy
+target, so every row is ingested and every round recomputes bounds for
+every view) at 1, 10, 100, and 1000 groups, for both executor engines.
+
+Part 2 times the paper's dashboard workload through the connection
+front-end: a 6-query mix (HAVING thresholds, accuracy contracts, top-K,
+COUNT) resolved sequentially (one scan cursor per query) vs via
+``conn.gather()`` (one shared cursor feeding every query's view pool),
+reporting rows fetched and wall time for both paths.
+
+Emits ``BENCH_hot_path.json`` — the repository's performance trajectory
+(see PERFORMANCE.md).
 
 Standalone script (not collected by pytest)::
 
@@ -34,6 +42,7 @@ import time
 
 import numpy as np
 
+from repro.api import connect
 from repro.bounders.registry import get_bounder
 from repro.fastframe.executor import ApproximateExecutor
 from repro.fastframe.query import AggregateFunction, Query
@@ -120,8 +129,95 @@ def run() -> dict:
     }
 
 
+def _dashboard_scramble() -> Scramble:
+    rng = np.random.default_rng(42)
+    table = Table(
+        continuous={
+            "delay": rng.gamma(2.0, 6.0, ROWS) - 4.0,
+            "distance": rng.uniform(100.0, 2500.0, ROWS),
+        },
+        categorical={
+            "airline": rng.integers(0, 12, ROWS).astype(str),
+            "origin": rng.integers(0, 40, ROWS).astype(str),
+        },
+        range_pad=0.1,
+    )
+    return Scramble(table, rng=np.random.default_rng(43))
+
+
+def _dashboard_handles(conn):
+    """A 6-query dashboard: the paper's §4.1 multi-query session shape."""
+    return [
+        conn.table().group_by("airline").named("having-hi").avg("delay", above=9.0),
+        conn.table().group_by("airline").named("having-lo").avg("delay", above=7.5),
+        conn.table().where("origin", "7").named("origin-avg").avg("delay", rel=0.2),
+        conn.table().group_by("airline").named("top3").avg("delay", top=3),
+        conn.table().group_by("airline").named("counts").count(rel=0.05),
+        conn.table().named("distance").avg("distance", rel=0.01),
+    ]
+
+
+def _dashboard_connection(scramble: Scramble):
+    return connect(
+        scramble,
+        bounder=BOUNDER,
+        delta=DELTA,
+        policy="harmonic",
+        rng=np.random.default_rng(9),
+    )
+
+
+def run_dashboard() -> dict:
+    """Gather-vs-sequential on the 6-query dashboard (best of REPS)."""
+    scramble = _dashboard_scramble()
+    start_block = 0
+    # Warm load-time metadata so timings measure execution, not catalog builds.
+    conn = _dashboard_connection(scramble)
+    conn.gather(_dashboard_handles(conn), start_block=start_block)
+
+    sequential_s = float("inf")
+    shared_s = float("inf")
+    sequential_rows = shared_rows = 0
+    windows = 0
+    for _ in range(REPS):
+        conn = _dashboard_connection(scramble)
+        handles = _dashboard_handles(conn)
+        start = time.perf_counter()
+        results = [handle.result(start_block=start_block) for handle in handles]
+        sequential_s = min(sequential_s, time.perf_counter() - start)
+        sequential_rows = sum(r.metrics.rows_read for r in results)
+
+        conn = _dashboard_connection(scramble)
+        handles = _dashboard_handles(conn)
+        start = time.perf_counter()
+        batch = conn.gather(handles, start_block=start_block)
+        shared_s = min(shared_s, time.perf_counter() - start)
+        shared_rows = batch.rows_read_shared
+        windows = batch.metrics.rounds
+        # Statistical honesty: batching must not change any answer.
+        for gathered, sequential in zip(batch.results, results):
+            assert gathered.metrics.rows_read == sequential.metrics.rows_read
+    entry = {
+        "queries": 6,
+        "rows_read_sequential": sequential_rows,
+        "rows_read_shared": shared_rows,
+        "rows_saved_pct": round(100.0 * (1.0 - shared_rows / sequential_rows), 1),
+        "sequential_s": round(sequential_s, 6),
+        "gather_s": round(shared_s, 6),
+        "wall_speedup": round(sequential_s / shared_s, 2),
+        "shared_windows": windows,
+    }
+    print(
+        f"dashboard: sequential {sequential_rows:,} rows / {sequential_s:.3f}s, "
+        f"gather {shared_rows:,} rows / {shared_s:.3f}s "
+        f"({entry['rows_saved_pct']}% rows saved, {entry['wall_speedup']}x wall)"
+    )
+    return entry
+
+
 def main() -> int:
     payload = run()
+    payload["dashboard"] = run_dashboard()
     with open(OUT, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

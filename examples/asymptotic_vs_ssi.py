@@ -17,9 +17,13 @@ Run:  python examples/asymptotic_vs_ssi.py
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.experiments.coverage import run_coverage_experiment, skewed_dataset
+
+TRIALS = int(os.environ.get("REPRO_EXAMPLE_TRIALS", "400"))
 
 DELTA = 0.05  # 95% confidence target
 BOUNDERS = ("hoeffding", "bernstein+rt", "clt", "student-t", "bootstrap")
@@ -41,7 +45,7 @@ def main() -> None:
         bounder_names=BOUNDERS,
         sample_sizes=SAMPLE_SIZES,
         delta=DELTA,
-        trials=400,
+        trials=TRIALS,
         data=data,
         seed=0,
     )

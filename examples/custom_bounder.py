@@ -12,6 +12,8 @@ Run:  python examples/custom_bounder.py
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.bounders import (
@@ -24,6 +26,8 @@ from repro.datasets import make_flights_scramble
 from repro.fastframe import AggregateFunction, ApproximateExecutor, ExactExecutor, Query
 from repro.stats.streaming import MomentState
 from repro.stopping import AbsoluteAccuracy
+
+ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", "300000"))
 
 
 class BestOfBothBounder(ErrorBounder):
@@ -72,7 +76,7 @@ class BestOfBothBounder(ErrorBounder):
 
 def main() -> None:
     print("building a 300k-row flights scramble ...")
-    scramble = make_flights_scramble(rows=300_000, seed=4)
+    scramble = make_flights_scramble(rows=ROWS, seed=4)
     query = Query(
         AggregateFunction.AVG, "DepDelay", AbsoluteAccuracy(3.0), name="custom"
     )

@@ -8,79 +8,101 @@ certifies each airline's side of the threshold — subset/superset errors
 are impossible up to the δ = 1e-9 failure probability, unlike CLT or
 bootstrap intervals (§1).
 
-The script also contrasts the four evaluated bounders' costs, a miniature
-of the paper's Table 5.
+The script uses the connection front-end end to end: the fluent builder
+compiles the query lazily, ``handle.rounds()`` streams the progressive
+per-round intervals a live dashboard would render, and a bounder
+mini-ablation (a miniature of the paper's Table 5) runs each contender on
+its own single-query connection.
 
 Run:  python examples/dashboard_having.py
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
+import repro
 from repro.bounders import EVALUATED_BOUNDERS, get_bounder
 from repro.datasets import make_flights_scramble
-from repro.fastframe import (
-    AggregateFunction,
-    ApproximateExecutor,
-    ExactExecutor,
-    Query,
-    get_strategy,
-)
-from repro.stopping import ThresholdSide
+from repro.fastframe import ExactExecutor
 
+ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", "500000"))
 THRESHOLD = 8.0  # minutes of average departure delay
 
 
-def main() -> None:
-    print("building a 500k-row flights scramble ...")
-    scramble = make_flights_scramble(rows=500_000, seed=1)
-
-    # SELECT Airline FROM flights GROUP BY Airline
-    #   HAVING AVG(DepDelay) > 8
-    query = Query(
-        AggregateFunction.AVG,
-        "DepDelay",
-        ThresholdSide(THRESHOLD),
-        group_by=("Airline",),
-        name="dashboard",
+def _handle(conn):
+    """SELECT Airline FROM flights GROUP BY Airline
+       HAVING AVG(DepDelay) > 8 — as a lazy builder handle."""
+    return (
+        conn.table()
+        .group_by("Airline")
+        .named("dashboard")
+        .avg("DepDelay", above=THRESHOLD)
     )
 
-    exact = ExactExecutor(scramble).execute(query)
-    truth = {key for key, group in exact.groups.items() if group.estimate > THRESHOLD}
 
-    print(f"\n{'bounder':14s} {'rows read':>10s} {'blocks':>8s} {'correct':>8s}")
-    for name in EVALUATED_BOUNDERS:
-        executor = ApproximateExecutor(
-            scramble,
-            get_bounder(name),
-            strategy=get_strategy("activepeek"),
-            delta=1e-9,
-            rng=np.random.default_rng(7),
-        )
-        result = executor.execute(query)
-        correct = result.keys_above(THRESHOLD) == truth
-        print(
-            f"{get_bounder(name).name:14s} {result.metrics.rows_read:10,d} "
-            f"{result.metrics.blocks_fetched:8,d} {str(correct):>8s}"
-        )
+def main() -> None:
+    print(f"building a {ROWS:,}-row flights scramble ...")
+    scramble = make_flights_scramble(rows=ROWS, seed=1)
 
-    # Render the dashboard from the best bounder's final state.
-    executor = ApproximateExecutor(
+    conn = repro.connect(
         scramble,
-        get_bounder("bernstein+rt"),
-        strategy=get_strategy("activepeek"),
+        strategy="activepeek",
         delta=1e-9,
+        max_queries=1,
         rng=np.random.default_rng(7),
     )
-    result = executor.execute(query)
-    print(f"\nairlines with AVG(DepDelay) > {THRESHOLD} (certified):")
+    handle = _handle(conn)
+
+    exact = ExactExecutor(scramble).execute(handle.query)
+    truth = {key for key, group in exact.groups.items() if group.estimate > THRESHOLD}
+
+    # Progressive resolution: what a live dashboard repaints every round.
+    print("\nstreaming rounds (undecided airlines shrink each round):")
+    final = None
+    for update in handle.rounds():
+        undecided = sum(
+            1
+            for snap in update.groups.values()
+            if snap.interval.lo <= THRESHOLD <= snap.interval.hi
+        )
+        print(
+            f"  round {update.round_index:>2}: {update.rows_read:>9,} rows read, "
+            f"{undecided:>2} airlines still straddle the threshold"
+        )
+        final = update
+    assert final is not None
+
+    result = handle.result()  # sealed by the rounds() iteration
+    correct = result.keys_above(THRESHOLD) == truth
+    print(f"\ncertified HAVING set matches exact evaluation: {correct}")
+    print(f"airlines with AVG(DepDelay) > {THRESHOLD} (certified):")
     for key in sorted(result.keys_above(THRESHOLD)):
         group = result.groups[key]
         print(
             f"  {key[0]}: estimate {group.estimate:6.2f}  "
             f"CI [{group.interval.lo:6.2f}, {group.interval.hi:6.2f}]  "
             f"({group.samples:,} samples)"
+        )
+
+    # Bounder mini-ablation (a miniature of Table 5), one connection each.
+    print(f"\n{'bounder':14s} {'rows read':>10s} {'blocks':>8s} {'correct':>8s}")
+    for name in EVALUATED_BOUNDERS:
+        contender = repro.connect(
+            scramble,
+            bounder=name,
+            strategy="activepeek",
+            delta=1e-9,
+            max_queries=1,
+            rng=np.random.default_rng(7),
+        )
+        outcome = _handle(contender).result()
+        ok = outcome.keys_above(THRESHOLD) == truth
+        print(
+            f"{get_bounder(name).name:14s} {outcome.metrics.rows_read:10,d} "
+            f"{outcome.metrics.blocks_fetched:8,d} {str(ok):>8s}"
         )
 
 

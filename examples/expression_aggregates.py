@@ -15,6 +15,8 @@ Run:  python examples/expression_aggregates.py
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.bounders import get_bounder
@@ -28,6 +30,8 @@ from repro.fastframe import (
     RangeBounds,
 )
 from repro.stopping import SamplesTaken
+
+ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", "300000"))
 
 
 def example_1() -> None:
@@ -43,7 +47,7 @@ def example_1() -> None:
 def live_aggregate() -> None:
     """AVG of squared delay deviation — a dispersion-style dashboard stat."""
     print("building a 300k-row flights scramble ...")
-    scramble = make_flights_scramble(rows=300_000, seed=3)
+    scramble = make_flights_scramble(rows=ROWS, seed=3)
 
     # AVG((DepDelay - 10)^2): convex in DepDelay; derived bounds come from
     # the corner maximum and the box-constrained minimum.

@@ -1,27 +1,34 @@
-"""Multi-query sessions: one scramble, many queries, one joint guarantee.
+"""Multi-query dashboards: one scramble, one scan, one joint guarantee.
 
 "The up-front shuffling cost need only be paid once in order to facilitate
 many queries, although care must be taken to set the error probability
 delta small enough when running multiple queries to avoid losing error
-bounder guarantees" (§4.1).  The :class:`~repro.fastframe.session.Session`
-makes that bookkeeping explicit: it allocates each query a slice of a
-session-level delta (evenly for a declared capacity, or with an open-ended
-1/k^2 decay), keeps a ledger, and guarantees that *every* interval issued
-across the whole session is simultaneously valid with probability at least
-1 - session_delta.
+bounder guarantees" (§4.1).  :func:`repro.connect` makes both halves of
+that sentence concrete:
+
+* every query resolved on the connection is charged a slice of one joint
+  delta budget (evenly for a declared capacity, or with an open-ended
+  1/k^2 decay), so *every* interval the dashboard ever shows is
+  simultaneously valid with probability at least 1 - delta;
+* ``conn.gather([...])`` resolves the whole dashboard off **one** shared
+  scan cursor — each pass over the scramble feeds every unfinished
+  query's view pool, and a block wanted by k queries is fetched once
+  instead of k times.
 
 Run:  python examples/multiquery_session.py
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-from repro.bounders import get_bounder
+import repro
 from repro.datasets import make_flights_scramble
-from repro.fastframe import Session
-from repro.sql import parse_query
 from repro.stopping import RelativeAccuracy
+
+ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", "500000"))
 
 DASHBOARD = [
     ("late airlines", "SELECT Airline FROM flights GROUP BY Airline HAVING AVG(DepDelay) > 9", None),
@@ -32,37 +39,48 @@ DASHBOARD = [
 
 
 def main() -> None:
-    print("building a 500k-row flights scramble (paid once for the session) ...")
-    scramble = make_flights_scramble(rows=500_000, seed=0)
+    print(f"building a {ROWS:,}-row flights scramble (paid once for the session) ...")
+    scramble = make_flights_scramble(rows=ROWS, seed=0)
 
-    session = Session(
+    conn = repro.connect(
         scramble,
-        get_bounder("bernstein+rt"),
-        session_delta=1e-9,          # joint budget for the whole dashboard
+        delta=1e-9,                  # joint budget for the whole dashboard
         policy="harmonic",           # open-ended: any number of queries
         rng=np.random.default_rng(1),
     )
 
-    for title, sql, stopping in DASHBOARD:
-        query = parse_query(sql, stopping=stopping, name=title)
-        result = session.execute(query)
+    # Handles are lazy: compiling the dashboard costs nothing yet.
+    handles = [
+        conn.sql(sql, stopping=stopping, name=title)
+        for title, sql, stopping in DASHBOARD
+    ]
+
+    # One shared scan resolves all four queries together.
+    batch = conn.gather(handles)
+    for handle, result in zip(handles, batch):
         rows_pct = result.metrics.rows_read / scramble.num_rows
-        if query.group_by:
+        if handle.query.group_by:
             summary = f"{len(result.groups)} groups"
         else:
             group = result.scalar()
             summary = f"{group.estimate:.2f} in [{group.interval.lo:.2f}, {group.interval.hi:.2f}]"
-        print(f"  ran {title!r}: {summary} ({rows_pct:.1%} of rows)")
+        print(f"  ran {handle.name!r}: {summary} ({rows_pct:.1%} of rows)")
+
+    print(
+        f"\nshared scan: {batch.rows_read_shared:,} rows fetched vs "
+        f"{batch.rows_read_sequential:,} if run one at a time "
+        f"({batch.savings:.1%} saved by the shared cursor)"
+    )
 
     print("\nsession delta ledger (union bound over all queries):")
     print(f"{'#':>3} {'query':<16} {'delta allocated':>16} {'rows read':>12} {'early stop':>11}")
-    for entry in session.audit():
+    for entry in conn.audit():
         print(
             f"{entry.index:>3} {entry.name:<16} {entry.delta:>16.3e} "
             f"{entry.rows_read:>12,} {str(entry.stopped_early):>11}"
         )
     print(
-        f"\nspent {session.spent_delta:.3e} of the {session.session_delta:.0e} "
+        f"\nspent {conn.spent_delta:.3e} of the {conn.session_delta:.0e} "
         "session budget; every interval above holds simultaneously w.h.p."
     )
 

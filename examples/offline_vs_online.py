@@ -15,6 +15,8 @@ Run:  python examples/offline_vs_online.py
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.bounders import get_bounder
@@ -30,7 +32,7 @@ from repro.fastframe import (
 )
 from repro.stopping import SamplesTaken
 
-ROWS = 300_000
+ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", "300000"))
 
 
 def build_table(seed: int = 0) -> Table:

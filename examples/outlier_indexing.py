@@ -15,6 +15,8 @@ Run:  python examples/outlier_indexing.py
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.bounders import get_bounder
@@ -28,7 +30,7 @@ from repro.fastframe import (
 )
 from repro.stopping import SamplesTaken
 
-ROWS = 200_000
+ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", "200000"))
 BUDGET = SamplesTaken(20_000)
 DELTA = 1e-9
 

@@ -18,6 +18,8 @@ Run:  python examples/query_planner.py
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.bounders import get_bounder
@@ -30,6 +32,8 @@ from repro.fastframe import (
     QueryPlanner,
 )
 from repro.stopping import AbsoluteAccuracy, ThresholdSide
+
+ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", "400000"))
 
 QUERIES = {
     "loose accuracy (width 20)": Query(
@@ -54,9 +58,9 @@ QUERIES = {
 
 def main() -> None:
     print("building a 400k-row flights scramble ...")
-    scramble = make_flights_scramble(rows=400_000, seed=0)
+    scramble = make_flights_scramble(rows=ROWS, seed=0)
     planner = QueryPlanner(
-        scramble, bounder_name="bernstein+rt", delta=1e-9, pilot_rows=20_000
+        scramble, bounder_name="bernstein+rt", delta=1e-9, pilot_rows=min(20_000, ROWS // 4)
     )
 
     print(f"\n{'query':<30} {'plan':<12} {'predicted scan':>14} {'actual scan':>12}")

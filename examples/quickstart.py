@@ -4,22 +4,33 @@ Builds a synthetic flights scramble, asks for the average departure delay
 of flights out of ORD with a relative-accuracy contract, and compares the
 approximate answer (and its certified interval) against exact evaluation.
 
+This script intentionally sticks to the pre-1.1 eager API through the
+top-level deprecation shims (``repro.ApproximateExecutor``): it must keep
+working unchanged, warnings aside, as proof of backward compatibility.
+See ``examples/multiquery_session.py`` for the current
+``repro.connect()`` front door.
+
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
+import repro
 from repro.bounders import get_bounder
 from repro.datasets import make_flights_scramble
-from repro.fastframe import AggregateFunction, ApproximateExecutor, Eq, ExactExecutor, Query
+from repro.fastframe import AggregateFunction, Eq, ExactExecutor, Query
 from repro.stopping import RelativeAccuracy
+
+ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", "500000"))
 
 
 def main() -> None:
-    print("building a 500k-row flights scramble ...")
-    scramble = make_flights_scramble(rows=500_000, seed=0)
+    print(f"building a {ROWS:,}-row flights scramble ...")
+    scramble = make_flights_scramble(rows=ROWS, seed=0)
 
     # SELECT AVG(DepDelay) FROM flights WHERE Origin = 'ORD'
     # stop once the relative error is certifiably below 30%.
@@ -31,7 +42,8 @@ def main() -> None:
         name="quickstart",
     )
 
-    executor = ApproximateExecutor(
+    # The deprecated top-level alias: warns, then behaves identically.
+    executor = repro.ApproximateExecutor(
         scramble,
         get_bounder("bernstein+rt"),  # the paper's best: no PMA, no PHOS
         delta=1e-9,                    # failure probability of the interval

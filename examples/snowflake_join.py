@@ -19,6 +19,8 @@ Run:  python examples/snowflake_join.py
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.bounders import get_bounder
@@ -33,6 +35,8 @@ from repro.fastframe import (
     Table,
 )
 from repro.stopping import GroupsOrdered
+
+ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", "400000"))
 
 AIRPORTS = ["ORD", "MDW", "SFO", "LAX", "JFK", "LGA", "AUS", "DFW"]
 STATES = ["IL", "IL", "CA", "CA", "NY", "NY", "TX", "TX"]
@@ -75,7 +79,7 @@ def main() -> None:
     from repro.fastframe.snowflake import denormalize
 
     print("building a 400k-row flights fact table + snowflake dimensions ...")
-    fact, fk = build_schema(rows=400_000, seed=0)
+    fact, fk = build_schema(rows=ROWS, seed=0)
 
     view = denormalize(fact, [fk])
     print(f"joined view columns: {', '.join(view.columns())}")

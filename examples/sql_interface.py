@@ -11,6 +11,8 @@ Run:  python examples/sql_interface.py
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.bounders import get_bounder
@@ -18,6 +20,8 @@ from repro.datasets import make_flights_scramble
 from repro.fastframe import ApproximateExecutor
 from repro.sql import parse_query
 from repro.stopping import RelativeAccuracy
+
+ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", "500000"))
 
 QUERIES = {
     "avg delay out of ORD (accuracy contract)": (
@@ -38,7 +42,7 @@ QUERIES = {
 
 def main() -> None:
     print("building a 500k-row flights scramble ...")
-    scramble = make_flights_scramble(rows=500_000, seed=0)
+    scramble = make_flights_scramble(rows=ROWS, seed=0)
 
     for title, (sql, stopping) in QUERIES.items():
         query = parse_query(sql, stopping=stopping, name=title)

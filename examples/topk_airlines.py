@@ -12,6 +12,8 @@ Run:  python examples/topk_airlines.py
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.bounders import get_bounder
@@ -25,10 +27,12 @@ from repro.fastframe import (
 )
 from repro.stopping import TopKSeparated
 
+ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", "500000"))
+
 
 def main() -> None:
     print("building a 500k-row flights scramble ...")
-    scramble = make_flights_scramble(rows=500_000, seed=2)
+    scramble = make_flights_scramble(rows=ROWS, seed=2)
 
     # SELECT Airline FROM flights GROUP BY Airline
     #   ORDER BY AVG(DepDelay) DESC LIMIT 1

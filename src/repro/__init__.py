@@ -4,6 +4,8 @@ Distribution-Sensitive Interval Guarantees" (Macke et al., ICDE 2021).
 The package implements the paper's confidence-interval techniques for
 approximate query processing with sample-size-independent (SSI) guarantees:
 
+* :mod:`repro.api` — the connection/handle front door: :func:`connect`,
+  lazy query handles, and shared-scan multi-query ``gather()``.
 * :mod:`repro.bounders` — Hoeffding-Serfling, empirical Bernstein-Serfling,
   and Anderson/DKW error bounders; the **RangeTrim** meta-bounder (§3) that
   eliminates phantom outlier sensitivity; PMA/PHOS pathology detectors.
@@ -19,54 +21,123 @@ approximate query processing with sample-size-independent (SSI) guarantees:
 * :mod:`repro.experiments` — queries F-q1..F-q9 and runners regenerating
   every table and figure of the paper's evaluation.
 
-Quickstart::
+Quickstart — open a connection, ask lazily, resolve with guarantees::
 
+    import repro
     from repro.datasets import make_flights_scramble
-    from repro.bounders import get_bounder
-    from repro.fastframe import ApproximateExecutor, Query, AggregateFunction, Eq
-    from repro.stopping import RelativeAccuracy
 
     scramble = make_flights_scramble(rows=500_000, seed=0)
-    executor = ApproximateExecutor(scramble, get_bounder("bernstein+rt"))
-    query = Query(AggregateFunction.AVG, "DepDelay", RelativeAccuracy(0.5),
-                  predicate=Eq("Origin", "ORD"))
-    result = executor.execute(query)
-    print(result.scalar().interval)
+    conn = repro.connect(scramble, delta=1e-9, policy="harmonic")
+
+    # One query: SQL or the fluent builder, resolved on demand.
+    ord_delay = conn.table().where("Origin", "ORD").avg("DepDelay", rel=0.3)
+    print(ord_delay.result().scalar().interval)
+
+    # A dashboard: many queries off ONE shared scan of the scramble.
+    late = conn.sql(
+        "SELECT Airline FROM flights GROUP BY Airline "
+        "HAVING AVG(DepDelay) > 9"
+    )
+    worst = conn.sql(
+        "SELECT Airline FROM flights GROUP BY Airline "
+        "ORDER BY AVG(DepDelay) DESC LIMIT 1"
+    )
+    batch = conn.gather([late, worst])
+    print(f"shared scan saved {batch.savings:.0%} of sequential row fetches")
+    print(late.result().keys_above(9), worst.result().top_k(1))
+
+Every interval issued on the connection is simultaneously valid with
+probability at least ``1 − delta`` (the §4.1 union bound, audited by
+``conn.audit()``).  The pre-1.x eager constructors
+(``repro.ApproximateExecutor``, ``repro.Session``) remain available as
+deprecated aliases of the same engines.
 """
 
+import warnings as _warnings
+
+from repro.api import (
+    Connection,
+    GatherResult,
+    QueryBuilder,
+    QueryHandle,
+    RoundUpdate,
+    connect,
+)
 from repro.bounders import ErrorBounder, Interval, RangeTrimBounder, get_bounder
 from repro.fastframe import (
     AggregateFunction,
-    ApproximateExecutor,
     ExactExecutor,
     Query,
     QueryPlanner,
     QueryResult,
     Scramble,
-    Session,
     Table,
 )
-from repro.sql import parse_query
+from repro.fastframe import ApproximateExecutor as _ApproximateExecutor
+from repro.fastframe import Session as _Session
+from repro.sql import parse_query, parse_statements
 from repro.stats import DEFAULT_DELTA, DeltaBudget
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AggregateFunction",
     "ApproximateExecutor",
+    "Connection",
     "DEFAULT_DELTA",
     "DeltaBudget",
     "ErrorBounder",
     "ExactExecutor",
+    "GatherResult",
     "Interval",
     "Query",
+    "QueryBuilder",
+    "QueryHandle",
     "QueryPlanner",
     "QueryResult",
     "RangeTrimBounder",
+    "RoundUpdate",
     "Scramble",
     "Session",
     "Table",
     "__version__",
+    "connect",
     "get_bounder",
     "parse_query",
+    "parse_statements",
 ]
+
+
+def _deprecated_constructor(cls: type, replacement: str) -> type:
+    """A subclass that warns once per call site, then behaves identically.
+
+    ``isinstance`` checks against the real class keep working (the shim is
+    a subclass); only *construction* through the top-level alias warns.
+    """
+
+    class _Shim(cls):
+        def __init__(self, *args, **kwargs):
+            _warnings.warn(
+                f"repro.{cls.__name__} is deprecated; use {replacement} "
+                "(the connection/handle API) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            super().__init__(*args, **kwargs)
+
+    _Shim.__name__ = cls.__name__
+    _Shim.__qualname__ = cls.__qualname__
+    _Shim.__doc__ = cls.__doc__
+    _Shim.__module__ = __name__
+    return _Shim
+
+
+#: Deprecated: construct executors through :func:`connect` — a
+#: ``Connection`` allocates δ per query and enables shared-scan batching.
+ApproximateExecutor = _deprecated_constructor(
+    _ApproximateExecutor, "repro.connect()"
+)
+
+#: Deprecated: ``Session``'s eager execute() is subsumed by
+#: :func:`connect`'s lazy handles + ``gather()`` on the same δ ledger.
+Session = _deprecated_constructor(_Session, "repro.connect()")

@@ -13,6 +13,10 @@ against the synthetic flights scramble from a terminal:
     The SSI-vs-asymptotic miss-rate experiment (the §1 motivation).
 ``query "SELECT …"``
     Parse, compile, and run one SQL query with certified intervals.
+``dashboard "SELECT …; SELECT …"``
+    Run a ``;``-separated multi-query script off **one** shared scan
+    (:meth:`repro.api.Connection.gather`), with a joint δ budget and a
+    printed ledger + shared-cursor savings report.
 
 Every command accepts ``--rows`` and ``--seed`` for the scramble size and
 reproducibility; table/figure commands accept ``--delta``.  Defaults are
@@ -27,7 +31,7 @@ import sys
 
 import numpy as np
 
-from repro.bounders.registry import available_bounders, get_bounder
+from repro.bounders.registry import available_bounders
 from repro.datasets import make_flights_scramble
 from repro.experiments import (
     ALL_QUERIES,
@@ -47,9 +51,9 @@ from repro.experiments.coverage import (
     DEFAULT_COVERAGE_BOUNDERS,
     run_coverage_experiment,
 )
-from repro.fastframe import ApproximateExecutor, get_strategy
+from repro.api import connect
 from repro.fastframe.scan import EVALUATED_STRATEGIES
-from repro.sql import parse_query
+from repro.sql import parse_query, parse_statements
 from repro.stopping import AbsoluteAccuracy, RelativeAccuracy, SamplesTaken
 
 __all__ = ["main", "build_parser", "parse_stopping"]
@@ -146,6 +150,28 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--strategy", default="scan", choices=sorted(EVALUATED_STRATEGIES),
     )
+
+    dashboard = commands.add_parser(
+        "dashboard",
+        help="run a ';'-separated SQL script off one shared scan",
+    )
+    dashboard.add_argument("sql", help="the multi-statement SQL script (quote it)")
+    _add_scramble_args(dashboard)
+    _add_delta_arg(dashboard)
+    dashboard.add_argument(
+        "--stopping", type=parse_stopping, default=None,
+        help="fallback stopping condition for statements that imply none",
+    )
+    dashboard.add_argument(
+        "--bounder", default="bernstein+rt", choices=sorted(available_bounders()),
+    )
+    dashboard.add_argument(
+        "--strategy", default="scan", choices=sorted(EVALUATED_STRATEGIES),
+    )
+    dashboard.add_argument(
+        "--policy", default="harmonic", choices=("even", "harmonic"),
+        help="per-query delta allocation policy for the joint budget",
+    )
     return parser
 
 
@@ -206,25 +232,7 @@ def _cmd_coverage(args, out) -> int:
     return 0
 
 
-def _cmd_query(args, out) -> int:
-    query = parse_query(args.sql, stopping=args.stopping, name="cli")
-    scramble = make_flights_scramble(rows=args.rows, seed=args.seed)
-    warm_metadata(scramble, query)
-    executor = ApproximateExecutor(
-        scramble,
-        get_bounder(args.bounder),
-        strategy=get_strategy(args.strategy),
-        delta=args.delta,
-        rng=np.random.default_rng(args.seed),
-    )
-    result = executor.execute(query)
-    print(f"stopping: {query.stopping!r}", file=out)
-    print(
-        f"rows read: {result.metrics.rows_read:,} / {scramble.num_rows:,} "
-        f"({result.metrics.rows_read / scramble.num_rows:.1%}); "
-        f"blocks fetched: {result.metrics.blocks_fetched:,}",
-        file=out,
-    )
+def _print_groups(result, out) -> None:
     for key, group in sorted(result.groups.items(), key=lambda kv: -kv[1].estimate):
         label = ", ".join(map(str, key)) if key else "(all)"
         print(
@@ -233,6 +241,74 @@ def _cmd_query(args, out) -> int:
             f"samples={group.samples:,}",
             file=out,
         )
+
+
+def _cmd_query(args, out) -> int:
+    query = parse_query(args.sql, stopping=args.stopping, name="cli")
+    scramble = make_flights_scramble(rows=args.rows, seed=args.seed)
+    warm_metadata(scramble, query)
+    # A single-query connection hands the whole δ to the one query —
+    # identical accounting to the pre-connection eager executor path.
+    # require_ssi=False: ad-hoc single queries may use non-SSI bounders.
+    conn = connect(
+        scramble,
+        bounder=args.bounder,
+        delta=args.delta,
+        policy="even",
+        max_queries=1,
+        strategy=args.strategy,
+        rng=np.random.default_rng(args.seed),
+        require_ssi=False,
+    )
+    result = conn.query(query).result()
+    print(f"stopping: {query.stopping!r}", file=out)
+    print(
+        f"rows read: {result.metrics.rows_read:,} / {scramble.num_rows:,} "
+        f"({result.metrics.rows_read / scramble.num_rows:.1%}); "
+        f"blocks fetched: {result.metrics.blocks_fetched:,}",
+        file=out,
+    )
+    _print_groups(result, out)
+    return 0
+
+
+def _cmd_dashboard(args, out) -> int:
+    queries = parse_statements(args.sql, stopping=args.stopping)
+    scramble = make_flights_scramble(rows=args.rows, seed=args.seed)
+    for query in queries:
+        warm_metadata(scramble, query)
+    conn = connect(
+        scramble,
+        bounder=args.bounder,
+        delta=args.delta,
+        policy=args.policy,
+        max_queries=max(len(queries), 1),
+        strategy=args.strategy,
+        rng=np.random.default_rng(args.seed),
+    )
+    handles = [conn.query(query) for query in queries]
+    batch = conn.gather(handles)
+    for handle, result in zip(handles, batch):
+        print(f"-- {handle.describe()}", file=out)
+        _print_groups(result, out)
+    print(
+        f"\nshared scan: {batch.rows_read_shared:,} rows fetched vs "
+        f"{batch.rows_read_sequential:,} sequential "
+        f"({batch.savings:.1%} saved); lookahead windows: "
+        f"{batch.metrics.rounds}",
+        file=out,
+    )
+    print("delta ledger (union bound over the whole dashboard):", file=out)
+    for entry in conn.audit():
+        print(
+            f"  #{entry.index} {entry.name:<12} delta={entry.delta:.3e} "
+            f"rows={entry.rows_read:,} early_stop={entry.stopped_early}",
+            file=out,
+        )
+    print(
+        f"spent {conn.spent_delta:.3e} of the {conn.session_delta:.0e} budget",
+        file=out,
+    )
     return 0
 
 
@@ -246,6 +322,7 @@ _COMMANDS = {
     "fig8": _cmd_figure,
     "coverage": _cmd_coverage,
     "query": _cmd_query,
+    "dashboard": _cmd_dashboard,
 }
 
 

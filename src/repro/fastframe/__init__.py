@@ -12,21 +12,29 @@ from repro.fastframe.catalog import Catalog, ColumnKind, RangeBounds
 from repro.fastframe.count import (
     SelectivityState,
     count_interval,
+    count_interval_batch,
     selectivity_interval,
     sum_interval,
+    sum_interval_batch,
     upper_bound_population,
+    upper_bound_population_batch,
 )
 from repro.fastframe.exact import ExactExecutor
 from repro.fastframe.executor import (
+    AUTO_POOL_THRESHOLD,
     COUNT_METHODS,
     DEFAULT_ROUND_ROWS,
     ENGINES,
     ApproximateExecutor,
+    QueryRun,
+    run_shared_scan,
 )
 from repro.fastframe.viewpool import ViewPool
 from repro.fastframe.hypergeometric import (
     hypergeometric_count_interval,
+    hypergeometric_count_interval_batch,
     hypergeometric_upper_bound_population,
+    hypergeometric_upper_bound_population_batch,
 )
 from repro.fastframe.outlier_index import (
     OutlierAvgResult,
@@ -48,11 +56,17 @@ from repro.fastframe.scan import (
     ActivePeekStrategy,
     ActiveSyncStrategy,
     SamplingStrategy,
+    ScanCursor,
     ScanStrategy,
     get_strategy,
 )
 from repro.fastframe.scramble import DEFAULT_BLOCK_SIZE, Scramble
-from repro.fastframe.session import QueryLedgerEntry, Session
+from repro.fastframe.session import (
+    LEDGER_POLICIES,
+    DeltaLedger,
+    QueryLedgerEntry,
+    Session,
+)
 from repro.fastframe.snowflake import Dimension, ForeignKey, denormalize
 from repro.fastframe.stratified import (
     StratifiedSampleStore,
@@ -62,6 +76,7 @@ from repro.fastframe.stratified import (
 from repro.fastframe.table import CategoricalColumn, Table
 
 __all__ = [
+    "AUTO_POOL_THRESHOLD",
     "AggregateFunction",
     "And",
     "ApproximateExecutor",
@@ -73,6 +88,7 @@ __all__ = [
     "Compare",
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_ROUND_ROWS",
+    "DeltaLedger",
     "ENGINES",
     "Dimension",
     "EVALUATED_STRATEGIES",
@@ -82,6 +98,7 @@ __all__ = [
     "ExecutionMetrics",
     "GroupResult",
     "In",
+    "LEDGER_POLICIES",
     "LOOKAHEAD_BATCH_BLOCKS",
     "Not",
     "Or",
@@ -94,9 +111,11 @@ __all__ = [
     "Query",
     "QueryLedgerEntry",
     "QueryResult",
+    "QueryRun",
     "RangeBounds",
     "Session",
     "SamplingStrategy",
+    "ScanCursor",
     "ScanStrategy",
     "ActivePeekStrategy",
     "ActiveSyncStrategy",
@@ -110,11 +129,17 @@ __all__ = [
     "ViewPool",
     "compose_outlier_avg",
     "count_interval",
+    "count_interval_batch",
     "denormalize",
     "get_strategy",
     "hypergeometric_count_interval",
+    "hypergeometric_count_interval_batch",
     "hypergeometric_upper_bound_population",
+    "hypergeometric_upper_bound_population_batch",
+    "run_shared_scan",
     "selectivity_interval",
     "sum_interval",
+    "sum_interval_batch",
     "upper_bound_population",
+    "upper_bound_population_batch",
 ]

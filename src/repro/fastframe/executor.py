@@ -82,7 +82,12 @@ from repro.fastframe.query import (
     Query,
     QueryResult,
 )
-from repro.fastframe.scan import SamplingStrategy, ScanContext, ScanStrategy
+from repro.fastframe.scan import (
+    SamplingStrategy,
+    ScanContext,
+    ScanCursor,
+    ScanStrategy,
+)
 from repro.fastframe.scramble import Scramble
 from repro.fastframe.viewpool import ViewPool
 from repro.stats.delta import DEFAULT_DELTA, DeltaBudget
@@ -90,7 +95,14 @@ from repro.stats.streaming import MomentPool, MomentState
 from repro.stopping.conditions import GroupSnapshot, SamplesTaken, SnapshotColumns
 from repro.stopping.optstop import RunningIntersection
 
-__all__ = ["ApproximateExecutor", "DEFAULT_ROUND_ROWS", "COUNT_METHODS", "ENGINES"]
+__all__ = [
+    "ApproximateExecutor",
+    "QueryRun",
+    "run_shared_scan",
+    "DEFAULT_ROUND_ROWS",
+    "COUNT_METHODS",
+    "ENGINES",
+]
 
 #: Recompute bounds every 40,000 rows read, as in the paper (§4.2).
 DEFAULT_ROUND_ROWS = 40_000
@@ -300,208 +312,28 @@ class ApproximateExecutor:
 
     def execute(self, query: Query, start_block: int | None = None) -> QueryResult:
         """Run a query to its stopping condition (or data exhaustion)."""
-        start_time = time.perf_counter()
-        table = self.scramble.table
-        metrics = ExecutionMetrics()
+        run = QueryRun(self, query)
+        cursor = self.cursor(start_block, window_blocks=run.window_blocks)
+        while not run.finished and not cursor.exhausted:
+            window = cursor.next_window()
+            run.feed(window, at_end=cursor.exhausted)
+        return run.finalize()
 
-        values_of, bounds = self._resolve_value_column(query)
-        group_by = query.group_by
-        domain = self._group_domain(group_by)
-        indexes = {column: self.index_for(column) for column in group_by}
-        predicate_requirements = query.predicate.categorical_requirements(table)
-        for column in predicate_requirements:
-            indexes.setdefault(column, self.index_for(column))
-
+    def cursor(
+        self, start_block: int | None = None, window_blocks: int | None = None
+    ) -> ScanCursor:
+        """A fresh scan cursor (random start position unless pinned)."""
         if start_block is None:
             start_block = int(self.rng.integers(self.scramble.num_blocks))
-        order = self.scramble.block_order_from(start_block)
-
-        engine = self.engine
-        if engine == "auto":
-            engine = "pool" if domain.size >= AUTO_POOL_THRESHOLD else "scalar"
-        run = self._run_pool if engine == "pool" else self._run_scalar
-        groups = run(
-            query, metrics, values_of, bounds, domain, indexes,
-            predicate_requirements, order,
+        return ScanCursor(
+            self.scramble,
+            start_block,
+            window_blocks or self.strategy.window_blocks,
         )
-        metrics.merge_index_counters(indexes.values())
-        metrics.wall_time_s = time.perf_counter() - start_time
-        return QueryResult(query=query, groups=groups, metrics=metrics)
 
     def _window_rows(self, window: np.ndarray) -> int:
         """Total rows spanned by a window of blocks (last block may be short)."""
-        block_size = self.scramble.block_size
-        return int(
-            (
-                np.minimum((window + 1) * block_size, self.scramble.num_rows)
-                - window * block_size
-            ).sum()
-        )
-
-    def _run_scalar(
-        self,
-        query: Query,
-        metrics: ExecutionMetrics,
-        values_of: Callable[[np.ndarray], np.ndarray] | None,
-        bounds: tuple[float, float],
-        domain: np.ndarray,
-        indexes: dict[str, BlockBitmapIndex],
-        predicate_requirements: dict[str, set[int]],
-        order: np.ndarray,
-    ) -> dict:
-        """Reference engine: one ``_ViewState`` object per view."""
-        group_by = query.group_by
-        views: dict[int, _ViewState] = {
-            int(code): _ViewState(
-                key_codes=self._split_combined(int(code), group_by),
-                bounder_state=self.bounder.init_state(),
-            )
-            for code in domain
-        }
-        num_views = max(len(views), 1)
-        view_budget = DeltaBudget(self.delta).split_even(num_views)
-
-        cursor = 0
-        rows_since_bound = 0
-        round_index = 0
-        satisfied = False
-        freezes_groups = self.strategy.uses_active_groups and bool(group_by)
-        # Condition Ê: with a fixed requested sample count, Algorithm 5's
-        # δ-decay is unnecessary (§4.2) — rounds only check sample counts,
-        # and a single full-budget CI is issued at the end of the run.
-        fixed_sample_mode = isinstance(query.stopping, SamplesTaken)
-        while cursor < order.size and not satisfied:
-            window = order[cursor : cursor + self.strategy.window_blocks]
-            cursor += window.size
-            context = ScanContext(
-                indexes=indexes,
-                predicate_requirements=predicate_requirements,
-                group_columns=group_by,
-                active_groups=[
-                    view.key_codes
-                    for view in views.values()
-                    if view.active and not view.dropped
-                ],
-            )
-            mask = self.strategy.select_blocks(window, context)
-            read_blocks = window[mask]
-            window_rows = self._window_rows(window)
-            metrics.blocks_fetched += int(mask.sum())
-            metrics.blocks_skipped += int(window.size - mask.sum())
-
-            rows = self.scramble.rows_of_blocks(read_blocks)
-            metrics.rows_read += rows.size
-            self._ingest(
-                query, views, rows, window_rows, values_of, freezes_groups
-            )
-            rows_since_bound += rows.size
-
-            if rows_since_bound >= self.round_rows or cursor >= order.size:
-                rows_since_bound = 0
-                round_index += 1
-                metrics.rounds = round_index
-                if not fixed_sample_mode:
-                    self._recompute_bounds(
-                        query, views, bounds, view_budget, round_index
-                    )
-                snapshots = self._snapshots(views, bounds)
-                self._refresh_active(query, views, snapshots)
-                satisfied = query.stopping.satisfied(snapshots)
-
-        if fixed_sample_mode:
-            # The one interval this run issues, at the undecayed per-view
-            # budget; computed for every surviving view regardless of its
-            # (sample-count-based) active flag.
-            self._recompute_bounds(
-                query, views, bounds, view_budget, round_index=None
-            )
-        metrics.stopped_early = satisfied and cursor < order.size
-        self._finalize_exhausted(query, views)
-        return {
-            self._decode_key(view.key_codes, group_by): self._group_result(
-                query, view, group_by
-            )
-            for view in views.values()
-            if not view.dropped
-        }
-
-    def _run_pool(
-        self,
-        query: Query,
-        metrics: ExecutionMetrics,
-        values_of: Callable[[np.ndarray], np.ndarray] | None,
-        bounds: tuple[float, float],
-        domain: np.ndarray,
-        indexes: dict[str, BlockBitmapIndex],
-        predicate_requirements: dict[str, set[int]],
-        order: np.ndarray,
-    ) -> dict:
-        """Vectorized engine: struct-of-arrays state, bincount ingest."""
-        group_by = query.group_by
-        key_codes = [
-            self._split_combined(int(code), group_by) for code in domain
-        ]
-        pool = ViewPool.build(domain, key_codes, self.bounder)
-        num_views = max(pool.size, 1)
-        view_budget = DeltaBudget(self.delta).split_even(num_views)
-        combined_full = (
-            self._combined_codes(group_by, rows=None) if group_by else None
-        )
-
-        cursor = 0
-        rows_since_bound = 0
-        round_index = 0
-        satisfied = False
-        uses_active = self.strategy.uses_active_groups
-        freezes_groups = uses_active and bool(group_by)
-        fixed_sample_mode = isinstance(query.stopping, SamplesTaken)
-        while cursor < order.size and not satisfied:
-            window = order[cursor : cursor + self.strategy.window_blocks]
-            cursor += window.size
-            if uses_active:
-                active_rows = np.flatnonzero(pool.active & ~pool.dropped)
-                active_groups = [pool.key_codes[i] for i in active_rows]
-            else:
-                active_groups = []
-            context = ScanContext(
-                indexes=indexes,
-                predicate_requirements=predicate_requirements,
-                group_columns=group_by,
-                active_groups=active_groups,
-            )
-            mask = self.strategy.select_blocks(window, context)
-            read_blocks = window[mask]
-            window_rows = self._window_rows(window)
-            metrics.blocks_fetched += int(mask.sum())
-            metrics.blocks_skipped += int(window.size - mask.sum())
-
-            rows = self.scramble.rows_of_blocks(read_blocks)
-            metrics.rows_read += rows.size
-            self._ingest_pool(
-                query, pool, rows, window_rows, values_of,
-                freezes_groups, combined_full,
-            )
-            rows_since_bound += rows.size
-
-            if rows_since_bound >= self.round_rows or cursor >= order.size:
-                rows_since_bound = 0
-                round_index += 1
-                metrics.rounds = round_index
-                if not fixed_sample_mode:
-                    self._recompute_bounds_pool(
-                        query, pool, bounds, view_budget, round_index
-                    )
-                columns = self._snapshot_columns(pool, bounds)
-                self._refresh_active_pool(query, pool, columns)
-                satisfied = query.stopping.satisfied_columns(columns)
-
-        if fixed_sample_mode:
-            self._recompute_bounds_pool(
-                query, pool, bounds, view_budget, round_index=None
-            )
-        metrics.stopped_early = satisfied and cursor < order.size
-        self._finalize_exhausted_pool(query, pool)
-        return self._pool_results(query, pool, group_by)
+        return self.scramble.count_rows_of_blocks(window)
 
     # ------------------------------------------------------------------
     # Internals
@@ -878,26 +710,7 @@ class ApproximateExecutor:
     ) -> SnapshotColumns:
         """Array mirror of :meth:`_snapshots` over the non-dropped views."""
         a, b = bounds
-        live = np.flatnonzero(~pool.dropped)
-        lo = pool.iv_lo[live]
-        hi = pool.iv_hi[live]
-        trivial = ~(np.isfinite(lo) & np.isfinite(hi))
-        lo = np.where(trivial, a, lo)
-        hi = np.where(trivial, b, hi)
-        samples = pool.sample.count[live]
-        estimate = np.where(
-            samples > 0, pool.sample.mean[live], 0.5 * (lo + hi)
-        )
-        columns = SnapshotColumns(
-            keys=pool.codes[live],
-            lo=lo,
-            hi=hi,
-            estimate=estimate,
-            samples=samples,
-            exhausted=pool.exhausted[live],
-        )
-        columns.rows = live  # pool row per snapshot row (executor-internal)
-        return columns
+        return pool.snapshot_columns(a, b)
 
     def _refresh_active_pool(
         self, query: Query, pool: ViewPool, columns: SnapshotColumns
@@ -969,3 +782,315 @@ class ApproximateExecutor:
                 exhausted=bool(pool.exhausted[row]),
             )
         return groups
+
+
+class QueryRun:
+    """The steppable execution state of one query over a scramble.
+
+    A run is the executor's unit of progress: it owns the per-view state
+    (a :class:`~repro.fastframe.viewpool.ViewPool` or the scalar
+    ``_ViewState`` dictionary, per the resolved engine), the δ budget, and
+    the round counters — but *not* the scan position.  Windows of blocks
+    are pushed in from the outside via :meth:`feed`, which makes the same
+    state machine serve two drivers:
+
+    * :meth:`ApproximateExecutor.execute` — one run, one private
+      :class:`~repro.fastframe.scan.ScanCursor`;
+    * :func:`run_shared_scan` — many runs (one per dashboard query) fed
+      from a **single shared cursor**, each retiring independently when
+      its stopping condition fires.
+
+    Because a run consumes every window exactly as the solo loop would
+    (block selection, ingest, and round cadence are all computed from its
+    own state), feeding N runs from one cursor produces bitwise the same
+    per-query results as N sequential executions from the same start
+    block — the parity suite pins this.
+    """
+
+    def __init__(
+        self, executor: ApproximateExecutor, query: Query
+    ) -> None:
+        ex = executor
+        self.executor = ex
+        self.query = query
+        self.metrics = ExecutionMetrics()
+        self._start_time = time.perf_counter()
+
+        self.values_of, self.bounds = ex._resolve_value_column(query)
+        self.group_by = query.group_by
+        self.domain = ex._group_domain(self.group_by)
+        self.indexes = {
+            column: ex.index_for(column) for column in self.group_by
+        }
+        self.predicate_requirements = query.predicate.categorical_requirements(
+            ex.scramble.table
+        )
+        for column in self.predicate_requirements:
+            self.indexes.setdefault(column, ex.index_for(column))
+
+        engine = ex.engine
+        if engine == "auto":
+            engine = "pool" if self.domain.size >= AUTO_POOL_THRESHOLD else "scalar"
+        self.engine = engine
+        self.strategy = ex.strategy
+        self.uses_active = ex.strategy.uses_active_groups
+        self.freezes_groups = self.uses_active and bool(self.group_by)
+        # Condition Ê: with a fixed requested sample count, Algorithm 5's
+        # δ-decay is unnecessary (§4.2) — rounds only check sample counts,
+        # and a single full-budget CI is issued at the end of the run.
+        self.fixed_sample_mode = isinstance(query.stopping, SamplesTaken)
+
+        if engine == "pool":
+            key_codes = [
+                ex._split_combined(int(code), self.group_by)
+                for code in self.domain
+            ]
+            self.pool: ViewPool | None = ViewPool.build(
+                self.domain, key_codes, ex.bounder
+            )
+            self.views: dict[int, _ViewState] | None = None
+            num_views = max(self.pool.size, 1)
+            self.combined_full = (
+                ex._combined_codes(self.group_by, rows=None)
+                if self.group_by
+                else None
+            )
+        else:
+            self.pool = None
+            self.views = {
+                int(code): _ViewState(
+                    key_codes=ex._split_combined(int(code), self.group_by),
+                    bounder_state=ex.bounder.init_state(),
+                )
+                for code in self.domain
+            }
+            num_views = max(len(self.views), 1)
+            self.combined_full = None
+        self.view_budget = DeltaBudget(ex.delta).split_even(num_views)
+
+        self.rows_since_bound = 0
+        self.round_index = 0
+        self.satisfied = False
+        self._scan_ended = False
+        self._finalized: QueryResult | None = None
+
+    # -- driver interface ----------------------------------------------
+
+    @property
+    def window_blocks(self) -> int:
+        """Lookahead window size the run expects to be fed in."""
+        return self.strategy.window_blocks
+
+    @property
+    def finished(self) -> bool:
+        """True once the run needs no further windows."""
+        return self.satisfied or self._scan_ended
+
+    def feed(self, window: np.ndarray, at_end: bool) -> np.ndarray:
+        """Process one lookahead window of blocks.
+
+        Selects this query's blocks (per its strategy and active groups),
+        ingests the fetched rows, and — every ``round_rows`` rows or at
+        scan end (``at_end=True``) — runs one OptStop round.  Returns the
+        boolean fetch mask over ``window`` so a shared-scan driver can
+        union the physical block fetches across runs.
+        """
+        ex = self.executor
+        if self.pool is not None:
+            if self.uses_active:
+                active_rows = np.flatnonzero(self.pool.active & ~self.pool.dropped)
+                active_groups = [self.pool.key_codes[i] for i in active_rows]
+            else:
+                active_groups = []
+        else:
+            active_groups = [
+                view.key_codes
+                for view in self.views.values()
+                if view.active and not view.dropped
+            ]
+        context = ScanContext(
+            indexes=self.indexes,
+            predicate_requirements=self.predicate_requirements,
+            group_columns=self.group_by,
+            active_groups=active_groups,
+        )
+        mask = self.strategy.select_blocks(window, context)
+        read_blocks = window[mask]
+        window_rows = ex._window_rows(window)
+        self.metrics.blocks_fetched += int(mask.sum())
+        self.metrics.blocks_skipped += int(window.size - mask.sum())
+
+        rows = ex.scramble.rows_of_blocks(read_blocks)
+        self.metrics.rows_read += rows.size
+        if self.pool is not None:
+            ex._ingest_pool(
+                self.query, self.pool, rows, window_rows, self.values_of,
+                self.freezes_groups, self.combined_full,
+            )
+        else:
+            ex._ingest(
+                self.query, self.views, rows, window_rows, self.values_of,
+                self.freezes_groups,
+            )
+        self.rows_since_bound += rows.size
+        if at_end:
+            self._scan_ended = True
+
+        if self.rows_since_bound >= ex.round_rows or at_end:
+            self.rows_since_bound = 0
+            self.round_index += 1
+            self.metrics.rounds = self.round_index
+            if self.pool is not None:
+                if not self.fixed_sample_mode:
+                    ex._recompute_bounds_pool(
+                        self.query, self.pool, self.bounds,
+                        self.view_budget, self.round_index,
+                    )
+                columns = ex._snapshot_columns(self.pool, self.bounds)
+                ex._refresh_active_pool(self.query, self.pool, columns)
+                self.satisfied = self.query.stopping.satisfied_columns(columns)
+            else:
+                if not self.fixed_sample_mode:
+                    ex._recompute_bounds(
+                        self.query, self.views, self.bounds,
+                        self.view_budget, self.round_index,
+                    )
+                snapshots = ex._snapshots(self.views, self.bounds)
+                ex._refresh_active(self.query, self.views, snapshots)
+                self.satisfied = self.query.stopping.satisfied(snapshots)
+        return mask
+
+    def group_snapshots(self) -> dict:
+        """Decoded per-group snapshots of the run's current intervals.
+
+        The progressive view a live dashboard renders between rounds
+        (:meth:`repro.api.QueryHandle.rounds`); keys are decoded group-by
+        values, values are :class:`~repro.stopping.conditions.GroupSnapshot`.
+        """
+        ex = self.executor
+        if self.pool is not None:
+            columns = ex._snapshot_columns(self.pool, self.bounds)
+            return {
+                ex._decode_key(self.pool.key_codes[row], self.group_by): GroupSnapshot(
+                    interval=Interval(float(columns.lo[i]), float(columns.hi[i])),
+                    estimate=float(columns.estimate[i]),
+                    samples=int(columns.samples[i]),
+                    exhausted=bool(columns.exhausted[i]),
+                )
+                for i, row in enumerate(columns.rows)
+            }
+        snapshots = ex._snapshots(self.views, self.bounds)
+        return {
+            ex._decode_key(self.views[code].key_codes, self.group_by): snap
+            for code, snap in snapshots.items()
+        }
+
+    def finalize(self, merge_index_counters: bool = True) -> QueryResult:
+        """Seal the run and materialize its :class:`QueryResult`.
+
+        ``merge_index_counters=False`` leaves the (scramble-shared) bitmap
+        probe counters untouched so a shared-scan driver can attribute them
+        to the whole gather instead of whichever run finalizes first.
+        """
+        if self._finalized is not None:
+            return self._finalized
+        ex = self.executor
+        if self.fixed_sample_mode:
+            # The one interval this run issues, at the undecayed per-view
+            # budget; computed for every surviving view regardless of its
+            # (sample-count-based) active flag.
+            if self.pool is not None:
+                ex._recompute_bounds_pool(
+                    self.query, self.pool, self.bounds,
+                    self.view_budget, round_index=None,
+                )
+            else:
+                ex._recompute_bounds(
+                    self.query, self.views, self.bounds,
+                    self.view_budget, round_index=None,
+                )
+        self.metrics.stopped_early = self.satisfied and not self._scan_ended
+        if self.pool is not None:
+            ex._finalize_exhausted_pool(self.query, self.pool)
+            groups = ex._pool_results(self.query, self.pool, self.group_by)
+        else:
+            ex._finalize_exhausted(self.query, self.views)
+            groups = {
+                ex._decode_key(view.key_codes, self.group_by): ex._group_result(
+                    self.query, view, self.group_by
+                )
+                for view in self.views.values()
+                if not view.dropped
+            }
+        if merge_index_counters:
+            self.metrics.merge_index_counters(self.indexes.values())
+        self.metrics.wall_time_s = time.perf_counter() - self._start_time
+        self._finalized = QueryResult(
+            query=self.query, groups=groups, metrics=self.metrics
+        )
+        return self._finalized
+
+
+def run_shared_scan(
+    runs: list[QueryRun], cursor: ScanCursor
+) -> ExecutionMetrics:
+    """Drive many query runs from one scan cursor (the gather hot loop).
+
+    Each pass takes the next lookahead window off the shared cursor and
+    feeds it to every unfinished run; a block wanted by k queries is
+    fetched once, not k times, so the returned metrics count the **union**
+    of the runs' block fetches — the physical cost of the whole batch.
+    Runs retire independently as their stopping conditions fire; the scan
+    stops as soon as every run is finished (or the scramble is exhausted).
+
+    Per-run results are untouched by the sharing: call
+    ``run.finalize(merge_index_counters=False)`` on each run afterwards to
+    collect per-query results whose intervals match sequential execution
+    from the same start block exactly.
+
+    ``metrics.rounds`` counts shared passes (windows taken off the
+    cursor); ``stopped_early`` is True when every run satisfied its
+    stopping condition before the scramble ran out.
+    """
+    if not runs:
+        raise ValueError("run_shared_scan requires at least one QueryRun")
+    scramble = cursor.scramble
+    for run in runs:
+        if run.executor.scramble is not scramble:
+            raise ValueError(
+                "all runs in a shared scan must target the cursor's scramble"
+            )
+        if run.window_blocks != cursor.window_blocks:
+            raise ValueError(
+                "all runs in a shared scan must use the cursor's window size "
+                f"({run.window_blocks} != {cursor.window_blocks})"
+            )
+    metrics = ExecutionMetrics()
+    start_time = time.perf_counter()
+    indexes: dict[str, BlockBitmapIndex] = {}
+    for run in runs:
+        indexes.update(run.indexes)
+
+    while not cursor.exhausted and any(not run.finished for run in runs):
+        window = cursor.next_window()
+        at_end = cursor.exhausted
+        union = np.zeros(window.shape, dtype=bool)
+        for run in runs:
+            if run.finished:
+                continue
+            union |= run.feed(window, at_end)
+            if run.finished:
+                # Seal the run the moment it retires so its wall time
+                # spans construction → retirement, not the whole batch
+                # (finalize is cached; later calls return this result).
+                run.finalize(merge_index_counters=False)
+        fetched = int(union.sum())
+        metrics.blocks_fetched += fetched
+        metrics.blocks_skipped += int(window.size - fetched)
+        metrics.rows_read += scramble.count_rows_of_blocks(window[union])
+        metrics.rounds += 1
+
+    metrics.stopped_early = all(run.satisfied for run in runs)
+    metrics.merge_index_counters(indexes.values())
+    metrics.wall_time_s = time.perf_counter() - start_time
+    return metrics

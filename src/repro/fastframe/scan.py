@@ -36,6 +36,7 @@ from repro.fastframe.bitmap import LOOKAHEAD_BATCH_BLOCKS, BlockBitmapIndex
 
 __all__ = [
     "ScanContext",
+    "ScanCursor",
     "SamplingStrategy",
     "ScanStrategy",
     "ActiveSyncStrategy",
@@ -43,6 +44,43 @@ __all__ = [
     "get_strategy",
     "EVALUATED_STRATEGIES",
 ]
+
+
+class ScanCursor:
+    """A sequential wrapped-scan position over a scramble's blocks.
+
+    Yields the scramble's blocks in scan order from ``start_block``
+    (wrapping, each block exactly once) in lookahead windows of
+    ``window_blocks``.  The cursor is the unit of sharing for multi-query
+    execution: one cursor can feed several concurrent
+    :class:`~repro.fastframe.executor.QueryRun` states, so a whole
+    dashboard session costs a single pass over the scramble.
+    """
+
+    def __init__(
+        self,
+        scramble,
+        start_block: int,
+        window_blocks: int = LOOKAHEAD_BATCH_BLOCKS,
+    ) -> None:
+        if window_blocks < 1:
+            raise ValueError(f"window_blocks must be >= 1, got {window_blocks}")
+        self.scramble = scramble
+        self.start_block = int(start_block)
+        self.window_blocks = window_blocks
+        self.order = scramble.block_order_from(self.start_block)
+        self.position = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every block has been handed out."""
+        return self.position >= self.order.size
+
+    def next_window(self) -> np.ndarray:
+        """The next lookahead window of block ids (empty when exhausted)."""
+        window = self.order[self.position : self.position + self.window_blocks]
+        self.position += window.size
+        return window
 
 
 @dataclass

@@ -77,6 +77,21 @@ class Scramble:
         rows = self.block_rows(block_id)
         return rows.stop - rows.start
 
+    def count_rows_of_blocks(self, block_ids: np.ndarray) -> int:
+        """Total rows spanned by a set of blocks (pure arithmetic).
+
+        Equivalent to ``rows_of_blocks(block_ids).size`` without
+        materializing the row-index array — used by accounting paths that
+        only need the count (the last block may be short).
+        """
+        block_ids = np.asarray(block_ids, dtype=np.int64)
+        if block_ids.size == 0:
+            return 0
+        starts = block_ids * self.block_size
+        return int(
+            (np.minimum(starts + self.block_size, self.num_rows) - starts).sum()
+        )
+
     def rows_of_blocks(self, block_ids: np.ndarray) -> np.ndarray:
         """Row indices of a set of blocks, in block order.
 

@@ -1,4 +1,4 @@
-"""Multi-query sessions with an auditable δ budget (§4.1).
+"""Multi-query δ ledgers and the legacy :class:`Session` front-end (§4.1).
 
 A scramble's "up-front shuffling cost need only be paid once in order to
 facilitate many queries, although care must be taken to set the error
@@ -8,8 +8,8 @@ is *reused* across queries, so query-level failure events are not
 independent; a union bound over every query run in the session is what
 keeps the joint guarantee.
 
-:class:`Session` packages that bookkeeping.  It is constructed with a total
-session-level error probability and a per-query allocation policy:
+:class:`DeltaLedger` packages that bookkeeping.  It is constructed with a
+total session-level error probability and a per-query allocation policy:
 
 * ``"even"`` — the session is declared for up to ``max_queries`` queries
   and each receives ``δ_session / max_queries`` (the paper's policy: at
@@ -21,24 +21,36 @@ session-level error probability and a per-query allocation policy:
   across rounds), so *any* number of queries may be run and the spent
   probability still telescopes to at most ``δ_session``.
 
-After each query the session records what was spent; :attr:`spent_delta`
-and :meth:`audit` expose the ledger.
+Each query is :meth:`~DeltaLedger.charge`\\ d *before* it runs (so batched
+and sequential execution spend identically) and
+:meth:`~DeltaLedger.settle`\\ d with its cost counters afterwards;
+:attr:`~DeltaLedger.spent_delta` and :meth:`~DeltaLedger.audit` expose the
+ledger.
+
+:class:`Session` is the original eager front door, kept for backward
+compatibility and rebuilt as a thin layer over
+:class:`repro.api.Connection` — the lazy connection/handle API that adds
+``gather()`` shared-scan batching.  New code should call
+:func:`repro.connect` directly.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.bounders.base import ErrorBounder
-from repro.fastframe.executor import ApproximateExecutor
 from repro.fastframe.query import Query, QueryResult
 from repro.fastframe.scan import SamplingStrategy
 from repro.fastframe.scramble import Scramble
 from repro.stats.delta import DEFAULT_DELTA, optstop_round_delta
 
-__all__ = ["Session", "QueryLedgerEntry"]
+__all__ = ["DeltaLedger", "Session", "QueryLedgerEntry", "LEDGER_POLICIES"]
+
+#: Per-query δ allocation policies a ledger supports.
+LEDGER_POLICIES = ("even", "harmonic")
 
 
 @dataclass(frozen=True)
@@ -52,8 +64,144 @@ class QueryLedgerEntry:
     stopped_early: bool
 
 
+class DeltaLedger:
+    """The session-level δ budget: allocation policy + auditable spend.
+
+    Parameters
+    ----------
+    session_delta:
+        Total error probability for *all* queries combined: with
+        probability at least ``1 − session_delta`` every interval returned
+        by every charged query is simultaneously valid.
+    policy:
+        ``"even"`` (requires ``max_queries``) or ``"harmonic"`` (open
+        ended); see the module docstring.
+    max_queries:
+        Declared query capacity for the ``"even"`` policy.
+    """
+
+    def __init__(
+        self,
+        session_delta: float = DEFAULT_DELTA,
+        policy: str = "even",
+        max_queries: int = 100,
+    ) -> None:
+        if policy not in LEDGER_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; expected 'even' or 'harmonic'"
+            )
+        if not 0.0 < session_delta < 1.0:
+            raise ValueError(
+                f"session_delta must be in (0, 1), got {session_delta}"
+            )
+        if policy == "even" and max_queries < 1:
+            raise ValueError(f"max_queries must be >= 1, got {max_queries}")
+        self.session_delta = session_delta
+        self.policy = policy
+        self.max_queries = max_queries
+        self._entries: list[QueryLedgerEntry] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def queries_run(self) -> int:
+        return len(self._entries)
+
+    @property
+    def spent_delta(self) -> float:
+        """Total error probability consumed so far (union bound)."""
+        return sum(entry.delta for entry in self._entries)
+
+    def next_delta(self) -> float:
+        """The δ the next charged query will receive under the policy."""
+        return self.preview(1)[0]
+
+    def preview(self, count: int) -> tuple[float, ...]:
+        """The δs the next ``count`` charges will receive — committing
+        nothing.
+
+        Allocation is deterministic in charge order, so callers can build
+        and *validate* executions against previewed δs and only charge the
+        ledger once nothing can fail any more (a failed query must not
+        strand spent δ).
+        """
+        self.ensure_capacity(count)
+        if self.policy == "even":
+            return (self.session_delta / self.max_queries,) * count
+        return tuple(
+            optstop_round_delta(self.session_delta, self.queries_run + k)
+            for k in range(1, count + 1)
+        )
+
+    def ensure_capacity(self, count: int) -> None:
+        """Raise unless ``count`` more queries can be charged.
+
+        Batch callers (``gather``) check the whole batch *before* charging
+        anything, so a capacity overflow never strands partially-charged,
+        never-run queries on the ledger.
+        """
+        if (
+            self.policy == "even"
+            and self.queries_run + count > self.max_queries
+        ):
+            remaining = self.max_queries - self.queries_run
+            shortfall = (
+                "run all of them"
+                if remaining == 0
+                else f"only {remaining} left ({count} requested)"
+            )
+            raise RuntimeError(
+                f"session declared for {self.max_queries} queries has "
+                f"{shortfall}; start a new session or use the 'harmonic' "
+                f"policy for open-ended sessions"
+            )
+
+    def charge(self, name: str) -> QueryLedgerEntry:
+        """Allocate the next query's δ and open its ledger line.
+
+        Charging happens *before* execution: the allocation order is the
+        charge order, so a batched gather spends exactly what the same
+        queries charged sequentially would.  The entry's cost counters
+        start at zero until :meth:`settle` fills them in.
+        """
+        entry = QueryLedgerEntry(
+            index=len(self._entries) + 1,
+            name=name,
+            delta=self.next_delta(),
+            rows_read=0,
+            stopped_early=False,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def settle(self, index: int, rows_read: int, stopped_early: bool) -> None:
+        """Fill in a charged entry's post-execution cost counters."""
+        entry = self._entries[index - 1]
+        self._entries[index - 1] = dataclasses.replace(
+            entry, rows_read=rows_read, stopped_early=stopped_early
+        )
+
+    def audit(self) -> tuple[QueryLedgerEntry, ...]:
+        """The ledger: per-query δ allocations in charge order."""
+        return tuple(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeltaLedger(policy={self.policy!r}, "
+            f"queries_run={self.queries_run}, "
+            f"spent={self.spent_delta:.3g} of {self.session_delta:.3g})"
+        )
+
+
 class Session:
     """Runs a sequence of queries against one scramble under a joint δ.
+
+    The original eager multi-query front end, preserved for backward
+    compatibility: each :meth:`execute` call charges the ledger and runs
+    immediately.  Internally it is a thin layer over
+    :class:`repro.api.Connection`; prefer :func:`repro.connect` in new
+    code — it adds lazy query handles and shared-scan ``gather()``
+    batching on the same ledger semantics.
 
     Parameters
     ----------
@@ -62,9 +210,7 @@ class Session:
     bounder:
         Error bounder used for every query in the session.
     session_delta:
-        Total error probability for *all* queries combined: with
-        probability at least ``1 − session_delta`` every interval returned
-        by every query in the session is simultaneously valid.
+        Total error probability for *all* queries combined.
     policy:
         ``"even"`` (requires ``max_queries``) or ``"harmonic"`` (open
         ended); see the module docstring.
@@ -86,76 +232,68 @@ class Session:
         rng: np.random.Generator | None = None,
         **executor_kwargs,
     ) -> None:
-        if policy not in ("even", "harmonic"):
-            raise ValueError(f"unknown policy {policy!r}; expected 'even' or 'harmonic'")
-        if not 0.0 < session_delta < 1.0:
-            raise ValueError(f"session_delta must be in (0, 1), got {session_delta}")
-        if policy == "even" and max_queries < 1:
-            raise ValueError(f"max_queries must be >= 1, got {max_queries}")
-        if not bounder.ssi:
-            raise ValueError(
-                f"bounder {bounder.name!r} is not SSI; session-level "
-                "guarantees require sample-size-independent bounders (§1)"
-            )
+        # Imported here: repro.api sits above fastframe in the layering.
+        from repro.api.connection import Connection
+
+        self._connection = Connection(
+            scramble,
+            bounder=bounder,
+            delta=session_delta,
+            policy=policy,
+            max_queries=max_queries,
+            strategy=strategy,
+            rng=rng,
+            **executor_kwargs,
+        )
         self.scramble = scramble
-        self.bounder = bounder
-        self.session_delta = session_delta
-        self.policy = policy
-        self.max_queries = max_queries
+        self.bounder = self._connection.bounder
         self.strategy = strategy
-        self.rng = rng or np.random.default_rng()
+        self.rng = self._connection.rng
         self.executor_kwargs = executor_kwargs
-        self._ledger: list[QueryLedgerEntry] = []
 
     # ------------------------------------------------------------------
 
     @property
+    def connection(self):
+        """The underlying :class:`repro.api.Connection`."""
+        return self._connection
+
+    @property
+    def ledger(self) -> DeltaLedger:
+        return self._connection.ledger
+
+    @property
+    def session_delta(self) -> float:
+        return self.ledger.session_delta
+
+    @property
+    def policy(self) -> str:
+        return self.ledger.policy
+
+    @property
+    def max_queries(self) -> int:
+        return self.ledger.max_queries
+
+    @property
     def queries_run(self) -> int:
-        return len(self._ledger)
+        return self.ledger.queries_run
 
     @property
     def spent_delta(self) -> float:
         """Total error probability consumed so far (union bound)."""
-        return sum(entry.delta for entry in self._ledger)
+        return self.ledger.spent_delta
 
     def next_query_delta(self) -> float:
         """The δ the next query will receive under the session policy."""
-        if self.policy == "even":
-            if self.queries_run >= self.max_queries:
-                raise RuntimeError(
-                    f"session declared for {self.max_queries} queries has "
-                    f"run all of them; start a new session or use the "
-                    f"'harmonic' policy for open-ended sessions"
-                )
-            return self.session_delta / self.max_queries
-        return optstop_round_delta(self.session_delta, self.queries_run + 1)
+        return self.ledger.next_delta()
 
     def execute(self, query: Query, start_block: int | None = None) -> QueryResult:
         """Run one query, charging its δ to the session ledger."""
-        delta = self.next_query_delta()
-        executor = ApproximateExecutor(
-            self.scramble,
-            self.bounder,
-            strategy=self.strategy,
-            delta=delta,
-            rng=self.rng,
-            **self.executor_kwargs,
-        )
-        result = executor.execute(query, start_block=start_block)
-        self._ledger.append(
-            QueryLedgerEntry(
-                index=len(self._ledger) + 1,
-                name=query.name or query.describe(),
-                delta=delta,
-                rows_read=result.metrics.rows_read,
-                stopped_early=result.metrics.stopped_early,
-            )
-        )
-        return result
+        return self._connection.query(query).result(start_block=start_block)
 
     def audit(self) -> tuple[QueryLedgerEntry, ...]:
         """The ledger: per-query δ allocations in execution order."""
-        return tuple(self._ledger)
+        return self.ledger.audit()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

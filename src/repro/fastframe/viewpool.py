@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.bounders.base import ErrorBounder
 from repro.stats.streaming import MomentPool
+from repro.stopping.conditions import SnapshotColumns
 
 __all__ = ["ViewPool"]
 
@@ -92,6 +93,37 @@ class ViewPool:
     def lookup(self, combined: np.ndarray) -> np.ndarray:
         """Pool row index per combined code (codes must be in the domain)."""
         return np.searchsorted(self.codes, combined)
+
+    def snapshot_columns(self, a: float, b: float) -> SnapshotColumns:
+        """Struct-of-arrays snapshot of the non-dropped views.
+
+        Views whose certified interval is still trivial report the full
+        value range ``[a, b]``; estimates fall back to the interval
+        midpoint until the view has a sample.  The returned columns carry
+        a ``rows`` attribute mapping each snapshot row back to its pool
+        row, so callers (stopping-condition refresh, progressive round
+        reporting) can write activity flags or decode group keys.
+        """
+        live = np.flatnonzero(~self.dropped)
+        lo = self.iv_lo[live]
+        hi = self.iv_hi[live]
+        trivial = ~(np.isfinite(lo) & np.isfinite(hi))
+        lo = np.where(trivial, a, lo)
+        hi = np.where(trivial, b, hi)
+        samples = self.sample.count[live]
+        estimate = np.where(
+            samples > 0, self.sample.mean[live], 0.5 * (lo + hi)
+        )
+        columns = SnapshotColumns(
+            keys=self.codes[live],
+            lo=lo,
+            hi=hi,
+            estimate=estimate,
+            samples=samples,
+            exhausted=self.exhausted[live],
+        )
+        columns.rows = live  # pool row per snapshot row
+        return columns
 
     @staticmethod
     def _fold(

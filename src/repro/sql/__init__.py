@@ -18,9 +18,14 @@ Quick use::
 """
 
 from repro.sql.ast import SelectStatement
-from repro.sql.compiler import SqlCompileError, compile_statement, parse_query
+from repro.sql.compiler import (
+    SqlCompileError,
+    compile_statement,
+    parse_query,
+    parse_statements,
+)
 from repro.sql.lexer import SqlSyntaxError, Token, TokenType, tokenize
-from repro.sql.parser import parse
+from repro.sql.parser import parse, parse_script
 
 __all__ = [
     "SelectStatement",
@@ -31,5 +36,7 @@ __all__ = [
     "compile_statement",
     "parse",
     "parse_query",
+    "parse_script",
+    "parse_statements",
     "tokenize",
 ]

@@ -48,7 +48,7 @@ from repro.sql.ast import (
     StringLiteral,
     UnaryMinus,
 )
-from repro.sql.parser import parse
+from repro.sql.parser import parse, parse_script
 from repro.stopping.conditions import (
     GroupsOrdered,
     StoppingCondition,
@@ -56,7 +56,12 @@ from repro.stopping.conditions import (
     TopKSeparated,
 )
 
-__all__ = ["SqlCompileError", "compile_statement", "parse_query"]
+__all__ = [
+    "SqlCompileError",
+    "compile_statement",
+    "parse_query",
+    "parse_statements",
+]
 
 _FLIPPED_OPS = {">": "<", "<": ">", ">=": "<=", "<=": ">=", "=": "=", "!=": "!=", "<>": "<>"}
 _ARITH_NODES = {
@@ -334,3 +339,29 @@ def parse_query(
     ('AVG', ('Airline',))
     """
     return compile_statement(parse(sql), stopping=stopping, name=name)
+
+
+def parse_statements(
+    sql: str,
+    stopping: StoppingCondition | None = None,
+    name: str = "",
+) -> list[Query]:
+    """Parse and compile a ``;``-separated script into executable queries.
+
+    The dashboard shape: one script, many single-aggregate statements,
+    each compiled independently (``stopping`` is the per-statement
+    fallback).  A ``name`` labels the queries — suffixed ``#k`` when the
+    script holds several statements; unnamed statements default to their
+    table name.  Pair with :meth:`repro.api.Connection.sql` +
+    ``gather()`` to run the whole script off one shared scan.
+    """
+    statements = parse_script(sql)
+    queries = []
+    for position, statement in enumerate(statements):
+        label = name
+        if label and len(statements) > 1:
+            label = f"{name}#{position + 1}"
+        queries.append(
+            compile_statement(statement, stopping=stopping, name=label)
+        )
+    return queries

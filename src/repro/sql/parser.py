@@ -2,6 +2,7 @@
 
 Grammar (terminals upper-case; ``[x]`` optional, ``{x}`` repeated)::
 
+    script      := statement {; statement}
     statement   := SELECT select_list FROM identifier
                    [WHERE condition]
                    [GROUP BY identifier {, identifier}]
@@ -51,7 +52,7 @@ from repro.sql.ast import (
 )
 from repro.sql.lexer import SqlSyntaxError, Token, TokenType, tokenize
 
-__all__ = ["parse"]
+__all__ = ["parse", "parse_script"]
 
 _COMPARISON_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
 
@@ -63,6 +64,7 @@ class _Parser:
         self.sql = sql
         self.tokens = tokenize(sql)
         self.index = 0
+        self._terminated = False  # last statement ended with ';'
 
     # -- cursor helpers -------------------------------------------------
 
@@ -116,6 +118,24 @@ class _Parser:
     # -- grammar productions --------------------------------------------
 
     def parse_statement(self) -> SelectStatement:
+        statement = self.parse_select()
+        if self.current.type is not TokenType.END:
+            raise self.error("unexpected trailing input")
+        return statement
+
+    def parse_script(self) -> list[SelectStatement]:
+        """A ``;``-separated sequence of SELECT statements (≥ 1)."""
+        statements = [self.parse_select()]
+        while self.current.type is not TokenType.END:
+            if not self._terminated or not self.current.is_keyword("SELECT"):
+                raise self.error(
+                    "unexpected trailing input (statements must be "
+                    "separated by ';')"
+                )
+            statements.append(self.parse_select())
+        return statements
+
+    def parse_select(self) -> SelectStatement:
         self.expect_keyword("SELECT")
         select = [self.parse_select_item()]
         while self.accept_punct(","):
@@ -158,9 +178,7 @@ class _Parser:
             limit = int(token.value)
             self.advance()
 
-        self.accept_punct(";")
-        if self.current.type is not TokenType.END:
-            raise self.error("unexpected trailing input")
+        self._terminated = self.accept_punct(";")
         return SelectStatement(
             select=tuple(select),
             table=table,
@@ -315,3 +333,13 @@ class _Parser:
 def parse(sql: str) -> SelectStatement:
     """Parse one SELECT statement; raises :class:`SqlSyntaxError` on errors."""
     return _Parser(sql).parse_statement()
+
+
+def parse_script(sql: str) -> list[SelectStatement]:
+    """Parse a ``;``-separated multi-statement script (the dashboard shape).
+
+    Returns one :class:`~repro.sql.ast.SelectStatement` per statement;
+    :meth:`repro.api.Connection.sql` compiles each into a lazy query
+    handle so the whole script can run off one shared scan.
+    """
+    return _Parser(sql).parse_script()

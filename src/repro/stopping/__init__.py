@@ -6,6 +6,7 @@ from repro.stopping.conditions import (
     GroupSnapshot,
     RelativeAccuracy,
     SamplesTaken,
+    SnapshotColumns,
     StoppingCondition,
     ThresholdSide,
     TopKSeparated,
@@ -28,6 +29,7 @@ __all__ = [
     "RelativeAccuracy",
     "RunningIntersection",
     "SamplesTaken",
+    "SnapshotColumns",
     "StoppingCondition",
     "ThresholdSide",
     "TopKSeparated",

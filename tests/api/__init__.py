@@ -1,0 +1,1 @@
+"""Tests for the connection/handle front-end (repro.api)."""

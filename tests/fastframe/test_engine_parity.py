@@ -193,6 +193,72 @@ def test_exact_count_method_parity(parity_scramble, agg):
     _assert_parity(scalar, pool)
 
 
+@pytest.mark.parametrize("engine", ["scalar", "pool"])
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_gather_matches_sequential(parity_scramble, engine, strategy):
+    """Shared-scan batching is physical only: per-query results off one
+    cursor equal sequential execution from the same start block."""
+    from repro.api import connect
+
+    def dashboard(conn):
+        return [
+            conn.table().group_by("g").avg("x", above=20.0),
+            conn.table().where("h", "1").avg("x", rel=0.2),
+            conn.table().group_by("g").avg("x", top=3),
+            conn.table().group_by("g").count(abs=600.0),
+        ]
+
+    def connection():
+        return connect(
+            parity_scramble,
+            delta=DELTA,
+            policy="harmonic",
+            strategy=strategy,
+            round_rows=ROUND_ROWS,
+            engine=engine,
+            rng=np.random.default_rng(7),
+        )
+
+    batched = connection()
+    batch = batched.gather(dashboard(batched), start_block=START_BLOCK)
+    sequential = connection()
+    for gathered, handle in zip(batch.results, dashboard(sequential)):
+        _assert_parity(handle.result(start_block=START_BLOCK), gathered)
+    # The shared cursor fetches the union of the queries' blocks: never
+    # more than the sequential total, never less than the costliest query.
+    sequential_rows = sum(
+        entry.rows_read for entry in sequential.audit()
+    )
+    assert batch.rows_read_shared <= sequential_rows
+    assert batch.rows_read_shared >= max(
+        result.metrics.rows_read for result in batch.results
+    )
+
+
+def test_gather_mixed_stopping_saves_rows(parity_scramble):
+    """With early-stopping queries alongside a full-scan query, the union
+    accounting reads measurably fewer rows than sequential."""
+    from repro.api import connect
+
+    conn = connect(
+        parity_scramble,
+        delta=DELTA,
+        policy="harmonic",
+        round_rows=ROUND_ROWS,
+        rng=np.random.default_rng(7),
+    )
+    batch = conn.gather(
+        [
+            conn.table().group_by("g").avg("x", abs=5.0),
+            conn.table().avg("x", rel=0.15),
+            conn.table().group_by("g").avg("x", top=2),
+        ],
+        start_block=START_BLOCK,
+    )
+    assert batch.rows_read_shared < batch.rows_read_sequential
+    assert batch.savings > 0.0
+
+
 def test_unknown_engine_rejected(parity_scramble):
     with pytest.raises(ValueError, match="engine"):
         ApproximateExecutor(parity_scramble, get_bounder("bernstein"), engine="simd")
