@@ -8,8 +8,12 @@ every view) at 1, 10, 100, and 1000 groups, for both executor engines.
 Part 2 times the paper's dashboard workload through the connection
 front-end: a 6-query mix (HAVING thresholds, accuracy contracts, top-K,
 COUNT) resolved sequentially (one scan cursor per query) vs via
-``conn.gather()`` (one shared cursor feeding every query's view pool),
-reporting rows fetched and wall time for both paths.
+``conn.gather()`` (one shared cursor + one window frame per pass feeding
+every query's view pool), reporting rows fetched, value elements
+gathered (once per shared window, not once per query), per-view bound
+recomputations (incremental rounds), and wall time for both paths — and
+asserting the per-query intervals are identical (≤ 1e-9) to sequential
+execution from the same start block.
 
 Emits ``BENCH_hot_path.json`` — the repository's performance trajectory
 (see PERFORMANCE.md).
@@ -167,6 +171,22 @@ def _dashboard_connection(scramble: Scramble):
     )
 
 
+def _assert_intervals_match(gathered, sequential) -> None:
+    """Statistical honesty: batching must not change any answer."""
+    assert gathered.metrics.rows_read == sequential.metrics.rows_read
+    assert set(gathered.groups) == set(sequential.groups)
+    for key, left in gathered.groups.items():
+        right = sequential.groups[key]
+        for x, y in (
+            (left.interval.lo, right.interval.lo),
+            (left.interval.hi, right.interval.hi),
+        ):
+            if np.isfinite(x) or np.isfinite(y):
+                assert abs(x - y) <= 1e-9 * max(1.0, abs(x), abs(y)), (key, x, y)
+            else:
+                assert x == y
+
+
 def run_dashboard() -> dict:
     """Gather-vs-sequential on the 6-query dashboard (best of REPS)."""
     scramble = _dashboard_scramble()
@@ -178,6 +198,8 @@ def run_dashboard() -> dict:
     sequential_s = float("inf")
     shared_s = float("inf")
     sequential_rows = shared_rows = 0
+    sequential_values = shared_values = 0
+    sequential_bounds = shared_bounds = 0
     windows = 0
     for _ in range(REPS):
         conn = _dashboard_connection(scramble)
@@ -186,6 +208,8 @@ def run_dashboard() -> dict:
         results = [handle.result(start_block=start_block) for handle in handles]
         sequential_s = min(sequential_s, time.perf_counter() - start)
         sequential_rows = sum(r.metrics.rows_read for r in results)
+        sequential_values = sum(r.metrics.values_gathered for r in results)
+        sequential_bounds = sum(r.metrics.bounds_recomputed for r in results)
 
         conn = _dashboard_connection(scramble)
         handles = _dashboard_handles(conn)
@@ -193,15 +217,26 @@ def run_dashboard() -> dict:
         batch = conn.gather(handles, start_block=start_block)
         shared_s = min(shared_s, time.perf_counter() - start)
         shared_rows = batch.rows_read_shared
+        shared_values = batch.values_gathered
+        shared_bounds = batch.metrics.bounds_recomputed
         windows = batch.metrics.rounds
-        # Statistical honesty: batching must not change any answer.
         for gathered, sequential in zip(batch.results, results):
-            assert gathered.metrics.rows_read == sequential.metrics.rows_read
+            _assert_intervals_match(gathered, sequential)
+    # The window frame gathers each distinct column once per shared
+    # window, however many of the 6 queries aggregate it.
+    assert 0 < shared_values < sequential_values
     entry = {
         "queries": 6,
         "rows_read_sequential": sequential_rows,
         "rows_read_shared": shared_rows,
         "rows_saved_pct": round(100.0 * (1.0 - shared_rows / sequential_rows), 1),
+        "values_gathered_sequential": sequential_values,
+        "values_gathered_shared": shared_values,
+        "values_saved_pct": round(
+            100.0 * (1.0 - shared_values / sequential_values), 1
+        ),
+        "bounds_recomputed_sequential": sequential_bounds,
+        "bounds_recomputed_shared": shared_bounds,
         "sequential_s": round(sequential_s, 6),
         "gather_s": round(shared_s, 6),
         "wall_speedup": round(sequential_s / shared_s, 2),
@@ -211,6 +246,11 @@ def run_dashboard() -> dict:
         f"dashboard: sequential {sequential_rows:,} rows / {sequential_s:.3f}s, "
         f"gather {shared_rows:,} rows / {shared_s:.3f}s "
         f"({entry['rows_saved_pct']}% rows saved, {entry['wall_speedup']}x wall)"
+    )
+    print(
+        f"dashboard: values gathered {sequential_values:,} sequential vs "
+        f"{shared_values:,} shared ({entry['values_saved_pct']}% saved); "
+        f"bounds recomputed {sequential_bounds:,} vs {shared_bounds:,}"
     )
     return entry
 

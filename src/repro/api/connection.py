@@ -13,14 +13,16 @@ nothing until resolved.  A handle resolves three ways:
 * :meth:`QueryHandle.rounds` — iterate progressive per-round interval
   snapshots (what a live dashboard renders while sampling continues);
 * :meth:`Connection.gather` — the headline: run N handles off **one**
-  shared scan cursor.  Each pass over the scramble feeds every unfinished
-  query's view pool, a block wanted by k queries is charged to the
-  batch's I/O accounting once instead of k times, and queries retire
-  independently as their stopping conditions fire — so an N-query
-  dashboard costs roughly one scan instead of N by the paper's
-  blocks-fetched cost metric (§5.3).  (In this in-memory reproduction
-  each query still gathers its own value arrays from the shared window;
-  sharing those too is a ROADMAP item.)
+  shared scan cursor.  Each pass over the scramble materializes one
+  :class:`~repro.fastframe.window.WindowFrame` over the union of the
+  queries' block masks — row ids, value arrays, combined group codes,
+  and predicate masks are gathered once per window, however many queries
+  consume them — and feeds every unfinished query's view pool from it.
+  A block wanted by k queries is charged to the batch's I/O accounting
+  once instead of k times, a column aggregated by k queries is gathered
+  once, and queries retire independently as their stopping conditions
+  fire — so an N-query dashboard costs roughly one scan instead of N by
+  the paper's blocks-fetched cost metric (§5.3).
 
 δ accounting is identical across all three paths: every execution is
 charged to the connection's :class:`~repro.fastframe.session.DeltaLedger`
@@ -198,8 +200,10 @@ class QueryHandle:
             return self._result
         self._check_unconsumed()
         run, cursor = self.connection._begin(self, start_block)
-        while not run.finished and not cursor.exhausted:
-            run.feed(cursor.next_window(), at_end=cursor.exhausted)
+        for window, at_end in cursor.windows():
+            run.feed(window, at_end)
+            if run.finished:
+                break
         return self._settle(run.finalize())
 
     def rounds(
@@ -207,11 +211,13 @@ class QueryHandle:
     ) -> Iterator[RoundUpdate]:
         """Resolve progressively, yielding one update per OptStop round.
 
-        The lazy generator charges the handle's δ when iteration starts;
-        iterate it to completion (it seals the handle's result, after
-        which :meth:`result` returns the cached final answer).  This is
-        the live-dashboard path: each update carries every group's
-        current certified interval while sampling continues.
+        Validates the handle and charges its δ **at call time** (the
+        consumed-handle contract: a resolved handle raises here, not at
+        first iteration), then returns the update iterator.  Iterate it
+        to completion (it seals the handle's result, after which
+        :meth:`result` returns the cached final answer).  This is the
+        live-dashboard path: each update carries every group's current
+        certified interval while sampling continues.
         """
         if self._result is not None:
             raise RuntimeError(
@@ -221,17 +227,23 @@ class QueryHandle:
             )
         self._check_unconsumed()
         run, cursor = self.connection._begin(self, start_block)
-        seen_rounds = 0
-        while not run.finished and not cursor.exhausted:
-            run.feed(cursor.next_window(), at_end=cursor.exhausted)
-            if run.metrics.rounds > seen_rounds:
-                seen_rounds = run.metrics.rounds
-                yield RoundUpdate(
-                    round_index=seen_rounds,
-                    rows_read=run.metrics.rows_read,
-                    groups=run.group_snapshots(),
-                )
-        self._settle(run.finalize())
+
+        def updates() -> Iterator[RoundUpdate]:
+            seen_rounds = 0
+            for window, at_end in cursor.windows():
+                run.feed(window, at_end)
+                if run.metrics.rounds > seen_rounds:
+                    seen_rounds = run.metrics.rounds
+                    yield RoundUpdate(
+                        round_index=seen_rounds,
+                        rows_read=run.metrics.rows_read,
+                        groups=run.group_snapshots(),
+                    )
+                if run.finished:
+                    break
+            self._settle(run.finalize())
+
+        return updates()
 
     # ------------------------------------------------------------------
 
@@ -288,6 +300,13 @@ class GatherResult:
     def rows_read_shared(self) -> int:
         """Rows the shared cursor physically fetched (union accounting)."""
         return self.metrics.rows_read
+
+    @property
+    def values_gathered(self) -> int:
+        """Value elements the shared window frames gathered — once per
+        distinct aggregate column per window, however many queries
+        consumed them (per-query runs gather nothing in a shared scan)."""
+        return self.metrics.values_gathered
 
     @property
     def rows_read_sequential(self) -> int:
@@ -450,6 +469,11 @@ class Connection:
         for handle, run in zip(handles, runs):
             # Index-probe counters were merged into the gather metrics.
             results.append(handle._settle(run.finalize(merge_index_counters=False)))
+        # Re-snapshot after finalize: fixed-sample runs issue their one
+        # full-budget bound recomputation inside finalize().
+        metrics.bounds_recomputed = sum(
+            run.metrics.bounds_recomputed for run in runs
+        )
         return GatherResult(
             handles=tuple(handles),
             results=tuple(results),

@@ -295,7 +295,8 @@ def _cmd_dashboard(args, out) -> int:
         f"\nshared scan: {batch.rows_read_shared:,} rows fetched vs "
         f"{batch.rows_read_sequential:,} sequential "
         f"({batch.savings:.1%} saved); lookahead windows: "
-        f"{batch.metrics.rounds}",
+        f"{batch.metrics.rounds}; values gathered once per shared "
+        f"window: {batch.values_gathered:,} elements",
         file=out,
     )
     print("delta ledger (union bound over the whole dashboard):", file=out)

@@ -30,6 +30,7 @@ from repro.fastframe.executor import (
     run_shared_scan,
 )
 from repro.fastframe.viewpool import ViewPool
+from repro.fastframe.window import WindowFrame
 from repro.fastframe.hypergeometric import (
     hypergeometric_count_interval,
     hypergeometric_count_interval_batch,
@@ -127,6 +128,7 @@ __all__ = [
     "TruePredicate",
     "UnsupportedQueryError",
     "ViewPool",
+    "WindowFrame",
     "compose_outlier_avg",
     "count_interval",
     "count_interval_batch",

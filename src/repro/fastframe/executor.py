@@ -6,14 +6,24 @@ against a :class:`~repro.fastframe.scramble.Scramble`:
 1. The scramble is consumed in scan order from a random start position,
    in lookahead windows of 1024 blocks; the sampling strategy (Scan /
    ActiveSync / ActivePeek) decides which blocks of each window to fetch.
-2. Fetched rows are filtered by the predicate and partitioned by group;
-   each group's error-bounder state, sample moments, and selectivity
-   counters are updated vectorized.
+2. Each window's fetched rows, value arrays, combined group codes, and
+   predicate masks are materialized **once** in a
+   :class:`~repro.fastframe.window.WindowFrame`; every consuming query
+   run slices its private view of the frame (its block mask is a subset
+   of the frame's union), partitions by group, and updates its per-view
+   error-bounder state, sample moments, and selectivity counters
+   vectorized.  Under :func:`run_shared_scan` one frame serves every
+   query of a dashboard batch, so value gathering is O(windows) instead
+   of O(queries × windows).
 3. Every ``round_rows`` rows read (B = 40,000 in the paper, §4.2), the
    executor recomputes per-group confidence intervals with OptStop's
    decayed error probability (Algorithm 5), folds them into each group's
    running intersection, refreshes the active-group set, and tests the
-   stopping condition.
+   stopping condition.  Rounds are *incremental* in the pool engine:
+   only views whose counters changed since the last round (the pool's
+   dirty mask) are recomputed — for unchanged views the decayed-δ
+   interval is wider and the running-intersection fold a no-op, so
+   skipping them is bit-identical.
 
 Two engines implement identical semantics (the parity test-suite pins
 their outputs to each other within floating-point tolerance):
@@ -90,6 +100,7 @@ from repro.fastframe.scan import (
 )
 from repro.fastframe.scramble import Scramble
 from repro.fastframe.viewpool import ViewPool
+from repro.fastframe.window import WindowFrame
 from repro.stats.delta import DEFAULT_DELTA, DeltaBudget
 from repro.stats.streaming import MomentPool, MomentState
 from repro.stopping.conditions import GroupSnapshot, SamplesTaken, SnapshotColumns
@@ -314,9 +325,10 @@ class ApproximateExecutor:
         """Run a query to its stopping condition (or data exhaustion)."""
         run = QueryRun(self, query)
         cursor = self.cursor(start_block, window_blocks=run.window_blocks)
-        while not run.finished and not cursor.exhausted:
-            window = cursor.next_window()
-            run.feed(window, at_end=cursor.exhausted)
+        for window, at_end in cursor.windows():
+            run.feed(window, at_end)
+            if run.finished:
+                break
         return run.finalize()
 
     def cursor(
@@ -330,10 +342,6 @@ class ApproximateExecutor:
             start_block,
             window_blocks or self.strategy.window_blocks,
         )
-
-    def _window_rows(self, window: np.ndarray) -> int:
-        """Total rows spanned by a window of blocks (last block may be short)."""
-        return self.scramble.count_rows_of_blocks(window)
 
     # ------------------------------------------------------------------
     # Internals
@@ -366,41 +374,45 @@ class ApproximateExecutor:
         self,
         query: Query,
         views: dict[int, _ViewState],
-        rows: np.ndarray,
+        view_values: np.ndarray | None,
+        view_combined: np.ndarray | None,
+        n_in_view: int,
         window_rows: int,
-        values_of: Callable[[np.ndarray], np.ndarray] | None,
         freezes_groups: bool,
     ) -> None:
-        """Fold one window's fetched rows into the per-view states."""
-        if rows.size:
-            view_mask = query.predicate.mask(self.scramble.table, rows)
-            view_rows = rows[view_mask]
-        else:
-            view_rows = rows
+        """Fold one window's in-view values into the per-view states.
 
-        segments: dict[int, np.ndarray] = {}
-        if view_rows.size:
-            combined = self._combined_codes(query.group_by, view_rows)
-            order = np.argsort(combined, kind="stable")
-            sorted_codes = combined[order]
-            sorted_rows = view_rows[order]
+        ``view_values`` / ``view_combined`` are this run's predicate-passing
+        slices of the shared :class:`~repro.fastframe.window.WindowFrame`
+        (``view_values`` is ``None`` for COUNT queries, which only need the
+        per-group cardinalities of ``view_combined``).
+        """
+        needs_values = query.aggregate is not AggregateFunction.COUNT
+        segments: dict[int, np.ndarray | int] = {}
+        if n_in_view:
+            order = np.argsort(view_combined, kind="stable")
+            sorted_codes = view_combined[order]
+            sorted_values = view_values[order] if needs_values else None
             boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
             starts = np.concatenate(([0], boundaries))
             ends = np.concatenate((boundaries, [sorted_codes.size]))
             for start, end in zip(starts, ends):
-                segments[int(sorted_codes[start])] = sorted_rows[start:end]
+                segments[int(sorted_codes[start])] = (
+                    sorted_values[start:end] if needs_values else end - start
+                )
 
-        needs_values = values_of is not None
         for code, view in views.items():
             if view.dropped or view.exhausted:
                 continue
             segment = segments.get(code)
-            in_view = 0 if segment is None else segment.size
-            if in_view and needs_values:
-                values = values_of(segment)
-                view.all_read_moments.update_batch(values)
+            if needs_values:
+                values = segment
+                in_view = 0 if values is None else values.size
+                if in_view:
+                    view.all_read_moments.update_batch(values)
             else:
                 values = None
+                in_view = 0 if segment is None else int(segment)
                 if in_view:
                     view.all_read_moments.count += in_view
             if freezes_groups and not view.active:
@@ -417,7 +429,7 @@ class ApproximateExecutor:
         bounds: tuple[float, float],
         view_budget: DeltaBudget,
         round_index: int | None,
-    ) -> None:
+    ) -> int:
         """One OptStop round: per-view CIs at the decayed δ (Algorithm 5).
 
         Budget layout within a round: the COUNT interval (also used to drop
@@ -429,6 +441,8 @@ class ApproximateExecutor:
         ``round_index=None`` is the fixed-sample-count mode (condition Ê):
         the single end-of-run computation at the full, undecayed per-view
         budget, covering every surviving view regardless of activity.
+
+        Returns the number of views whose bounds were recomputed.
         """
         a, b = bounds
         scramble_rows = self.scramble.num_rows
@@ -436,6 +450,7 @@ class ApproximateExecutor:
         round_budget = (
             view_budget if single_shot else view_budget.for_round(round_index)
         )
+        recomputed = 0
         for view in views.values():
             if view.dropped or view.exhausted:
                 continue
@@ -445,6 +460,7 @@ class ApproximateExecutor:
                 and not view.active
             ):
                 continue  # frozen views keep their last certified interval
+            recomputed += 1
             if query.aggregate is AggregateFunction.COUNT:
                 count_budget, avg_budget = round_budget, None
             else:
@@ -473,6 +489,7 @@ class ApproximateExecutor:
                 view.interval = avg_iv
             else:
                 view.interval = sum_interval(view.count_iv, avg_iv)
+        return recomputed
 
     def _snapshots(
         self, views: dict[int, _ViewState], bounds: tuple[float, float]
@@ -484,7 +501,13 @@ class ApproximateExecutor:
                 continue
             interval = view.interval
             if not np.isfinite(interval.lo) or not np.isfinite(interval.hi):
-                interval = Interval(a, b)
+                # Clamp per endpoint: a half-finite interval keeps its
+                # certified finite bound; only the trivial side falls back
+                # to the value range.
+                interval = Interval(
+                    interval.lo if np.isfinite(interval.lo) else a,
+                    interval.hi if np.isfinite(interval.hi) else b,
+                )
             estimate = self._estimate(view, interval)
             snapshots[code] = GroupSnapshot(
                 interval=interval,
@@ -539,7 +562,12 @@ class ApproximateExecutor:
     ) -> GroupResult:
         interval = view.interval
         if not np.isfinite(interval.lo) or not np.isfinite(interval.hi):
-            interval = Interval(-np.inf, np.inf)
+            # Per-endpoint: keep a certified finite bound on one side even
+            # when the other side is still trivial.
+            interval = Interval(
+                interval.lo if np.isfinite(interval.lo) else -np.inf,
+                interval.hi if np.isfinite(interval.hi) else np.inf,
+            )
         estimate = self._estimate(view, interval)
         count_estimate = (
             view.selectivity.in_view
@@ -568,35 +596,39 @@ class ApproximateExecutor:
         self,
         query: Query,
         pool: ViewPool,
-        rows: np.ndarray,
+        view_values: np.ndarray | None,
+        view_combined: np.ndarray | None,
+        n_in_view: int,
         window_rows: int,
-        values_of: Callable[[np.ndarray], np.ndarray] | None,
         freezes_groups: bool,
-        combined_full: np.ndarray | None,
     ) -> None:
-        """Fold one window into the pool: bincount passes, no view loop."""
+        """Fold one window into the pool: bincount passes, no view loop.
+
+        ``view_values`` / ``view_combined`` are this run's predicate-passing
+        slices of the shared :class:`~repro.fastframe.window.WindowFrame`,
+        in scan order (``view_values`` is ``None`` for COUNT queries;
+        ``view_combined`` is ``None`` for single-view pools, which need no
+        partitioning).
+        """
         eligible = ~pool.dropped & ~pool.exhausted
         if freezes_groups:
             settling = eligible & pool.active
         else:
             settling = eligible
-        if rows.size:
-            view_mask = query.predicate.mask(self.scramble.table, rows)
-            view_rows = rows[view_mask]
-        else:
-            view_rows = rows
-        if view_rows.size:
+        needs_values = view_values is not None
+        if n_in_view:
             if pool.size == 1:
                 # Single view: no partitioning needed, keep stream order.
-                view_idx = np.zeros(view_rows.size, dtype=np.int64)
-                ordered_rows = view_rows
+                view_idx = np.zeros(n_in_view, dtype=np.int64)
+                ordered_values = view_values
             else:
-                combined = combined_full[view_rows]
                 # Stable sort by group code: stream order within each view
                 # is preserved, as the order-sensitive bounder pools require.
-                sort_order = np.argsort(combined, kind="stable")
-                view_idx = pool.lookup(combined[sort_order])
-                ordered_rows = view_rows[sort_order]
+                sort_order = np.argsort(view_combined, kind="stable")
+                view_idx = pool.lookup(view_combined[sort_order])
+                ordered_values = (
+                    view_values[sort_order] if needs_values else None
+                )
             # `settling ⊆ eligible`, so when every view settles (the common
             # case: nothing frozen or dropped) the O(rows) element masks can
             # be skipped entirely — decided by O(views) flag tests.
@@ -608,8 +640,8 @@ class ApproximateExecutor:
                 elements_eligible = eligible[view_idx]
                 elements_settling = settling[view_idx]
                 identical = np.array_equal(elements_eligible, elements_settling)
-            if values_of is not None:
-                values = values_of(ordered_rows)
+            if needs_values:
+                values = ordered_values
                 if identical:
                     # The all-read and sampled moments receive the same
                     # batch — compute per-view statistics once, merge twice.
@@ -641,7 +673,11 @@ class ApproximateExecutor:
         # Lemma 5's covered-row accounting: the whole window settles for
         # every non-frozen surviving view (rows read, plus rows of skipped
         # blocks the bitmap index certifies hold no tuple of the view).
-        pool.covered[settling] += window_rows
+        if window_rows:
+            pool.covered[settling] += window_rows
+            # Settling rows are exactly those whose round inputs (covered,
+            # in_view, sample moments, bounder state) may have changed.
+            pool.mark_dirty(settling)
 
     def _recompute_bounds_pool(
         self,
@@ -650,8 +686,17 @@ class ApproximateExecutor:
         bounds: tuple[float, float],
         view_budget: DeltaBudget,
         round_index: int | None,
-    ) -> None:
-        """One OptStop round over the whole pool at once (Algorithm 5)."""
+    ) -> int:
+        """One OptStop round over the dirty slice of the pool (Algorithm 5).
+
+        Incremental rounds: only rows whose counters changed since their
+        last recomputation (``pool.dirty``) are touched — a clean row's
+        interval at the later round's smaller decayed δ would be wider,
+        so its running-intersection fold is a no-op and the last certified
+        interval stands.  ``round_index=None`` (the fixed-sample-count
+        single shot) recomputes every surviving view regardless of the
+        dirty mask.  Returns the number of pool rows recomputed.
+        """
         a, b = bounds
         scramble_rows = self.scramble.num_rows
         single_shot = round_index is None
@@ -659,11 +704,18 @@ class ApproximateExecutor:
             view_budget if single_shot else view_budget.for_round(round_index)
         )
         recompute = ~pool.dropped & ~pool.exhausted
-        if not single_shot and self.strategy.uses_active_groups:
-            recompute &= pool.active
+        if not single_shot:
+            recompute &= pool.dirty
+            if self.strategy.uses_active_groups:
+                recompute &= pool.active
         idx = np.flatnonzero(recompute)
         if idx.size == 0:
-            return
+            return 0
+        # These rows' bounds are now being brought current; their snapshot
+        # columns go stale the moment the new intervals land.
+        pool.dirty[idx] = False
+        pool.snap_dirty[idx] = True
+        recomputed = int(idx.size)
         if query.aggregate is AggregateFunction.COUNT:
             count_budget, avg_budget = round_budget, None
         else:
@@ -683,11 +735,11 @@ class ApproximateExecutor:
             count_lo = count_lo[~empty]
             count_hi = count_hi[~empty]
             if idx.size == 0:
-                return
+                return recomputed
         if query.aggregate is AggregateFunction.COUNT:
             pool.iv_lo[idx] = count_lo
             pool.iv_hi[idx] = count_hi
-            return
+            return recomputed
         _, ci_budget = avg_budget.split_unknown_n(self.alpha)
         n_plus = self._upper_bound_population_batch(
             pool.in_view[idx], pool.covered[idx], scramble_rows,
@@ -704,6 +756,7 @@ class ApproximateExecutor:
             sum_lo, sum_hi = sum_interval_batch(count_lo, count_hi, avg_lo, avg_hi)
             pool.iv_lo[idx] = sum_lo
             pool.iv_hi[idx] = sum_hi
+        return recomputed
 
     def _snapshot_columns(
         self, pool: ViewPool, bounds: tuple[float, float]
@@ -727,6 +780,7 @@ class ApproximateExecutor:
             return
         pool.exhausted |= done
         pool.dropped |= done & (pool.in_view == 0)
+        pool.snap_dirty |= done  # exact intervals land below
         idx = np.flatnonzero(done & ~pool.dropped)
         if idx.size == 0:
             return
@@ -749,9 +803,10 @@ class ApproximateExecutor:
         live = np.flatnonzero(~pool.dropped)
         lo = pool.iv_lo[live]
         hi = pool.iv_hi[live]
-        trivial = ~(np.isfinite(lo) & np.isfinite(hi))
-        lo = np.where(trivial, -np.inf, lo)
-        hi = np.where(trivial, np.inf, hi)
+        # Per-endpoint clamp: a half-finite interval keeps its certified
+        # finite bound; only the trivial side is widened.
+        lo = np.where(np.isfinite(lo), lo, -np.inf)
+        hi = np.where(np.isfinite(hi), hi, np.inf)
         samples = pool.sample.count[live]
         count_estimate = (
             pool.in_view[live]
@@ -790,21 +845,28 @@ class QueryRun:
     A run is the executor's unit of progress: it owns the per-view state
     (a :class:`~repro.fastframe.viewpool.ViewPool` or the scalar
     ``_ViewState`` dictionary, per the resolved engine), the δ budget, and
-    the round counters — but *not* the scan position.  Windows of blocks
-    are pushed in from the outside via :meth:`feed`, which makes the same
-    state machine serve two drivers:
+    the round counters — but *not* the scan position.  Each window is
+    processed in two phases: :meth:`select_blocks` computes the run's
+    block-fetch mask, then :meth:`consume` slices the run's private view
+    out of a materialized :class:`~repro.fastframe.window.WindowFrame`.
+    That split makes the same state machine serve two drivers:
 
-    * :meth:`ApproximateExecutor.execute` — one run, one private
-      :class:`~repro.fastframe.scan.ScanCursor`;
+    * :meth:`ApproximateExecutor.execute` (and the connection's
+      ``result()``/``rounds()`` paths) — one run, one private
+      :class:`~repro.fastframe.scan.ScanCursor`; :meth:`feed` builds a
+      frame over the run's own mask and consumes it;
     * :func:`run_shared_scan` — many runs (one per dashboard query) fed
-      from a **single shared cursor**, each retiring independently when
-      its stopping condition fires.
+      from a **single shared cursor**: the driver unions the runs' masks,
+      materializes one frame per window (value arrays, combined group
+      codes, predicate masks gathered once), and every run consumes its
+      slice, retiring independently when its stopping condition fires.
 
     Because a run consumes every window exactly as the solo loop would
-    (block selection, ingest, and round cadence are all computed from its
-    own state), feeding N runs from one cursor produces bitwise the same
-    per-query results as N sequential executions from the same start
-    block — the parity suite pins this.
+    (block selection, ingest order, and round cadence are all computed
+    from its own state, and the frame's union preserves scan order),
+    feeding N runs from one cursor produces bitwise the same per-query
+    results as N sequential executions from the same start block — the
+    parity suite pins this.
     """
 
     def __init__(
@@ -817,6 +879,14 @@ class QueryRun:
         self._start_time = time.perf_counter()
 
         self.values_of, self.bounds = ex._resolve_value_column(query)
+        # Frame memoization key for the aggregated column: queries over the
+        # same named column share one gathered value array per window.
+        if query.aggregate is AggregateFunction.COUNT:
+            self.value_key = None
+        elif isinstance(query.column, str):
+            self.value_key = ("column", query.column)
+        else:
+            self.value_key = ("expression", id(query.column))
         self.group_by = query.group_by
         self.domain = ex._group_domain(self.group_by)
         self.indexes = {
@@ -850,11 +920,10 @@ class QueryRun:
             )
             self.views: dict[int, _ViewState] | None = None
             num_views = max(self.pool.size, 1)
-            self.combined_full = (
+            if self.group_by:
+                # Warm the scramble-cached full-table combined codes now so
+                # per-window frame slices never pay the build.
                 ex._combined_codes(self.group_by, rows=None)
-                if self.group_by
-                else None
-            )
         else:
             self.pool = None
             self.views = {
@@ -865,7 +934,6 @@ class QueryRun:
                 for code in self.domain
             }
             num_views = max(len(self.views), 1)
-            self.combined_full = None
         self.view_budget = DeltaBudget(ex.delta).split_even(num_views)
 
         self.rows_since_bound = 0
@@ -886,16 +954,14 @@ class QueryRun:
         """True once the run needs no further windows."""
         return self.satisfied or self._scan_ended
 
-    def feed(self, window: np.ndarray, at_end: bool) -> np.ndarray:
-        """Process one lookahead window of blocks.
+    def select_blocks(self, window: np.ndarray) -> np.ndarray:
+        """Phase 1 of a window: this run's block-fetch mask.
 
-        Selects this query's blocks (per its strategy and active groups),
-        ingests the fetched rows, and — every ``round_rows`` rows or at
-        scan end (``at_end=True``) — runs one OptStop round.  Returns the
-        boolean fetch mask over ``window`` so a shared-scan driver can
-        union the physical block fetches across runs.
+        Computed from the run's own state (strategy, active groups,
+        predicate requirements) without touching the scramble's data, so a
+        shared-scan driver can collect every run's mask first and fetch
+        the union once.
         """
-        ex = self.executor
         if self.pool is not None:
             if self.uses_active:
                 active_rows = np.flatnonzero(self.pool.active & ~self.pool.dropped)
@@ -915,24 +981,54 @@ class QueryRun:
             active_groups=active_groups,
         )
         mask = self.strategy.select_blocks(window, context)
-        read_blocks = window[mask]
-        window_rows = ex._window_rows(window)
-        self.metrics.blocks_fetched += int(mask.sum())
-        self.metrics.blocks_skipped += int(window.size - mask.sum())
+        fetched = int(mask.sum())
+        self.metrics.blocks_fetched += fetched
+        self.metrics.blocks_skipped += int(window.size - fetched)
+        return mask
 
-        rows = ex.scramble.rows_of_blocks(read_blocks)
-        self.metrics.rows_read += rows.size
+    def consume(self, frame: WindowFrame, mask: np.ndarray, at_end: bool) -> None:
+        """Phase 2 of a window: ingest this run's slice of a shared frame.
+
+        ``mask`` is this run's :meth:`select_blocks` result (a subset of
+        the frame's union mask).  Value arrays, combined group codes, and
+        predicate masks come from the frame's shared materializations —
+        the run never touches the scramble here.  Every ``round_rows``
+        rows or at scan end (``at_end=True``), one OptStop round runs.
+        """
+        ex = self.executor
+        sel = frame.element_selector(mask)
+        n_read = frame.rows.size if sel is None else int(np.count_nonzero(sel))
+        self.metrics.rows_read += n_read
+
+        n_in_view = 0
+        view_values = None
+        view_combined = None
+        if n_read:
+            pred = frame.predicate_mask(self.query.predicate)
+            pick = pred if sel is None else (sel & pred)
+            n_in_view = int(np.count_nonzero(pick))
+        if n_in_view:
+            if self.values_of is not None:
+                view_values = frame.values(self.value_key, self.values_of)[pick]
+            needs_combined = (
+                self.pool.size > 1 if self.pool is not None else True
+            )
+            if needs_combined:
+                group_by = self.group_by
+                view_combined = frame.combined_codes(
+                    group_by, lambda rows: ex._combined_codes(group_by, rows)
+                )[pick]
         if self.pool is not None:
             ex._ingest_pool(
-                self.query, self.pool, rows, window_rows, self.values_of,
-                self.freezes_groups, self.combined_full,
+                self.query, self.pool, view_values, view_combined,
+                n_in_view, frame.window_rows, self.freezes_groups,
             )
         else:
             ex._ingest(
-                self.query, self.views, rows, window_rows, self.values_of,
-                self.freezes_groups,
+                self.query, self.views, view_values, view_combined,
+                n_in_view, frame.window_rows, self.freezes_groups,
             )
-        self.rows_since_bound += rows.size
+        self.rows_since_bound += n_read
         if at_end:
             self._scan_ended = True
 
@@ -942,7 +1038,7 @@ class QueryRun:
             self.metrics.rounds = self.round_index
             if self.pool is not None:
                 if not self.fixed_sample_mode:
-                    ex._recompute_bounds_pool(
+                    self.metrics.bounds_recomputed += ex._recompute_bounds_pool(
                         self.query, self.pool, self.bounds,
                         self.view_budget, self.round_index,
                     )
@@ -951,13 +1047,26 @@ class QueryRun:
                 self.satisfied = self.query.stopping.satisfied_columns(columns)
             else:
                 if not self.fixed_sample_mode:
-                    ex._recompute_bounds(
+                    self.metrics.bounds_recomputed += ex._recompute_bounds(
                         self.query, self.views, self.bounds,
                         self.view_budget, self.round_index,
                     )
                 snapshots = ex._snapshots(self.views, self.bounds)
                 ex._refresh_active(self.query, self.views, snapshots)
                 self.satisfied = self.query.stopping.satisfied(snapshots)
+
+    def feed(self, window: np.ndarray, at_end: bool) -> np.ndarray:
+        """Process one lookahead window solo (select + materialize + consume).
+
+        The single-query driver: builds a :class:`WindowFrame` over the
+        run's own block mask and consumes it — the same code path the
+        shared-scan driver takes, with a one-run union.  Returns the
+        boolean fetch mask over ``window``.
+        """
+        mask = self.select_blocks(window)
+        frame = WindowFrame(self.executor.scramble, window, mask)
+        self.consume(frame, mask, at_end)
+        self.metrics.values_gathered += frame.values_gathered
         return mask
 
     def group_snapshots(self) -> dict:
@@ -1000,12 +1109,12 @@ class QueryRun:
             # budget; computed for every surviving view regardless of its
             # (sample-count-based) active flag.
             if self.pool is not None:
-                ex._recompute_bounds_pool(
+                self.metrics.bounds_recomputed += ex._recompute_bounds_pool(
                     self.query, self.pool, self.bounds,
                     self.view_budget, round_index=None,
                 )
             else:
-                ex._recompute_bounds(
+                self.metrics.bounds_recomputed += ex._recompute_bounds(
                     self.query, self.views, self.bounds,
                     self.view_budget, round_index=None,
                 )
@@ -1036,12 +1145,19 @@ def run_shared_scan(
 ) -> ExecutionMetrics:
     """Drive many query runs from one scan cursor (the gather hot loop).
 
-    Each pass takes the next lookahead window off the shared cursor and
-    feeds it to every unfinished run; a block wanted by k queries is
-    fetched once, not k times, so the returned metrics count the **union**
-    of the runs' block fetches — the physical cost of the whole batch.
-    Runs retire independently as their stopping conditions fire; the scan
-    stops as soon as every run is finished (or the scramble is exhausted).
+    Each pass takes the next lookahead window off the shared cursor,
+    collects every unfinished run's block mask, fetches the **union**
+    once, and materializes one :class:`WindowFrame` over it — value
+    arrays, combined group codes, and predicate masks are gathered once
+    per window, however many queries consume them.  Each run then slices
+    its private view out of the frame, so a block wanted by k queries is
+    fetched once, a column aggregated by k queries is gathered once, and
+    the returned metrics count that union — the physical cost of the
+    whole batch (``values_gathered`` counts the frame's shared gathers;
+    per-run metrics record no gathers of their own in this mode).  Runs
+    retire independently as their stopping conditions fire; the scan
+    stops as soon as every run is finished (or the scramble is
+    exhausted).
 
     Per-run results are untouched by the sharing: call
     ``run.finalize(merge_index_counters=False)`` on each run afterwards to
@@ -1050,7 +1166,8 @@ def run_shared_scan(
 
     ``metrics.rounds`` counts shared passes (windows taken off the
     cursor); ``stopped_early`` is True when every run satisfied its
-    stopping condition before the scramble ran out.
+    stopping condition before the scramble ran out;
+    ``bounds_recomputed`` sums the runs' incremental round work.
     """
     if not runs:
         raise ValueError("run_shared_scan requires at least one QueryRun")
@@ -1071,14 +1188,15 @@ def run_shared_scan(
     for run in runs:
         indexes.update(run.indexes)
 
-    while not cursor.exhausted and any(not run.finished for run in runs):
-        window = cursor.next_window()
-        at_end = cursor.exhausted
+    for window, at_end in cursor.windows():
+        live = [run for run in runs if not run.finished]
+        masks = [run.select_blocks(window) for run in live]
         union = np.zeros(window.shape, dtype=bool)
-        for run in runs:
-            if run.finished:
-                continue
-            union |= run.feed(window, at_end)
+        for mask in masks:
+            union |= mask
+        frame = WindowFrame(scramble, window, union)
+        for run, mask in zip(live, masks):
+            run.consume(frame, mask, at_end)
             if run.finished:
                 # Seal the run the moment it retires so its wall time
                 # spans construction → retirement, not the whole batch
@@ -1087,10 +1205,16 @@ def run_shared_scan(
         fetched = int(union.sum())
         metrics.blocks_fetched += fetched
         metrics.blocks_skipped += int(window.size - fetched)
-        metrics.rows_read += scramble.count_rows_of_blocks(window[union])
+        metrics.rows_read += frame.rows.size
+        metrics.values_gathered += frame.values_gathered
         metrics.rounds += 1
+        if all(run.finished for run in runs):
+            break
 
     metrics.stopped_early = all(run.satisfied for run in runs)
+    metrics.bounds_recomputed = sum(
+        run.metrics.bounds_recomputed for run in runs
+    )
     metrics.merge_index_counters(indexes.values())
     metrics.wall_time_s = time.perf_counter() - start_time
     return metrics

@@ -126,6 +126,11 @@ class ExecutionMetrics:
     ``rows_read`` counts tuples examined; ``index_probes`` counts
     synchronous single-block bitmap queries (ActiveSync cost) and
     ``batch_probes`` counts vectorized lookahead batches (ActivePeek cost).
+    ``values_gathered`` counts aggregate-column value elements gathered
+    from the scramble (per window-frame materialization — in a shared
+    scan the batch metrics carry the union's gathers and per-run metrics
+    record none); ``bounds_recomputed`` counts per-view OptStop bound
+    recomputations (the incremental-rounds work metric).
     """
 
     rows_read: int = 0
@@ -134,6 +139,8 @@ class ExecutionMetrics:
     index_probes: int = 0
     batch_probes: int = 0
     rounds: int = 0
+    values_gathered: int = 0
+    bounds_recomputed: int = 0
     wall_time_s: float = 0.0
     stopped_early: bool = False
 

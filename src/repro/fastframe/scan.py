@@ -82,6 +82,18 @@ class ScanCursor:
         self.position += window.size
         return window
 
+    def windows(self):
+        """Iterate ``(window, at_end)`` pairs until the scan is exhausted.
+
+        ``at_end`` is True for the last window of the scan — the shared
+        iteration idiom of every driver (solo execution, progressive
+        rounds, and the shared-scan gather loop); drivers stop consuming
+        early when their runs finish.
+        """
+        while not self.exhausted:
+            window = self.next_window()
+            yield window, self.exhausted
+
 
 @dataclass
 class ScanContext:

@@ -20,11 +20,28 @@ each OptStop round a fixed number of array expressions, regardless of the
 number of views.  Row ``i`` of the pool evolves exactly like the scalar
 ``_ViewState`` fed the same rows (up to floating-point summation order);
 the parity test-suite pins this.
+
+**Incremental rounds.**  The pool tracks two dirty masks so OptStop rounds
+touch only rows whose inputs changed since the last round:
+
+* ``dirty`` — rows whose selectivity counters / moments changed since the
+  last bound recomputation (set by ingest via :meth:`mark_dirty`, cleared
+  by the executor when it recomputes a row's bounds).  Skipping a clean
+  row is *bit-identical* to recomputing it: with unchanged counters, the
+  interval at the later round's smaller decayed δ is wider, and folding a
+  wider interval into the running intersection is a no-op.
+* ``snap_dirty`` — rows whose snapshot columns (certified interval,
+  estimate, sample count) are stale; :meth:`snapshot_columns` refreshes
+  only those rows of its cached arrays.
+
+Callers that write interval or counter arrays directly (outside the
+executor's ingest/recompute paths) must call :meth:`mark_dirty` for the
+touched rows, or the cached snapshot goes stale.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
@@ -58,6 +75,14 @@ class ViewPool:
     active: np.ndarray         #: bool — group currently prioritized
     dropped: np.ndarray        #: bool — certified empty, out of the result
     exhausted: np.ndarray      #: bool — every row settled, aggregate exact
+    dirty: np.ndarray          #: bool — counters changed since last recompute
+    snap_dirty: np.ndarray     #: bool — snapshot columns stale for the row
+    # Cached snapshot columns (one entry per pool row), refreshed
+    # incrementally by snapshot_columns() for snap_dirty rows only.
+    _snap_lo: np.ndarray | None = field(default=None, repr=False)
+    _snap_hi: np.ndarray | None = field(default=None, repr=False)
+    _snap_estimate: np.ndarray | None = field(default=None, repr=False)
+    _snap_bounds: tuple | None = field(default=None, repr=False)
 
     @classmethod
     def build(
@@ -84,6 +109,8 @@ class ViewPool:
             active=np.ones(size, dtype=bool),
             dropped=np.zeros(size, dtype=bool),
             exhausted=np.zeros(size, dtype=bool),
+            dirty=np.ones(size, dtype=bool),
+            snap_dirty=np.ones(size, dtype=bool),
         )
 
     @property
@@ -91,35 +118,77 @@ class ViewPool:
         return self.codes.size
 
     def lookup(self, combined: np.ndarray) -> np.ndarray:
-        """Pool row index per combined code (codes must be in the domain)."""
-        return np.searchsorted(self.codes, combined)
+        """Pool row index per combined code (checked).
+
+        Raises :class:`KeyError` when any code is outside the pool's
+        domain — an unguarded ``searchsorted`` would silently return a
+        neighboring view's row and corrupt its counters (e.g. when an
+        insert widens a dictionary after the pool was built).
+        """
+        combined = np.asarray(combined, dtype=np.int64)
+        if self.codes.size == 0:
+            if combined.size:
+                raise KeyError(
+                    f"combined group codes {np.unique(combined)[:8].tolist()} "
+                    "looked up in an empty pool domain"
+                )
+            return np.zeros(0, dtype=np.int64)
+        idx = np.searchsorted(self.codes, combined)
+        clipped = np.minimum(idx, self.codes.size - 1)
+        bad = (idx >= self.codes.size) | (self.codes[clipped] != combined)
+        if bad.any():
+            missing = np.unique(combined[bad])[:8]
+            raise KeyError(
+                f"combined group codes {missing.tolist()} are not in the "
+                "pool domain (stale pool after inserts?)"
+            )
+        return idx
+
+    def mark_dirty(self, mask: np.ndarray) -> None:
+        """Flag rows whose counters changed since the last OptStop round."""
+        self.dirty |= mask
+        self.snap_dirty |= mask
 
     def snapshot_columns(self, a: float, b: float) -> SnapshotColumns:
         """Struct-of-arrays snapshot of the non-dropped views.
 
-        Views whose certified interval is still trivial report the full
-        value range ``[a, b]``; estimates fall back to the interval
-        midpoint until the view has a sample.  The returned columns carry
-        a ``rows`` attribute mapping each snapshot row back to its pool
-        row, so callers (stopping-condition refresh, progressive round
-        reporting) can write activity flags or decode group keys.
+        Endpoints of a certified interval that are still non-finite are
+        clamped to the value range *per endpoint* — a half-finite interval
+        keeps its certified finite bound and only the trivial side falls
+        back to ``a`` / ``b``.  Estimates fall back to the interval
+        midpoint until the view has a sample.  Snapshot columns are cached
+        per pool row and refreshed incrementally: only ``snap_dirty`` rows
+        are recomputed per call.  The returned columns carry a ``rows``
+        attribute mapping each snapshot row back to its pool row, so
+        callers (stopping-condition refresh, progressive round reporting)
+        can write activity flags or decode group keys.
         """
+        if self._snap_lo is None or self._snap_bounds != (a, b):
+            self._snap_lo = np.empty(self.size)
+            self._snap_hi = np.empty(self.size)
+            self._snap_estimate = np.empty(self.size)
+            self._snap_bounds = (a, b)
+            self.snap_dirty[:] = True
+        stale = np.flatnonzero(self.snap_dirty)
+        if stale.size:
+            lo = self.iv_lo[stale]
+            hi = self.iv_hi[stale]
+            lo = np.where(np.isfinite(lo), lo, a)
+            hi = np.where(np.isfinite(hi), hi, b)
+            samples = self.sample.count[stale]
+            self._snap_lo[stale] = lo
+            self._snap_hi[stale] = hi
+            self._snap_estimate[stale] = np.where(
+                samples > 0, self.sample.mean[stale], 0.5 * (lo + hi)
+            )
+            self.snap_dirty[:] = False
         live = np.flatnonzero(~self.dropped)
-        lo = self.iv_lo[live]
-        hi = self.iv_hi[live]
-        trivial = ~(np.isfinite(lo) & np.isfinite(hi))
-        lo = np.where(trivial, a, lo)
-        hi = np.where(trivial, b, hi)
-        samples = self.sample.count[live]
-        estimate = np.where(
-            samples > 0, self.sample.mean[live], 0.5 * (lo + hi)
-        )
         columns = SnapshotColumns(
             keys=self.codes[live],
-            lo=lo,
-            hi=hi,
-            estimate=estimate,
-            samples=samples,
+            lo=self._snap_lo[live],
+            hi=self._snap_hi[live],
+            estimate=self._snap_estimate[live],
+            samples=self.sample.count[live],
             exhausted=self.exhausted[live],
         )
         columns.rows = live  # pool row per snapshot row

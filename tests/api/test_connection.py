@@ -301,6 +301,30 @@ class TestHandleResolution:
             next(iter(handle.rounds(start_block=0)))
         assert conn.queries_run == 1  # no second charge
 
+    def test_rounds_validates_at_call_time_not_first_iteration(self, scramble):
+        # The consumed-handle contract: rounds() is eager — a resolved
+        # handle raises at the call itself, before any iteration.
+        conn = _connect(scramble)
+        handle = conn.table().avg("x", rel=0.5)
+        handle.result(start_block=0)
+        with pytest.raises(RuntimeError, match="already resolved"):
+            handle.rounds(start_block=0)  # never iterated
+        assert conn.queries_run == 1
+
+    def test_rounds_charges_delta_at_call_time(self, scramble):
+        conn = _connect(scramble)
+        handle = conn.table().group_by("g").avg("x", abs=2.0)
+        iterator = handle.rounds(start_block=0)
+        # δ is committed the moment rounds() returns, not at first next().
+        assert conn.queries_run == 1
+        assert handle.delta is not None
+        # An un-iterated but charged handle is spent, like an abandoned one.
+        with pytest.raises(RuntimeError, match="charged but never"):
+            handle.result()
+        for _ in iterator:
+            pass
+        assert handle.resolved
+
 
 class TestGather:
     def _handles(self, conn):

@@ -235,6 +235,45 @@ def test_gather_matches_sequential(parity_scramble, engine, strategy):
     )
 
 
+@pytest.mark.parametrize("engine", ["scalar", "pool"])
+def test_gather_shares_value_gathering(parity_scramble, engine):
+    """The window frame gathers each aggregate column once per shared
+    window: the batch's values-gathered never exceeds (and with
+    overlapping columns undercuts) the sequential total, while intervals
+    stay identical (pinned by test_gather_matches_sequential)."""
+    from repro.api import connect
+
+    def dashboard(conn):
+        return [
+            conn.table().group_by("g").avg("x", above=20.0),
+            conn.table().group_by("g").avg("x", top=3),
+            conn.table().where("h", "1").avg("x", rel=0.2),
+        ]
+
+    def connection():
+        return connect(
+            parity_scramble,
+            delta=DELTA,
+            policy="harmonic",
+            round_rows=ROUND_ROWS,
+            engine=engine,
+            rng=np.random.default_rng(7),
+        )
+
+    batched = connection()
+    batch = batched.gather(dashboard(batched), start_block=START_BLOCK)
+    sequential = connection()
+    seq_handles = dashboard(sequential)
+    results = [handle.result(start_block=START_BLOCK) for handle in seq_handles]
+    sequential_values = sum(r.metrics.values_gathered for r in results)
+    assert 0 < batch.values_gathered < sequential_values
+    # Shared runs never gather privately; solo runs always do.
+    assert all(r.metrics.values_gathered == 0 for r in batch.results)
+    assert all(r.metrics.values_gathered > 0 for r in results)
+    # δ accounting is untouched by the sharing.
+    assert [h.delta for h in batch.handles] == [h.delta for h in seq_handles]
+
+
 def test_gather_mixed_stopping_saves_rows(parity_scramble):
     """With early-stopping queries alongside a full-scan query, the union
     accounting reads measurably fewer rows than sequential."""
