@@ -15,6 +15,16 @@ recomputations (incremental rounds), and wall time for both paths — and
 asserting the per-query intervals are identical (≤ 1e-9) to sequential
 execution from the same start block.
 
+Part 3 times the same gathered dashboard serial
+(``parallelism=1``) vs parallel (``BENCH_PARALLELISM`` worker processes,
+default 2): the multi-core ingest pipeline of
+``repro/fastframe/parallel.py``.  Per-query intervals must again match
+the serial gather to ≤ 1e-9 (they are in fact bit-identical); the
+``parallel`` JSON entry records both wall times, the speedup, the core
+count, and the asserted parity flag.  On a single-core host the pipeline
+still runs (correctness is the point of the entry); a wall-clock win is
+only expected with ≥ 2 cores.
+
 Emits ``BENCH_hot_path.json`` — the repository's performance trajectory
 (see PERFORMANCE.md).
 
@@ -58,6 +68,7 @@ ROWS = int(os.environ.get("BENCH_HOT_PATH_ROWS", "400000"))
 REPS = int(os.environ.get("BENCH_HOT_PATH_REPS", "3"))
 BOUNDER = os.environ.get("BENCH_HOT_PATH_BOUNDER", "bernstein+rt")
 OUT = os.environ.get("BENCH_HOT_PATH_OUT", "BENCH_hot_path.json")
+PARALLELISM = max(int(os.environ.get("BENCH_PARALLELISM", "2")), 2)
 GROUP_COUNTS = (1, 10, 100, 1000)
 DELTA = 1e-9
 
@@ -161,13 +172,14 @@ def _dashboard_handles(conn):
     ]
 
 
-def _dashboard_connection(scramble: Scramble):
+def _dashboard_connection(scramble: Scramble, parallelism: int = 1):
     return connect(
         scramble,
         bounder=BOUNDER,
         delta=DELTA,
         policy="harmonic",
         rng=np.random.default_rng(9),
+        parallelism=parallelism,
     )
 
 
@@ -255,9 +267,61 @@ def run_dashboard() -> dict:
     return entry
 
 
+def run_parallel() -> dict:
+    """Serial vs parallel gather on the dashboard (best of REPS).
+
+    Wall-time speedup is hardware-bound (a 1-core host cannot win), but
+    interval parity is asserted unconditionally — the parallel pipeline
+    must be a pure performance knob.
+    """
+    scramble = _dashboard_scramble()
+    start_block = 0
+    # Warm load-time metadata and the worker pool (fork + first-task cost).
+    conn = _dashboard_connection(scramble, parallelism=PARALLELISM)
+    conn.gather(_dashboard_handles(conn), start_block=start_block)
+
+    serial_s = float("inf")
+    parallel_s = float("inf")
+    serial_batch = parallel_batch = None
+    for _ in range(REPS):
+        conn = _dashboard_connection(scramble, parallelism=1)
+        handles = _dashboard_handles(conn)
+        start = time.perf_counter()
+        serial_batch = conn.gather(handles, start_block=start_block)
+        serial_s = min(serial_s, time.perf_counter() - start)
+
+        conn = _dashboard_connection(scramble, parallelism=PARALLELISM)
+        handles = _dashboard_handles(conn)
+        start = time.perf_counter()
+        parallel_batch = conn.gather(handles, start_block=start_block)
+        parallel_s = min(parallel_s, time.perf_counter() - start)
+
+    for parallel_result, serial_result in zip(parallel_batch, serial_batch):
+        _assert_intervals_match(parallel_result, serial_result)
+    assert parallel_batch.rows_read_shared == serial_batch.rows_read_shared
+    assert parallel_batch.values_gathered == serial_batch.values_gathered
+    cores = os.cpu_count() or 1
+    entry = {
+        "parallelism": PARALLELISM,
+        "cores": cores,
+        "queries": len(serial_batch.handles),
+        "serial_s": round(serial_s, 6),
+        "parallel_s": round(parallel_s, 6),
+        "speedup": round(serial_s / parallel_s, 2),
+        "interval_parity": True,  # asserted ≤1e-9 above
+    }
+    print(
+        f"parallel ingest: serial gather {serial_s:.3f}s vs "
+        f"parallelism={PARALLELISM} {parallel_s:.3f}s "
+        f"({entry['speedup']}x on {cores} core(s)); intervals identical"
+    )
+    return entry
+
+
 def main() -> int:
     payload = run()
     payload["dashboard"] = run_dashboard()
+    payload["parallel"] = run_parallel()
     with open(OUT, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

@@ -45,6 +45,7 @@ from repro.fastframe.executor import (
     QueryRun,
     run_shared_scan,
 )
+from repro.fastframe.parallel import ParallelScanDriver, resolve_parallelism
 from repro.fastframe.query import ExecutionMetrics, Query, QueryResult
 from repro.fastframe.scan import SamplingStrategy, get_strategy
 from repro.fastframe.scramble import Scramble
@@ -77,6 +78,7 @@ def connect(
     strategy: SamplingStrategy | str | None = None,
     rng: np.random.Generator | None = None,
     require_ssi: bool = True,
+    parallelism: int | None = None,
     **executor_kwargs,
 ) -> "Connection":
     """Open a :class:`Connection` over a scramble (or a table to scramble).
@@ -109,6 +111,13 @@ def connect(
         Multi-query guarantees need sample-size-independent bounders
         (§1); pass ``False`` only for single-shot ad-hoc use of a
         non-SSI bounder.
+    parallelism:
+        Worker processes for window ingest on every resolution path
+        (``result()``, ``rounds()``, ``gather()``).  ``None`` defers to
+        the ``REPRO_PARALLELISM`` environment variable, then 1.  Above 1
+        the scan is driven by the
+        :class:`~repro.fastframe.parallel.ParallelScanDriver` pipeline;
+        results and δ accounting are bit-identical to serial execution.
     executor_kwargs:
         Passed through to each query's
         :class:`~repro.fastframe.executor.ApproximateExecutor`
@@ -123,6 +132,7 @@ def connect(
         strategy=strategy,
         rng=rng,
         require_ssi=require_ssi,
+        parallelism=parallelism,
         **executor_kwargs,
     )
 
@@ -200,10 +210,14 @@ class QueryHandle:
             return self._result
         self._check_unconsumed()
         run, cursor = self.connection._begin(self, start_block)
-        for window, at_end in cursor.windows():
-            run.feed(window, at_end)
-            if run.finished:
-                break
+        workers = resolve_parallelism(self.connection.parallelism)
+        if workers > 1:
+            ParallelScanDriver([run], cursor, parallelism=workers, solo=True).run()
+        else:
+            for window, at_end in cursor.windows():
+                run.feed(window, at_end)
+                if run.finished:
+                    break
         return self._settle(run.finalize())
 
     def rounds(
@@ -227,21 +241,53 @@ class QueryHandle:
             )
         self._check_unconsumed()
         run, cursor = self.connection._begin(self, start_block)
+        workers = resolve_parallelism(self.connection.parallelism)
+
+        def passes() -> Iterator:
+            if workers > 1:
+                driver = ParallelScanDriver(
+                    [run], cursor, parallelism=workers, solo=True
+                )
+                yield from driver.windows()
+                return
+            for window, at_end in cursor.windows():
+                run.feed(window, at_end)
+                yield window
+                if run.finished:
+                    break
 
         def updates() -> Iterator[RoundUpdate]:
             seen_rounds = 0
-            for window, at_end in cursor.windows():
-                run.feed(window, at_end)
-                if run.metrics.rounds > seen_rounds:
-                    seen_rounds = run.metrics.rounds
-                    yield RoundUpdate(
-                        round_index=seen_rounds,
-                        rows_read=run.metrics.rows_read,
-                        groups=run.group_snapshots(),
-                    )
-                if run.finished:
-                    break
-            self._settle(run.finalize())
+            completed = False
+            pass_iter = passes()
+            try:
+                for _ in pass_iter:
+                    if run.metrics.rounds > seen_rounds:
+                        seen_rounds = run.metrics.rounds
+                        yield RoundUpdate(
+                            round_index=seen_rounds,
+                            rows_read=run.metrics.rows_read,
+                            groups=run.group_snapshots(),
+                        )
+                completed = True
+                self._settle(run.finalize())
+            finally:
+                if not completed:
+                    # Abandoned (or crashed) mid-stream.  Teardown order
+                    # matters: FIRST close the window driver explicitly —
+                    # a parallel driver reconciles any prefetched block
+                    # selection's probe counters in its own finally —
+                    # THEN seal the run, merging the scramble-shared
+                    # bitmap probe counters into THIS execution's metrics.
+                    # (Relying on the for-loop's iterator temp being
+                    # collected before this block is a CPython accident.)
+                    # Leaving the counters unmerged would double-count
+                    # them in whichever query next runs over the same
+                    # scramble.  The handle stays charged-but-unresolved
+                    # per the consumed-handle contract — only its
+                    # accounting is closed out.
+                    pass_iter.close()
+                    run.finalize()
 
         return updates()
 
@@ -343,9 +389,11 @@ class Connection:
         strategy: SamplingStrategy | str | None = None,
         rng: np.random.Generator | None = None,
         require_ssi: bool = True,
+        parallelism: int | None = None,
         **executor_kwargs,
     ) -> None:
         self.rng = rng or np.random.default_rng()
+        self.parallelism = parallelism
         if isinstance(source, Scramble):
             self.scramble = source
         elif isinstance(source, Table):
@@ -464,7 +512,7 @@ class Connection:
         cursor = runs[0].executor.cursor(
             start_block, window_blocks=runs[0].window_blocks
         )
-        metrics = run_shared_scan(runs, cursor)
+        metrics = run_shared_scan(runs, cursor, parallelism=self.parallelism)
         results = []
         for handle, run in zip(handles, runs):
             # Index-probe counters were merged into the gather metrics.

@@ -172,6 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", default="harmonic", choices=("even", "harmonic"),
         help="per-query delta allocation policy for the joint budget",
     )
+    dashboard.add_argument(
+        "--parallelism", type=int, default=None,
+        help=(
+            "worker processes for window ingest (default: "
+            "$REPRO_PARALLELISM, then 1); results are bit-identical to "
+            "serial execution"
+        ),
+    )
     return parser
 
 
@@ -285,6 +293,7 @@ def _cmd_dashboard(args, out) -> int:
         max_queries=max(len(queries), 1),
         strategy=args.strategy,
         rng=np.random.default_rng(args.seed),
+        parallelism=args.parallelism,
     )
     handles = [conn.query(query) for query in queries]
     batch = conn.gather(handles)

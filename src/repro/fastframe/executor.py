@@ -99,10 +99,15 @@ from repro.fastframe.scan import (
     ScanStrategy,
 )
 from repro.fastframe.scramble import Scramble
-from repro.fastframe.viewpool import ViewPool
+from repro.fastframe.viewpool import (
+    IngestDelta,
+    ViewPool,
+    partition_slice,
+    slice_elements,
+)
 from repro.fastframe.window import WindowFrame
 from repro.stats.delta import DEFAULT_DELTA, DeltaBudget
-from repro.stats.streaming import MomentPool, MomentState
+from repro.stats.streaming import MomentState
 from repro.stopping.conditions import GroupSnapshot, SamplesTaken, SnapshotColumns
 from repro.stopping.optstop import RunningIntersection
 
@@ -199,6 +204,15 @@ class ApproximateExecutor:
         for the per-view-object reference implementation, or ``"auto"``
         (default) to pick per query by view count.  Semantics are identical
         within floating-point tolerance.
+    parallelism:
+        Worker processes for window ingest (``None`` defers to the
+        ``REPRO_PARALLELISM`` environment variable, then 1).  Above 1,
+        :meth:`execute` pipelines the scan through
+        :class:`~repro.fastframe.parallel.ParallelScanDriver`: block
+        selection for the next window overlaps ingest of the current one,
+        and per-query window slices are partitioned in worker processes
+        over shared-memory frame buffers.  Results (and every metric
+        except wall time) are bit-identical to serial execution.
     """
 
     def __init__(
@@ -212,6 +226,7 @@ class ApproximateExecutor:
         count_method: str = "serfling",
         rng: np.random.Generator | None = None,
         engine: str = "auto",
+        parallelism: int | None = None,
     ) -> None:
         if count_method not in COUNT_METHODS:
             raise ValueError(
@@ -230,6 +245,7 @@ class ApproximateExecutor:
         self.alpha = alpha
         self.count_method = count_method
         self.engine = engine
+        self.parallelism = parallelism
         (
             self._count_interval,
             self._upper_bound_population,
@@ -321,14 +337,32 @@ class ApproximateExecutor:
     # Execution
     # ------------------------------------------------------------------
 
-    def execute(self, query: Query, start_block: int | None = None) -> QueryResult:
-        """Run a query to its stopping condition (or data exhaustion)."""
+    def execute(
+        self,
+        query: Query,
+        start_block: int | None = None,
+        parallelism: int | None = None,
+    ) -> QueryResult:
+        """Run a query to its stopping condition (or data exhaustion).
+
+        ``parallelism`` overrides the executor-level knob for this one
+        execution (``None`` inherits it); above 1 the scan is driven by
+        the parallel ingest pipeline, with bit-identical results.
+        """
+        from repro.fastframe.parallel import ParallelScanDriver, resolve_parallelism
+
         run = QueryRun(self, query)
         cursor = self.cursor(start_block, window_blocks=run.window_blocks)
-        for window, at_end in cursor.windows():
-            run.feed(window, at_end)
-            if run.finished:
-                break
+        workers = resolve_parallelism(
+            self.parallelism if parallelism is None else parallelism
+        )
+        if workers > 1:
+            ParallelScanDriver([run], cursor, parallelism=workers, solo=True).run()
+        else:
+            for window, at_end in cursor.windows():
+                run.feed(window, at_end)
+                if run.finished:
+                    break
         return run.finalize()
 
     def cursor(
@@ -591,93 +625,6 @@ class ApproximateExecutor:
     # Pool-engine internals — array mirrors of the scalar methods above.
     # Every step is a fixed number of numpy expressions over all views.
     # ------------------------------------------------------------------
-
-    def _ingest_pool(
-        self,
-        query: Query,
-        pool: ViewPool,
-        view_values: np.ndarray | None,
-        view_combined: np.ndarray | None,
-        n_in_view: int,
-        window_rows: int,
-        freezes_groups: bool,
-    ) -> None:
-        """Fold one window into the pool: bincount passes, no view loop.
-
-        ``view_values`` / ``view_combined`` are this run's predicate-passing
-        slices of the shared :class:`~repro.fastframe.window.WindowFrame`,
-        in scan order (``view_values`` is ``None`` for COUNT queries;
-        ``view_combined`` is ``None`` for single-view pools, which need no
-        partitioning).
-        """
-        eligible = ~pool.dropped & ~pool.exhausted
-        if freezes_groups:
-            settling = eligible & pool.active
-        else:
-            settling = eligible
-        needs_values = view_values is not None
-        if n_in_view:
-            if pool.size == 1:
-                # Single view: no partitioning needed, keep stream order.
-                view_idx = np.zeros(n_in_view, dtype=np.int64)
-                ordered_values = view_values
-            else:
-                # Stable sort by group code: stream order within each view
-                # is preserved, as the order-sensitive bounder pools require.
-                sort_order = np.argsort(view_combined, kind="stable")
-                view_idx = pool.lookup(view_combined[sort_order])
-                ordered_values = (
-                    view_values[sort_order] if needs_values else None
-                )
-            # `settling ⊆ eligible`, so when every view settles (the common
-            # case: nothing frozen or dropped) the O(rows) element masks can
-            # be skipped entirely — decided by O(views) flag tests.
-            everything = bool(settling.all())
-            if everything:
-                elements_eligible = elements_settling = slice(None)
-                identical = True
-            else:
-                elements_eligible = eligible[view_idx]
-                elements_settling = settling[view_idx]
-                identical = np.array_equal(elements_eligible, elements_settling)
-            if needs_values:
-                values = ordered_values
-                if identical:
-                    # The all-read and sampled moments receive the same
-                    # batch — compute per-view statistics once, merge twice.
-                    idx = view_idx if everything else view_idx[elements_settling]
-                    vals = values if everything else values[elements_settling]
-                    stats = MomentPool.batch_stats(idx, vals, pool.size)
-                    pool.all_read.merge_arrays(*stats)
-                    pool.sample.merge_arrays(*stats)
-                    self.bounder.update_pool(pool.bounder_pool, idx, vals)
-                else:
-                    pool.all_read.update_indexed(
-                        view_idx[elements_eligible], values[elements_eligible]
-                    )
-                    pool.sample.update_indexed(
-                        view_idx[elements_settling], values[elements_settling]
-                    )
-                    self.bounder.update_pool(
-                        pool.bounder_pool,
-                        view_idx[elements_settling],
-                        values[elements_settling],
-                    )
-            else:
-                pool.all_read.count += np.bincount(
-                    view_idx[elements_eligible], minlength=pool.size
-                )
-            pool.in_view += np.bincount(
-                view_idx[elements_settling], minlength=pool.size
-            )
-        # Lemma 5's covered-row accounting: the whole window settles for
-        # every non-frozen surviving view (rows read, plus rows of skipped
-        # blocks the bitmap index certifies hold no tuple of the view).
-        if window_rows:
-            pool.covered[settling] += window_rows
-            # Settling rows are exactly those whose round inputs (covered,
-            # in_view, sample moments, bounder state) may have changed.
-            pool.mark_dirty(settling)
 
     def _recompute_bounds_pool(
         self,
@@ -954,13 +901,13 @@ class QueryRun:
         """True once the run needs no further windows."""
         return self.satisfied or self._scan_ended
 
-    def select_blocks(self, window: np.ndarray) -> np.ndarray:
-        """Phase 1 of a window: this run's block-fetch mask.
+    def scan_context(self) -> ScanContext:
+        """The run's current block-selection context (pure state read).
 
-        Computed from the run's own state (strategy, active groups,
-        predicate requirements) without touching the scramble's data, so a
-        shared-scan driver can collect every run's mask first and fetch
-        the union once.
+        Exposed separately from :meth:`select_blocks` so the parallel
+        driver can compute *uncharged* lookahead masks (selection for
+        window k+1 overlapping ingest of window k) and charge them via
+        :meth:`charge_blocks` only when the mask is actually consumed.
         """
         if self.pool is not None:
             if self.uses_active:
@@ -974,16 +921,29 @@ class QueryRun:
                 for view in self.views.values()
                 if view.active and not view.dropped
             ]
-        context = ScanContext(
+        return ScanContext(
             indexes=self.indexes,
             predicate_requirements=self.predicate_requirements,
             group_columns=self.group_by,
             active_groups=active_groups,
         )
-        mask = self.strategy.select_blocks(window, context)
+
+    def charge_blocks(self, window: np.ndarray, mask: np.ndarray) -> None:
+        """Account a block-fetch mask to this run's metrics."""
         fetched = int(mask.sum())
         self.metrics.blocks_fetched += fetched
         self.metrics.blocks_skipped += int(window.size - fetched)
+
+    def select_blocks(self, window: np.ndarray) -> np.ndarray:
+        """Phase 1 of a window: this run's block-fetch mask.
+
+        Computed from the run's own state (strategy, active groups,
+        predicate requirements) without touching the scramble's data, so a
+        shared-scan driver can collect every run's mask first and fetch
+        the union once.
+        """
+        mask = self.strategy.select_blocks(window, self.scan_context())
+        self.charge_blocks(window, mask)
         return mask
 
     def consume(self, frame: WindowFrame, mask: np.ndarray, at_end: bool) -> None:
@@ -996,38 +956,85 @@ class QueryRun:
         rows or at scan end (``at_end=True``), one OptStop round runs.
         """
         ex = self.executor
-        sel = frame.element_selector(mask)
-        n_read = frame.rows.size if sel is None else int(np.count_nonzero(sel))
-        self.metrics.rows_read += n_read
-
-        n_in_view = 0
-        view_values = None
-        view_combined = None
-        if n_read:
-            pred = frame.predicate_mask(self.query.predicate)
-            pick = pred if sel is None else (sel & pred)
-            n_in_view = int(np.count_nonzero(pick))
-        if n_in_view:
-            if self.values_of is not None:
-                view_values = frame.values(self.value_key, self.values_of)[pick]
-            needs_combined = (
-                self.pool.size > 1 if self.pool is not None else True
-            )
-            if needs_combined:
-                group_by = self.group_by
-                view_combined = frame.combined_codes(
-                    group_by, lambda rows: ex._combined_codes(group_by, rows)
-                )[pick]
+        window_slice = self.slice_frame(frame, mask)
         if self.pool is not None:
-            ex._ingest_pool(
-                self.query, self.pool, view_values, view_combined,
-                n_in_view, frame.window_rows, self.freezes_groups,
+            self.consume_delta(
+                partition_slice(
+                    window_slice,
+                    self.pool.codes,
+                    values_of=self.frame_values_of(frame),
+                    combined_of=self.frame_combined_of(frame),
+                ),
+                frame.window_rows,
+                at_end,
             )
-        else:
-            ex._ingest(
-                self.query, self.views, view_values, view_combined,
-                n_in_view, frame.window_rows, self.freezes_groups,
-            )
+            return
+        # Scalar reference engine: unsorted slices into the per-view dict.
+        n_read, n_in_view = window_slice.n_read, window_slice.n_in_view
+        view_values = view_combined = None
+        if n_in_view:
+            values_of = self.frame_values_of(frame)
+            if values_of is not None:
+                view_values = values_of(window_slice.pick)
+            view_combined = self.frame_combined_of(frame)(window_slice.pick)
+        self.metrics.rows_read += n_read
+        ex._ingest(
+            self.query, self.views, view_values, view_combined,
+            n_in_view, frame.window_rows, self.freezes_groups,
+        )
+        self._finish_window(n_read, at_end)
+
+    def slice_frame(self, frame: WindowFrame, mask: np.ndarray):
+        """This run's counted element slice of a frame (pure; shared with
+        the parallel driver, so slicing arithmetic exists exactly once)."""
+        return slice_elements(
+            frame.rows.size,
+            frame.element_selector(mask),
+            lambda: frame.predicate_mask(self.query.predicate),
+        )
+
+    def frame_values_of(self, frame: WindowFrame):
+        """Lazy pick-slicer over the frame's shared value array, or
+        ``None`` for COUNT queries (the serial lazy-gather condition —
+        the frame materializes the column only if this is invoked)."""
+        if self.values_of is None:
+            return None
+        return lambda pick: frame.values(self.value_key, self.values_of)[pick]
+
+    def frame_combined_of(self, frame: WindowFrame):
+        """Lazy pick-slicer over the frame's combined group codes, or
+        ``None`` for single-view pools (which need no partitioning)."""
+        if self.pool is not None and self.pool.size <= 1:
+            return None
+        group_by = self.group_by
+        ex = self.executor
+        return lambda pick: frame.combined_codes(
+            group_by, lambda rows: ex._combined_codes(group_by, rows)
+        )[pick]
+
+    def consume_delta(
+        self, delta: IngestDelta, window_rows: int, at_end: bool
+    ) -> None:
+        """Phase 2 of a window from a pre-partitioned :class:`IngestDelta`.
+
+        The pool-engine merge half of :meth:`consume`: the delta carries
+        this run's window slice already partitioned by view (built in
+        place by :meth:`consume`, or shipped back from a parallel ingest
+        worker that ran :func:`~repro.fastframe.viewpool.build_ingest_delta`
+        over shared-memory window buffers).  Merging deltas in window
+        order is bit-identical to serial ingest because the delta arrays
+        are exactly what the serial path computes in place.
+        """
+        ex = self.executor
+        self.metrics.rows_read += delta.n_read
+        self.pool.apply_ingest(
+            ex.bounder, delta, window_rows, self.freezes_groups
+        )
+        self._finish_window(delta.n_read, at_end)
+
+    def _finish_window(self, n_read: int, at_end: bool) -> None:
+        """Shared round cadence after a window's rows were ingested."""
+        ex = self.executor
         self.rows_since_bound += n_read
         if at_end:
             self._scan_ended = True
@@ -1140,8 +1147,25 @@ class QueryRun:
         return self._finalized
 
 
+def validate_shared_runs(runs: list[QueryRun], cursor: ScanCursor) -> None:
+    """Check a run batch is drivable from one cursor (shared preflight)."""
+    if not runs:
+        raise ValueError("run_shared_scan requires at least one QueryRun")
+    scramble = cursor.scramble
+    for run in runs:
+        if run.executor.scramble is not scramble:
+            raise ValueError(
+                "all runs in a shared scan must target the cursor's scramble"
+            )
+        if run.window_blocks != cursor.window_blocks:
+            raise ValueError(
+                "all runs in a shared scan must use the cursor's window size "
+                f"({run.window_blocks} != {cursor.window_blocks})"
+            )
+
+
 def run_shared_scan(
-    runs: list[QueryRun], cursor: ScanCursor
+    runs: list[QueryRun], cursor: ScanCursor, parallelism: int | None = None
 ) -> ExecutionMetrics:
     """Drive many query runs from one scan cursor (the gather hot loop).
 
@@ -1168,20 +1192,21 @@ def run_shared_scan(
     cursor); ``stopped_early`` is True when every run satisfied its
     stopping condition before the scramble ran out;
     ``bounds_recomputed`` sums the runs' incremental round work.
+
+    ``parallelism`` above 1 (``None`` defers to ``REPRO_PARALLELISM``)
+    routes the same loop through
+    :class:`~repro.fastframe.parallel.ParallelScanDriver`: per-query
+    window slices are partitioned in worker processes and folded back in
+    deterministic order, so results and metrics (except wall time) are
+    bit-identical to the serial loop below.
     """
-    if not runs:
-        raise ValueError("run_shared_scan requires at least one QueryRun")
+    from repro.fastframe.parallel import ParallelScanDriver, resolve_parallelism
+
+    validate_shared_runs(runs, cursor)
+    workers = resolve_parallelism(parallelism)
+    if workers > 1:
+        return ParallelScanDriver(runs, cursor, parallelism=workers).run()
     scramble = cursor.scramble
-    for run in runs:
-        if run.executor.scramble is not scramble:
-            raise ValueError(
-                "all runs in a shared scan must target the cursor's scramble"
-            )
-        if run.window_blocks != cursor.window_blocks:
-            raise ValueError(
-                "all runs in a shared scan must use the cursor's window size "
-                f"({run.window_blocks} != {cursor.window_blocks})"
-            )
     metrics = ExecutionMetrics()
     start_time = time.perf_counter()
     indexes: dict[str, BlockBitmapIndex] = {}

@@ -1,0 +1,463 @@
+"""Parallel window ingest: pipeline block selection, fan consume to workers.
+
+:class:`ParallelScanDriver` is the multi-core counterpart of the serial
+loops in :mod:`repro.fastframe.executor` (``run_shared_scan`` and the solo
+``execute``/``rounds`` drivers).  It exploits the two parallel axes the
+window-frame architecture exposes:
+
+* **Pipelining** — block selection consults only bitmap metadata and (for
+  non-active strategies) none of the run's evolving state, so selection
+  for window k+1 runs in the main process *while worker processes are
+  still ingesting window k* (the :meth:`ScanCursor.peek_window` half of
+  the prefetch/lookahead split).
+* **Per-query consume fan-out** — once a window's
+  :class:`~repro.fastframe.window.WindowFrame` is materialized, each
+  query run's consumption of it (predicate slice, gather, stable sort by
+  group code, per-view bincount statistics) is independent of every other
+  run's.  The driver exports the frame's buffers (row ids, value arrays,
+  combined group codes, predicate masks) to POSIX shared memory once and
+  submits one *partition task* per pool-engine run to a persistent
+  process pool; workers return per-view bincount
+  :class:`~repro.fastframe.viewpool.IngestDelta`\\ s.
+
+**Why results are bit-identical to serial.**  Workers only run the *pure*
+half of ingest (:func:`~repro.fastframe.viewpool.build_ingest_delta` over
+read-only shared buffers — the same function the serial path runs in
+place); all state mutation happens in the main process, which folds the
+deltas into each run's :class:`~repro.fastframe.viewpool.ViewPool` via
+:meth:`~repro.fastframe.executor.QueryRun.consume_delta` in deterministic
+window-then-run order — the exact order the serial loop uses.  Prefetched
+block selections are charged to metrics only when consumed, and the probe
+counters of a selection that is discarded (its run retired meanwhile) are
+reconciled, so every :class:`~repro.fastframe.query.ExecutionMetrics`
+counter except wall time is also identical.  The determinism suite
+(``tests/harness/test_parallel_determinism.py``) pins byte-identical pool
+state and metrics across ``parallelism`` 1/2/4.
+
+Scalar-engine runs (and pool runs below :data:`MIN_OFFLOAD_ELEMENTS`
+in-view elements, where IPC would cost more than the partition) consume
+inline in the main process — same arrays, same results.  If the platform
+offers no usable process pool or shared memory, the driver degrades to
+fully inline execution with identical semantics.
+
+``parallelism`` resolution: an explicit knob wins; ``None`` defers to the
+``REPRO_PARALLELISM`` environment variable (the CI matrix leg sets it to
+2 to run the whole tier-1 suite through this driver), then 1.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.fastframe.query import ExecutionMetrics
+from repro.fastframe.viewpool import partition_slice, slice_elements
+from repro.fastframe.window import (
+    WindowFrame,
+    attach_shared_frame,
+    predicate_key,
+)
+
+__all__ = [
+    "ParallelScanDriver",
+    "resolve_parallelism",
+    "REPRO_PARALLELISM_ENV",
+    "MIN_OFFLOAD_ELEMENTS",
+]
+
+#: Environment variable consulted when no explicit parallelism is given.
+REPRO_PARALLELISM_ENV = "REPRO_PARALLELISM"
+
+#: In-view elements below which a run's window slice is partitioned inline
+#: — at this size the sort+bincount costs less than a task round trip.
+MIN_OFFLOAD_ELEMENTS = 256
+
+
+def resolve_parallelism(parallelism: int | None) -> int:
+    """An explicit knob, else ``REPRO_PARALLELISM``, else 1 (min 1)."""
+    if parallelism is None:
+        raw = os.environ.get(REPRO_PARALLELISM_ENV, "").strip()
+        try:
+            parallelism = int(raw) if raw else 1
+        except ValueError:
+            parallelism = 1
+    return max(int(parallelism), 1)
+
+
+# ----------------------------------------------------------------------
+# Persistent worker pool (shared by every driver in the process; workers
+# hold no per-scramble state, so one pool serves any number of scans).
+# ----------------------------------------------------------------------
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS = 0
+
+
+def _worker_pool(workers: int) -> ProcessPoolExecutor | None:
+    """The shared process pool, (re)created to hold >= ``workers``."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS >= workers:
+        return _POOL
+    shutdown_worker_pool()
+    import multiprocessing as mp
+
+    try:
+        # fork is cheapest and lets workers inherit the warm interpreter;
+        # fall back to the platform default (spawn) elsewhere.  Workers
+        # read only shared-memory buffers + task payloads, so both work.
+        methods = mp.get_all_start_methods()
+        context = mp.get_context("fork" if "fork" in methods else None)
+        _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        _POOL_WORKERS = workers
+    except Exception:  # pragma: no cover - restricted platforms
+        _POOL = None
+        _POOL_WORKERS = 0
+    return _POOL
+
+
+def shutdown_worker_pool() -> None:
+    """Tear down the shared pool (idempotent; re-created on demand)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_worker_pool)
+
+
+def _partition_task(descriptor: dict, spec: dict):
+    """Worker body: partition one run's slice of one exported window.
+
+    Mirrors the slicing half of :meth:`QueryRun.consume` over the
+    attached shared-memory buffers and returns the
+    :class:`~repro.fastframe.viewpool.IngestDelta` (with per-view
+    bincount statistics precomputed, so the main process's merge is
+    O(views)).  Pure: touches no executor state.
+    """
+    frame = attach_shared_frame(descriptor)
+    try:
+        mask_bits = spec["mask_bits"]
+        sel = None if mask_bits is None else mask_bits[frame.array("row_blocks")]
+        window_slice = slice_elements(
+            frame.rows_size, sel, lambda: frame.array("mask", spec["pred_key"])
+        )
+        value_key = spec["value_key"]
+        group_key = spec["group_key"]
+        return partition_slice(
+            window_slice,
+            spec["codes"],
+            values_of=(
+                None
+                if value_key is None
+                else lambda pick: frame.array("values", value_key)[pick]
+            ),
+            combined_of=(
+                None
+                if group_key is None
+                else lambda pick: frame.array("combined", group_key)[pick]
+            ),
+            with_stats=True,
+        )
+    finally:
+        frame.close()
+
+
+class _RunWindowState:
+    """Per-(run, window) bookkeeping between the slice and fold phases."""
+
+    __slots__ = ("sel", "window_slice", "future")
+
+    def __init__(self) -> None:
+        self.sel = None
+        self.window_slice = None
+        self.future = None
+
+
+class ParallelScanDriver:
+    """Drive query runs from one cursor with pipelined, multi-core ingest.
+
+    Parameters
+    ----------
+    runs:
+        The :class:`~repro.fastframe.executor.QueryRun` batch (one for
+        solo execution).
+    cursor:
+        The shared :class:`~repro.fastframe.scan.ScanCursor`.
+    parallelism:
+        Worker processes (>= 1; at 1 everything runs inline but the
+        pipeline structure is identical).
+    solo:
+        Mirror the accounting of :meth:`QueryRun.feed` (frame gathers
+        charged to the single run, bitmap counters left for
+        ``run.finalize()``) instead of the batch accounting of
+        :func:`~repro.fastframe.executor.run_shared_scan`.
+    """
+
+    def __init__(
+        self,
+        runs: list,
+        cursor,
+        parallelism: int,
+        solo: bool = False,
+    ) -> None:
+        from repro.fastframe.executor import validate_shared_runs
+
+        validate_shared_runs(runs, cursor)
+        if solo and len(runs) != 1:
+            raise ValueError("solo mode drives exactly one run")
+        self.runs = list(runs)
+        self.cursor = cursor
+        self.workers = max(int(parallelism), 1)
+        self.solo = solo
+        self.metrics = ExecutionMetrics()
+        self._start_time = time.perf_counter()
+        self._indexes = {}
+        for run in self.runs:
+            self._indexes.update(run.indexes)
+        self._pool = _worker_pool(self.workers) if self.workers > 1 else None
+        # Prefetched next window: (window, at_end, {id(run): mask},
+        # {id(run): [(index, probe_delta, batch_delta), ...]}).
+        self._prefetched: tuple | None = None
+
+    # -- driving --------------------------------------------------------
+
+    def run(self) -> ExecutionMetrics:
+        """Process every window to completion; return the batch metrics."""
+        for _ in self.windows():
+            pass
+        return self.finish()
+
+    def windows(self):
+        """Generator driving one window per iteration (the rounds() hook).
+
+        Yields the window's block ids after the window has been fully
+        consumed by every live run, so progressive-round callers can
+        inspect run state between windows exactly as the serial loop
+        allows.  Closing the generator reconciles any prefetched
+        selection's probe counters.
+        """
+        cursor = self.cursor
+        try:
+            while not cursor.exhausted:
+                if self._prefetched is not None:
+                    window, at_end, masks, probe_deltas = self._prefetched
+                    self._prefetched = None
+                    cursor.next_window()  # consume the peeked window
+                else:
+                    window = cursor.next_window()
+                    at_end = cursor.exhausted
+                    masks, probe_deltas = {}, {}
+                live = [run for run in self.runs if not run.finished]
+                # Selections prefetched for runs that retired meanwhile
+                # were never consumed: take their probes back so the
+                # shared counters match what a serial scan would record.
+                for run in self.runs:
+                    if run.finished and id(run) in probe_deltas:
+                        self._uncharge(probe_deltas.pop(id(run)))
+                self._process(window, at_end, live, masks)
+                yield window
+                if all(run.finished for run in self.runs):
+                    break
+        finally:
+            self._discard_prefetched()
+
+    def finish(self) -> ExecutionMetrics:
+        """Seal the batch metrics (mirror of ``run_shared_scan``'s tail)."""
+        self.metrics.stopped_early = all(run.satisfied for run in self.runs)
+        self.metrics.bounds_recomputed = sum(
+            run.metrics.bounds_recomputed for run in self.runs
+        )
+        if not self.solo:
+            # Solo accounting leaves the scramble-shared counters for the
+            # run's own finalize(), exactly like the serial solo loop.
+            self.metrics.merge_index_counters(self._indexes.values())
+        self.metrics.wall_time_s = time.perf_counter() - self._start_time
+        return self.metrics
+
+    # -- one window -----------------------------------------------------
+
+    def _process(
+        self, window: np.ndarray, at_end: bool, live: list, pre_masks: dict
+    ) -> None:
+        masks = []
+        for run in live:
+            mask = pre_masks.pop(id(run), None)
+            if mask is None:
+                mask = run.select_blocks(window)
+            else:
+                run.charge_blocks(window, mask)
+            masks.append(mask)
+        union = np.zeros(window.shape, dtype=bool)
+        for mask in masks:
+            union |= mask
+        frame = WindowFrame(self.cursor.scramble, window, union)
+
+        # Phase 1 — slice main-side state and materialize frame inputs
+        # under exactly the serial lazy conditions (values_gathered must
+        # match the serial loop bit for bit).
+        states = [self._slice(run, frame, mask) for run, mask in zip(live, masks)]
+
+        # Phase 2 — export the frame once, fan the heavy partitions out.
+        export = None
+        offload = [
+            position
+            for position, (run, state) in enumerate(zip(live, states))
+            if (
+                self._pool is not None
+                and run.pool is not None
+                and state.window_slice.n_in_view >= MIN_OFFLOAD_ELEMENTS
+            )
+        ]
+        if offload:
+            try:
+                export = frame.export_shared()
+            except Exception:  # pragma: no cover - no shared memory
+                export = None
+            if export is not None:
+                for position in offload:
+                    run, state = live[position], states[position]
+                    try:
+                        state.future = self._pool.submit(
+                            _partition_task,
+                            export.descriptor,
+                            self._worker_spec(run, frame, masks[position], state),
+                        )
+                    except Exception:  # pragma: no cover - pool died
+                        state.future = None
+
+        try:
+            # Phase 3 — overlap: block selection for the next window runs
+            # while workers partition this one.  Only strategies that
+            # ignore active groups select identically before/after this
+            # window's rounds, so only those are prefetched.
+            if not at_end and export is not None:
+                self._prefetch(live)
+
+            # Phase 4 — fold, in deterministic run order (serial order).
+            for run, mask, state in zip(live, masks, states):
+                if state.future is not None:
+                    delta = state.future.result()
+                    run.consume_delta(delta, frame.window_rows, at_end)
+                elif run.pool is not None:
+                    run.consume_delta(
+                        self._inline_delta(run, frame, state),
+                        frame.window_rows,
+                        at_end,
+                    )
+                else:
+                    run.consume(frame, mask, at_end)
+                if run.finished and not self.solo:
+                    # Seal the run the moment it retires (wall time spans
+                    # construction → retirement; finalize is cached).
+                    run.finalize(merge_index_counters=False)
+        finally:
+            if export is not None:
+                export.close()
+
+        if self.solo:
+            live[0].metrics.values_gathered += frame.values_gathered
+        fetched = int(union.sum())
+        self.metrics.blocks_fetched += fetched
+        self.metrics.blocks_skipped += int(window.size - fetched)
+        self.metrics.rows_read += frame.rows.size
+        self.metrics.values_gathered += frame.values_gathered
+        self.metrics.rounds += 1
+
+    def _slice(self, run, frame: WindowFrame, mask: np.ndarray) -> _RunWindowState:
+        """Main-side slice bookkeeping for one pool run (scalar runs are
+        consumed whole in phase 4 and need none)."""
+        state = _RunWindowState()
+        if run.pool is None:
+            return state
+        state.sel = frame.element_selector(mask)
+        state.window_slice = slice_elements(
+            frame.rows.size,
+            state.sel,
+            lambda: frame.predicate_mask(run.query.predicate),
+        )
+        if state.window_slice.n_in_view:
+            # Materialize the union arrays a worker will read, under the
+            # run's own lazy conditions (frame_values_of/frame_combined_of
+            # return None exactly when the run needs no such array), so
+            # values_gathered matches the serial loop bit for bit.
+            if run.frame_values_of(frame) is not None:
+                frame.values(run.value_key, run.values_of)
+            if run.frame_combined_of(frame) is not None:
+                group_by = run.group_by
+                ex = run.executor
+                frame.combined_codes(
+                    group_by, lambda rows: ex._combined_codes(group_by, rows)
+                )
+        return state
+
+    def _worker_spec(
+        self, run, frame: WindowFrame, mask: np.ndarray, state: _RunWindowState
+    ) -> dict:
+        """The picklable per-task recipe for :func:`_partition_task`."""
+        return {
+            "mask_bits": None if state.sel is None else mask[frame.union_mask],
+            "pred_key": predicate_key(run.query.predicate),
+            "value_key": run.value_key,
+            "group_key": run.group_by if run.pool.size > 1 else None,
+            "codes": run.pool.codes,
+        }
+
+    def _inline_delta(self, run, frame: WindowFrame, state: _RunWindowState):
+        """Partition a pool run's slice in-process (below the offload
+        cutoff, or shared memory unavailable) — the serial arithmetic."""
+        return partition_slice(
+            state.window_slice,
+            run.pool.codes,
+            values_of=run.frame_values_of(frame),
+            combined_of=run.frame_combined_of(frame),
+        )
+
+    # -- prefetch -------------------------------------------------------
+
+    def _prefetch(self, live: list) -> None:
+        """Select blocks for the next window while workers are busy.
+
+        Masks are computed *uncharged* (via ``run.scan_context()``) and
+        charged when consumed; per-run bitmap probe-counter deltas are
+        recorded so a discarded selection can be reconciled.
+        """
+        window = self.cursor.peek_window()
+        if window.size == 0:
+            return
+        at_end = self.cursor.peek_at_end()
+        masks: dict = {}
+        probe_deltas: dict = {}
+        for run in live:
+            if run.uses_active:
+                continue  # selection depends on this window's round
+            before = [
+                (index, index.probe_count, index.batch_probe_count)
+                for index in run.indexes.values()
+            ]
+            masks[id(run)] = run.strategy.select_blocks(window, run.scan_context())
+            probe_deltas[id(run)] = [
+                (index, index.probe_count - probes, index.batch_probe_count - batches)
+                for index, probes, batches in before
+            ]
+        if masks:
+            self._prefetched = (window, at_end, masks, probe_deltas)
+
+    def _uncharge(self, deltas: list) -> None:
+        """Take back the probe counts of a discarded prefetched selection."""
+        for index, probes, batches in deltas:
+            index.probe_count -= probes
+            index.batch_probe_count -= batches
+
+    def _discard_prefetched(self) -> None:
+        if self._prefetched is None:
+            return
+        _, _, _, probe_deltas = self._prefetched
+        for deltas in probe_deltas.values():
+            self._uncharge(deltas)
+        self._prefetched = None

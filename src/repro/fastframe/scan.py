@@ -82,6 +82,21 @@ class ScanCursor:
         self.position += window.size
         return window
 
+    def peek_window(self) -> np.ndarray:
+        """The next window *without* consuming it (empty when exhausted).
+
+        The prefetch half of the lookahead split: a pipelined driver peeks
+        window k+1 to run block selection for it while window k's ingest
+        is still in flight, then consumes it with :meth:`next_window`.
+        Peeking never advances :attr:`position`, so accounting stays with
+        the consumer.
+        """
+        return self.order[self.position : self.position + self.window_blocks]
+
+    def peek_at_end(self) -> bool:
+        """Whether the *peeked* window would be the scan's last."""
+        return self.position + self.window_blocks >= self.order.size
+
     def windows(self):
         """Iterate ``(window, at_end)`` pairs until the scan is exhausted.
 

@@ -37,6 +37,18 @@ touch only rows whose inputs changed since the last round:
 Callers that write interval or counter arrays directly (outside the
 executor's ingest/recompute paths) must call :meth:`mark_dirty` for the
 touched rows, or the cached snapshot goes stale.
+
+**Parallel ingest.**  Folding one window into the pool is split into a
+pure *partition* step (:func:`build_ingest_delta` — sort the in-view
+elements by group code, map codes to pool rows, pre-aggregate per-view
+bincount statistics) and a stateful *merge* step
+(:meth:`ViewPool.apply_ingest`).  The partition step touches no pool
+state, so a worker process can run it over shared-memory window buffers
+and ship the resulting :class:`IngestDelta` back; the main process then
+merges deltas in deterministic window order.  Because the partition is a
+pure function of its input arrays and the merge consumes exactly the
+arrays the serial path would have computed in place, parallel ingest is
+bit-identical to serial ingest — the determinism suite pins this.
 """
 
 from __future__ import annotations
@@ -50,7 +62,211 @@ from repro.bounders.base import ErrorBounder
 from repro.stats.streaming import MomentPool
 from repro.stopping.conditions import SnapshotColumns
 
-__all__ = ["ViewPool"]
+__all__ = [
+    "ViewPool",
+    "IngestDelta",
+    "WindowSlice",
+    "build_ingest_delta",
+    "slice_elements",
+    "partition_slice",
+]
+
+
+def lookup_codes(codes: np.ndarray, combined: np.ndarray) -> np.ndarray:
+    """Pool row index per combined code over a sorted domain (checked).
+
+    Raises :class:`KeyError` when any code is outside the domain — an
+    unguarded ``searchsorted`` would silently return a neighboring view's
+    row and corrupt its counters (e.g. when an insert widens a dictionary
+    after the pool was built).  Module-level so worker processes can map
+    codes without holding a :class:`ViewPool`.
+    """
+    combined = np.asarray(combined, dtype=np.int64)
+    if codes.size == 0:
+        if combined.size:
+            raise KeyError(
+                f"combined group codes {np.unique(combined)[:8].tolist()} "
+                "looked up in an empty pool domain"
+            )
+        return np.zeros(0, dtype=np.int64)
+    idx = np.searchsorted(codes, combined)
+    clipped = np.minimum(idx, codes.size - 1)
+    bad = (idx >= codes.size) | (codes[clipped] != combined)
+    if bad.any():
+        missing = np.unique(combined[bad])[:8]
+        raise KeyError(
+            f"combined group codes {missing.tolist()} are not in the "
+            "pool domain (stale pool after inserts?)"
+        )
+    return idx
+
+
+@dataclass
+class IngestDelta:
+    """One (query, window) slice, partitioned and ready to merge.
+
+    The unit of work a parallel ingest worker returns: everything
+    :meth:`ViewPool.apply_ingest` needs to fold the window into the pool
+    without touching the window's row data again.
+
+    Attributes
+    ----------
+    n_read:
+        Rows of the window this run read (its block mask's elements).
+    n_in_view:
+        Rows that additionally pass the run's predicate.
+    view_idx:
+        Pool row per in-view element, sorted ascending with ties in
+        stream order (the order the bounder pools require); ``None``
+        when ``n_in_view == 0``.
+    values:
+        Aggregated-column values aligned with ``view_idx``; ``None`` for
+        COUNT queries.
+    counts, means, m2s:
+        Optional pre-aggregated per-view batch statistics
+        (:meth:`MomentPool.batch_stats` output for value queries, a
+        plain bincount for COUNT).  Workers precompute them; the serial
+        path leaves them ``None`` and :meth:`ensure_stats` fills them in
+        lazily.  Either way the arrays are the output of the same pure
+        function over the same inputs, so the merge is bit-identical.
+    """
+
+    n_read: int
+    n_in_view: int
+    view_idx: np.ndarray | None = None
+    values: np.ndarray | None = None
+    counts: np.ndarray | None = None
+    means: np.ndarray | None = None
+    m2s: np.ndarray | None = None
+
+    def ensure_stats(self, size: int, needs_values: bool) -> None:
+        """Fill :attr:`counts` (and value moments) if a worker didn't."""
+        if self.counts is not None or self.n_in_view == 0:
+            return
+        if needs_values:
+            self.counts, self.means, self.m2s = MomentPool.batch_stats(
+                self.view_idx, self.values, size
+            )
+        else:
+            self.counts = np.bincount(self.view_idx, minlength=size)
+
+
+def build_ingest_delta(
+    n_read: int,
+    n_in_view: int,
+    view_values: np.ndarray | None,
+    view_combined: np.ndarray | None,
+    codes: np.ndarray,
+    *,
+    needs_values: bool,
+    with_stats: bool = False,
+) -> IngestDelta:
+    """Partition one window slice into an :class:`IngestDelta`.
+
+    ``view_values`` / ``view_combined`` are the run's predicate-passing
+    elements of the window in scan order (``view_values`` is ``None`` for
+    COUNT queries; ``view_combined`` is ``None`` for single-view pools,
+    which need no partitioning).  ``codes`` is the pool's sorted combined
+    domain.  Pure function: safe to run in a worker process over
+    shared-memory buffers.  ``with_stats`` additionally pre-aggregates the
+    per-view bincount statistics (workers pay this O(rows) pass so the
+    main process's merge is O(views)).
+    """
+    if n_in_view == 0:
+        return IngestDelta(n_read=n_read, n_in_view=0)
+    if view_combined is None or codes.size <= 1:
+        # Single view: no partitioning needed, keep stream order.
+        view_idx = np.zeros(n_in_view, dtype=np.int64)
+        ordered_values = view_values
+    else:
+        # Stable sort by group code: stream order within each view is
+        # preserved, as the order-sensitive bounder pools require.
+        sort_order = np.argsort(view_combined, kind="stable")
+        view_idx = lookup_codes(codes, view_combined[sort_order])
+        ordered_values = view_values[sort_order] if needs_values else None
+    delta = IngestDelta(
+        n_read=n_read,
+        n_in_view=n_in_view,
+        view_idx=view_idx,
+        values=ordered_values,
+    )
+    if with_stats:
+        delta.ensure_stats(max(codes.size, 1), needs_values)
+    return delta
+
+
+@dataclass
+class WindowSlice:
+    """Element accounting of one run's slice of one window.
+
+    Attributes
+    ----------
+    n_read:
+        Elements the run's block mask selects (all of them when ``sel``
+        was ``None``, i.e. the mask equals the window's union).
+    n_in_view:
+        Selected elements that additionally pass the run's predicate.
+    pick:
+        The combined boolean element mask (``None`` when nothing was
+        read — the predicate mask is then never evaluated).
+    """
+
+    n_read: int
+    n_in_view: int
+    pick: np.ndarray | None
+
+
+def slice_elements(n_rows: int, sel, predicate_of) -> WindowSlice:
+    """Count one run's window slice (pure; the first half of ingest).
+
+    ``sel`` is the run's element selector over the window's fetched rows
+    (``None`` when the run's mask is the union); ``predicate_of`` lazily
+    supplies the predicate mask — evaluated only when the run read
+    anything, exactly the serial lazy condition.  The ONE copy of this
+    arithmetic: the serial consume path, the parallel driver, and the
+    worker processes all call it, so the engines cannot drift.
+    """
+    n_read = int(n_rows) if sel is None else int(np.count_nonzero(sel))
+    pick = None
+    n_in_view = 0
+    if n_read:
+        pred = predicate_of()
+        pick = pred if sel is None else (sel & pred)
+        n_in_view = int(np.count_nonzero(pick))
+    return WindowSlice(n_read=n_read, n_in_view=n_in_view, pick=pick)
+
+
+def partition_slice(
+    window_slice: WindowSlice,
+    codes: np.ndarray,
+    values_of=None,
+    combined_of=None,
+    *,
+    with_stats: bool = False,
+) -> IngestDelta:
+    """Partition a counted slice into an :class:`IngestDelta` (pure).
+
+    ``values_of`` / ``combined_of`` lazily gather the slice's value and
+    combined-code arrays from a pick mask (``None`` for COUNT queries /
+    single-view pools); they are only invoked when the slice has in-view
+    elements — again the serial lazy condition, shared by every engine.
+    """
+    view_values = None
+    view_combined = None
+    if window_slice.n_in_view:
+        if values_of is not None:
+            view_values = values_of(window_slice.pick)
+        if combined_of is not None:
+            view_combined = combined_of(window_slice.pick)
+    return build_ingest_delta(
+        window_slice.n_read,
+        window_slice.n_in_view,
+        view_values,
+        view_combined,
+        codes,
+        needs_values=values_of is not None,
+        with_stats=with_stats,
+    )
 
 
 @dataclass
@@ -125,29 +341,93 @@ class ViewPool:
         neighboring view's row and corrupt its counters (e.g. when an
         insert widens a dictionary after the pool was built).
         """
-        combined = np.asarray(combined, dtype=np.int64)
-        if self.codes.size == 0:
-            if combined.size:
-                raise KeyError(
-                    f"combined group codes {np.unique(combined)[:8].tolist()} "
-                    "looked up in an empty pool domain"
-                )
-            return np.zeros(0, dtype=np.int64)
-        idx = np.searchsorted(self.codes, combined)
-        clipped = np.minimum(idx, self.codes.size - 1)
-        bad = (idx >= self.codes.size) | (self.codes[clipped] != combined)
-        if bad.any():
-            missing = np.unique(combined[bad])[:8]
-            raise KeyError(
-                f"combined group codes {missing.tolist()} are not in the "
-                "pool domain (stale pool after inserts?)"
-            )
-        return idx
+        return lookup_codes(self.codes, combined)
 
     def mark_dirty(self, mask: np.ndarray) -> None:
         """Flag rows whose counters changed since the last OptStop round."""
         self.dirty |= mask
         self.snap_dirty |= mask
+
+    def apply_ingest(
+        self,
+        bounder: ErrorBounder,
+        delta: IngestDelta,
+        window_rows: int,
+        freezes_groups: bool,
+    ) -> None:
+        """Merge one window's :class:`IngestDelta` into the pool.
+
+        The stateful half of ingest: bincount merges into the moment
+        pools, the bounder-pool update, selectivity counters, and the
+        dirty masks.  The delta may come from the serial path (built in
+        place by the consuming run) or from a parallel worker — the
+        arrays are identical either way, so so is every resulting float.
+        """
+        eligible = ~self.dropped & ~self.exhausted
+        if freezes_groups:
+            settling = eligible & self.active
+        else:
+            settling = eligible
+        needs_values = delta.values is not None
+        if delta.n_in_view:
+            view_idx = delta.view_idx
+            # `settling ⊆ eligible`, so when every view settles (the common
+            # case: nothing frozen or dropped) the O(rows) element masks can
+            # be skipped entirely — decided by O(views) flag tests.
+            everything = bool(settling.all())
+            if everything:
+                delta.ensure_stats(self.size, needs_values)
+                if needs_values:
+                    # The all-read and sampled moments receive the same
+                    # batch — per-view statistics computed once (possibly
+                    # by a worker), merged twice.
+                    stats = (delta.counts, delta.means, delta.m2s)
+                    self.all_read.merge_arrays(*stats)
+                    self.sample.merge_arrays(*stats)
+                    bounder.update_pool(self.bounder_pool, view_idx, delta.values)
+                else:
+                    self.all_read.count += delta.counts
+                self.in_view += delta.counts
+            else:
+                values = delta.values
+                elements_eligible = eligible[view_idx]
+                elements_settling = settling[view_idx]
+                identical = np.array_equal(elements_eligible, elements_settling)
+                if needs_values:
+                    if identical:
+                        idx = view_idx[elements_settling]
+                        vals = values[elements_settling]
+                        stats = MomentPool.batch_stats(idx, vals, self.size)
+                        self.all_read.merge_arrays(*stats)
+                        self.sample.merge_arrays(*stats)
+                        bounder.update_pool(self.bounder_pool, idx, vals)
+                    else:
+                        self.all_read.update_indexed(
+                            view_idx[elements_eligible], values[elements_eligible]
+                        )
+                        self.sample.update_indexed(
+                            view_idx[elements_settling], values[elements_settling]
+                        )
+                        bounder.update_pool(
+                            self.bounder_pool,
+                            view_idx[elements_settling],
+                            values[elements_settling],
+                        )
+                else:
+                    self.all_read.count += np.bincount(
+                        view_idx[elements_eligible], minlength=self.size
+                    )
+                self.in_view += np.bincount(
+                    view_idx[elements_settling], minlength=self.size
+                )
+        # Lemma 5's covered-row accounting: the whole window settles for
+        # every non-frozen surviving view (rows read, plus rows of skipped
+        # blocks the bitmap index certifies hold no tuple of the view).
+        if window_rows:
+            self.covered[settling] += window_rows
+            # Settling rows are exactly those whose round inputs (covered,
+            # in_view, sample moments, bounder state) may have changed.
+            self.mark_dirty(settling)
 
     def snapshot_columns(self, a: float, b: float) -> SnapshotColumns:
         """Struct-of-arrays snapshot of the non-dropped views.

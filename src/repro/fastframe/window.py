@@ -31,6 +31,16 @@ parity fork.
 ``values_gathered`` counts the value elements the frame actually gathered
 — the benchmark's evidence that per-window value gathering happens once
 per shared window, not once per query.
+
+**Shared-memory export.**  For parallel ingest the frame's materialized
+arrays must be readable by worker processes without per-task copies:
+:class:`SharedWindowExport` snapshots every array the frame has
+materialized so far (row ids, the per-row fetched-block ordinals, value
+arrays, combined group codes, predicate masks) into POSIX shared-memory
+segments and hands workers a picklable descriptor;
+:func:`attach_shared_frame` reconstructs zero-copy numpy views on the
+worker side.  Workers treat the views as read-only and copy out only
+their (much smaller) per-view results.
 """
 
 from __future__ import annotations
@@ -39,12 +49,29 @@ import numpy as np
 
 from repro.fastframe.predicate import Predicate, TruePredicate
 
-__all__ = ["WindowFrame"]
+__all__ = [
+    "WindowFrame",
+    "SharedWindowExport",
+    "attach_shared_frame",
+    "predicate_key",
+]
 
 #: All ``TruePredicate`` instances share one mask entry — distinct queries
 #: without a WHERE clause each carry their own instance, but the mask is
 #: the same all-ones array.
 _TRUE_PREDICATE_KEY = "TRUE"
+
+
+def predicate_key(predicate: Predicate):
+    """The frame-cache key of a predicate's mask.
+
+    Every ``TruePredicate`` shares one entry; other predicates are keyed
+    by object identity.  Exposed so the parallel driver can tell a worker
+    which exported mask belongs to which query.
+    """
+    if isinstance(predicate, TruePredicate):
+        return _TRUE_PREDICATE_KEY
+    return id(predicate)
 
 
 class WindowFrame:
@@ -155,12 +182,119 @@ class WindowFrame:
 
     def predicate_mask(self, predicate: Predicate) -> np.ndarray:
         """Union predicate mask, evaluated once per distinct predicate."""
-        if isinstance(predicate, TruePredicate):
-            key = _TRUE_PREDICATE_KEY
-        else:
-            key = id(predicate)
+        key = predicate_key(predicate)
         if key not in self._masks:
             self._masks[key] = predicate.mask(self.scramble.table, self.rows)
             if key is not _TRUE_PREDICATE_KEY:
                 self._mask_refs.append(predicate)
         return self._masks[key]
+
+    def export_shared(self) -> "SharedWindowExport":
+        """Snapshot the frame's materialized arrays into shared memory.
+
+        Call after every consuming run's inputs (values, combined codes,
+        predicate masks) have been materialized; the export is a frozen
+        copy — later materializations are not visible to workers.
+        """
+        return SharedWindowExport(self)
+
+
+class SharedWindowExport:
+    """One window frame's arrays in POSIX shared memory, plus a picklable
+    descriptor worker processes attach to (:func:`attach_shared_frame`).
+
+    The export owns the segments: keep it alive until every worker task
+    over this window has returned, then :meth:`close` (which unlinks).
+    Exports degrade gracefully — if the platform offers no shared memory,
+    constructing one raises and the driver falls back to inline ingest.
+    """
+
+    def __init__(self, frame: WindowFrame) -> None:
+        from multiprocessing import shared_memory
+
+        self._segments: list = []
+        arrays: dict = {
+            ("rows",): frame.rows,
+            ("row_blocks",): frame._row_blocks(),
+        }
+        for key, array in frame._values.items():
+            arrays[("values", key)] = array
+        for group_by, array in frame._combined.items():
+            arrays[("combined", group_by)] = array
+        for key, array in frame._masks.items():
+            arrays[("mask", key)] = array
+        layout = {}
+        try:
+            for name, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(array.nbytes, 1)
+                )
+                if array.nbytes:
+                    view = np.ndarray(
+                        array.shape, dtype=array.dtype, buffer=segment.buf
+                    )
+                    view[...] = array
+                self._segments.append(segment)
+                layout[name] = (segment.name, array.shape, array.dtype.str)
+        except Exception:
+            self.close()
+            raise
+        #: Picklable attachment recipe: segment names, shapes, dtypes, and
+        #: the frame scalars workers need (row count, window rows).
+        self.descriptor = {
+            "layout": layout,
+            "rows_size": int(frame.rows.size),
+            "window_rows": int(frame.window_rows),
+        }
+
+    def close(self) -> None:
+        """Release (close + unlink) every segment.  Idempotent."""
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+
+
+class AttachedFrame:
+    """A worker-side zero-copy view of an exported window frame."""
+
+    def __init__(self, descriptor: dict) -> None:
+        from multiprocessing import shared_memory
+
+        self.rows_size: int = descriptor["rows_size"]
+        self.window_rows: int = descriptor["window_rows"]
+        self._segments = []
+        self._arrays: dict = {}
+        for name, (segment_name, shape, dtype) in descriptor["layout"].items():
+            # NB: attaching registers the name with the (process-tree-wide)
+            # resource tracker on Python ≤ 3.12 — harmless here, because
+            # registration is a set and the exporting process always
+            # unlinks+unregisters each segment exactly once in close().
+            segment = shared_memory.SharedMemory(name=segment_name)
+            self._segments.append(segment)
+            self._arrays[name] = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=segment.buf
+            )
+
+    def array(self, *name) -> np.ndarray:
+        """A named exported array (e.g. ``array("values", key)``)."""
+        return self._arrays[tuple(name)]
+
+    def close(self) -> None:
+        """Drop the views and close the attachments (no unlink)."""
+        self._arrays = {}
+        for segment in self._segments:
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - best effort
+                pass
+        self._segments = []
+
+
+def attach_shared_frame(descriptor: dict) -> AttachedFrame:
+    """Attach to a :class:`SharedWindowExport` descriptor (worker side)."""
+    return AttachedFrame(descriptor)

@@ -326,6 +326,98 @@ class TestHandleResolution:
         assert handle.resolved
 
 
+class TestAbandonedRoundsMetrics:
+    """Regression: an abandoned rounds() iterator must not leak its cost
+    counters into the next execution's ExecutionMetrics.
+
+    The bitmap-index probe counters live on the scramble's cached indexes
+    and are merged-and-reset into a run's metrics at finalize().  An
+    abandoned rounds() iterator never reached finalize(), so its probes
+    sat on the shared indexes and the *next* query over the same scramble
+    double-counted them.  rounds() now seals the abandoned run's
+    accounting when the generator is closed.
+    """
+
+    @staticmethod
+    def _make_scramble():
+        # > 1 lookahead window (25,600 rows at the default geometry), so a
+        # rounds() iterator can be abandoned before the scan is exhausted.
+        rng = np.random.default_rng(17)
+        n = 60_000
+        table = Table(
+            continuous={"x": rng.gamma(2.0, 10.0, n)},
+            categorical={
+                "g": rng.integers(0, 8, n).astype(str),
+                "h": rng.integers(0, 3, n).astype(str),
+            },
+            range_pad=0.1,
+        )
+        return Scramble(table, rng=np.random.default_rng(18))
+
+    @staticmethod
+    def _connect(scramble, strategy, parallelism):
+        # ActivePeek probes the bitmap index every window — the counters
+        # whose attribution the regression is about.  The scan+parallel
+        # leg instead probes through the predicate mask, with a lookahead
+        # selection prefetched (and pending) at abandonment time.
+        return connect(
+            scramble,
+            delta=1e-6,
+            strategy=strategy,
+            round_rows=5_000,
+            engine="pool",
+            parallelism=parallelism,
+            rng=np.random.default_rng(3),
+        )
+
+    def _victim(self, conn):
+        # An unachievable target: the iterator cannot complete on its
+        # own, so closing it after one update abandons it mid-scan; the
+        # WHERE clause gives the scan strategy predicate probes.
+        return conn.table().where("h", "1").group_by("g").avg("x", abs=1e-9)
+
+    def _follow_up_metrics(self, strategy, parallelism, abandon: bool):
+        scramble = self._make_scramble()
+        conn = self._connect(scramble, strategy, parallelism)
+        if abandon:
+            iterator = self._victim(conn).rounds(start_block=0)
+            next(iterator)
+            iterator.close()
+        return self._victim(conn).result(start_block=0).metrics
+
+    @pytest.mark.parametrize(
+        "strategy,parallelism",
+        [("activepeek", 1), ("scan", 2)],
+        ids=["activepeek-serial", "scan-parallel-prefetch"],
+    )
+    def test_abandoned_rounds_does_not_double_count_next_metrics(
+        self, strategy, parallelism
+    ):
+        clean = self._follow_up_metrics(strategy, parallelism, abandon=False)
+        after_abandonment = self._follow_up_metrics(
+            strategy, parallelism, abandon=True
+        )
+        assert clean.batch_probes > 0  # the counters under test exist
+        assert after_abandonment.batch_probes == clean.batch_probes
+        assert after_abandonment.index_probes == clean.index_probes
+        assert after_abandonment.blocks_fetched == clean.blocks_fetched
+        assert after_abandonment.values_gathered == clean.values_gathered
+        assert after_abandonment.rows_read == clean.rows_read
+
+    def test_abandonment_still_poisons_the_handle(self):
+        scramble = self._make_scramble()
+        conn = self._connect(scramble, "activepeek", 1)
+        handle = conn.table().group_by("g").avg("x", abs=1e-9)
+        iterator = handle.rounds(start_block=0)
+        next(iterator)
+        iterator.close()
+        # Sealing the abandoned run's accounting must not resolve the
+        # handle: its δ is spent and re-execution stays refused.
+        assert not handle.resolved
+        with pytest.raises(RuntimeError, match="charged but never"):
+            handle.result()
+
+
 class TestGather:
     def _handles(self, conn):
         return [
