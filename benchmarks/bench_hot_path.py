@@ -21,9 +21,17 @@ default 2): the multi-core ingest pipeline of
 ``repro/fastframe/parallel.py``.  Per-query intervals must again match
 the serial gather to ≤ 1e-9 (they are in fact bit-identical); the
 ``parallel`` JSON entry records both wall times, the speedup, the core
-count, and the asserted parity flag.  On a single-core host the pipeline
-still runs (correctness is the point of the entry); a wall-clock win is
-only expected with ≥ 2 cores.
+count, the asserted parity flag, and the worker-kernel stage split —
+worker partition wall vs main-process merge wall and the delta bytes
+shipped over IPC (native bounder deltas are O(views) per window).  On a
+single-core host the pipeline still runs (correctness is the point of
+the entry); a wall-clock win is only expected with ≥ 2 cores.
+
+Part 4 times Anderson's pooled CSR sample buffers against the per-view
+buffer baseline (one ``SampleState`` per view, the pre-CSR pool layout):
+windowed sorted-stream ingest and the batched confidence-interval
+kernel, asserting ≤ 1e-9 parity between the layouts.  The ``anderson``
+JSON entry records both walls and the speedups.
 
 Emits ``BENCH_hot_path.json`` — the repository's performance trajectory
 (see PERFORMANCE.md).
@@ -172,7 +180,9 @@ def _dashboard_handles(conn):
     ]
 
 
-def _dashboard_connection(scramble: Scramble, parallelism: int = 1):
+def _dashboard_connection(
+    scramble: Scramble, parallelism: int = 1, engine: str = "auto"
+):
     return connect(
         scramble,
         bounder=BOUNDER,
@@ -180,6 +190,7 @@ def _dashboard_connection(scramble: Scramble, parallelism: int = 1):
         policy="harmonic",
         rng=np.random.default_rng(9),
         parallelism=parallelism,
+        engine=engine,
     )
 
 
@@ -276,21 +287,26 @@ def run_parallel() -> dict:
     """
     scramble = _dashboard_scramble()
     start_block = 0
+    # Pool engine on both sides: the worker-kernel protocol (partition in
+    # workers, O(views) delta merge in main) only drives pool runs, and
+    # the dashboard's GROUP BY cardinalities sit below the auto
+    # threshold, where auto would dispatch to the scalar loop.
+    engine = "pool"
     # Warm load-time metadata and the worker pool (fork + first-task cost).
-    conn = _dashboard_connection(scramble, parallelism=PARALLELISM)
+    conn = _dashboard_connection(scramble, parallelism=PARALLELISM, engine=engine)
     conn.gather(_dashboard_handles(conn), start_block=start_block)
 
     serial_s = float("inf")
     parallel_s = float("inf")
     serial_batch = parallel_batch = None
     for _ in range(REPS):
-        conn = _dashboard_connection(scramble, parallelism=1)
+        conn = _dashboard_connection(scramble, parallelism=1, engine=engine)
         handles = _dashboard_handles(conn)
         start = time.perf_counter()
         serial_batch = conn.gather(handles, start_block=start_block)
         serial_s = min(serial_s, time.perf_counter() - start)
 
-        conn = _dashboard_connection(scramble, parallelism=PARALLELISM)
+        conn = _dashboard_connection(scramble, parallelism=PARALLELISM, engine=engine)
         handles = _dashboard_handles(conn)
         start = time.perf_counter()
         parallel_batch = conn.gather(handles, start_block=start_block)
@@ -301,6 +317,7 @@ def run_parallel() -> dict:
     assert parallel_batch.rows_read_shared == serial_batch.rows_read_shared
     assert parallel_batch.values_gathered == serial_batch.values_gathered
     cores = os.cpu_count() or 1
+    stage = parallel_batch.metrics
     entry = {
         "parallelism": PARALLELISM,
         "cores": cores,
@@ -309,11 +326,105 @@ def run_parallel() -> dict:
         "parallel_s": round(parallel_s, 6),
         "speedup": round(serial_s / parallel_s, 2),
         "interval_parity": True,  # asserted ≤1e-9 above
+        # Worker-kernel stage split of the LAST parallel rep: partition
+        # wall is summed across worker tasks (can exceed elapsed time),
+        # merge wall is the main process's delta folds.
+        "partition_wall_s": round(stage.partition_wall_s, 6),
+        "merge_wall_s": round(stage.merge_wall_s, 6),
+        "delta_bytes_returned": int(stage.delta_bytes_returned),
     }
     print(
         f"parallel ingest: serial gather {serial_s:.3f}s vs "
         f"parallelism={PARALLELISM} {parallel_s:.3f}s "
-        f"({entry['speedup']}x on {cores} core(s)); intervals identical"
+        f"({entry['speedup']}x on {cores} core(s)); intervals identical; "
+        f"stages: partition {stage.partition_wall_s:.3f}s (worker-summed) / "
+        f"merge {stage.merge_wall_s:.3f}s, "
+        f"{stage.delta_bytes_returned:,} delta bytes over IPC"
+    )
+    return entry
+
+
+def run_anderson() -> dict:
+    """CSR pooled sample buffers vs the per-view-buffer baseline.
+
+    Replays the same windowed sorted streams through both layouts —
+    the CSR pool's vectorized segment appends + grouped row-wise
+    ``np.partition`` bound kernel vs one Python ``SampleState`` per view
+    with per-view trimmed means (the pre-CSR pool layout) — and asserts
+    the resulting intervals agree to ≤ 1e-9.
+    """
+    from repro.bounders.anderson import (
+        AndersonBounder,
+        SampleState,
+        anderson_lower_bound,
+    )
+    from repro.bounders.base import iter_segments
+
+    # High-cardinality regime (the pool engine's target): the per-view
+    # Python loop is the baseline's bottleneck, the CSR pool's segment
+    # scatter and grouped partition kernel amortize over views.
+    views = int(os.environ.get("BENCH_ANDERSON_VIEWS", "2000"))
+    rows = min(ROWS, 200_000)
+    window = 20_000
+    a, b, delta = 0.0, 200.0, 1e-6
+    rng = np.random.default_rng(23)
+    windows = []
+    for start in range(0, rows, window):
+        count = min(window, rows - start)
+        indices = np.sort(rng.integers(0, views, count)).astype(np.int64)
+        windows.append((indices, rng.uniform(a + 1.0, b - 1.0, count)))
+    bounder = AndersonBounder()
+    n_plus = np.full(views, rows, dtype=np.int64)
+
+    csr_ingest_s = csr_bound_s = float("inf")
+    base_ingest_s = base_bound_s = float("inf")
+    csr_bounds = base_bounds = None
+    for _ in range(REPS):
+        pool = bounder.init_pool(views)
+        start = time.perf_counter()
+        for indices, values in windows:
+            bounder.update_pool(pool, indices, values)
+        csr_ingest_s = min(csr_ingest_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        csr_bounds = bounder.confidence_interval_batch(pool, a, b, n_plus, delta)
+        csr_bound_s = min(csr_bound_s, time.perf_counter() - start)
+
+        states = [SampleState() for _ in range(views)]
+        start = time.perf_counter()
+        for indices, values in windows:
+            for seg_start, seg_end, slot in iter_segments(indices):
+                states[slot].extend(values[seg_start:seg_end])
+        base_ingest_s = min(base_ingest_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        half = delta / 2.0
+        lo = np.empty(views)
+        hi = np.empty(views)
+        for slot in range(views):
+            sample = states[slot].values
+            lo[slot] = anderson_lower_bound(sample, a, half)
+            hi[slot] = (a + b) - anderson_lower_bound((a + b) - sample, a, half)
+        base_bounds = (np.clip(lo, a, b), np.clip(hi, a, b))
+        base_bound_s = min(base_bound_s, time.perf_counter() - start)
+
+    for csr_arr, base_arr in zip(csr_bounds, base_bounds):
+        assert np.allclose(csr_arr, base_arr, rtol=1e-9, atol=1e-9)
+    entry = {
+        "views": views,
+        "rows": rows,
+        "windows": len(windows),
+        "csr_ingest_s": round(csr_ingest_s, 6),
+        "baseline_ingest_s": round(base_ingest_s, 6),
+        "ingest_speedup": round(base_ingest_s / csr_ingest_s, 2),
+        "csr_bound_s": round(csr_bound_s, 6),
+        "baseline_bound_s": round(base_bound_s, 6),
+        "bound_speedup": round(base_bound_s / csr_bound_s, 2),
+        "layout_parity": True,  # asserted ≤1e-9 above
+    }
+    print(
+        f"anderson pool: ingest CSR {csr_ingest_s:.4f}s vs per-view "
+        f"{base_ingest_s:.4f}s ({entry['ingest_speedup']}x); bound CSR "
+        f"{csr_bound_s:.4f}s vs {base_bound_s:.4f}s "
+        f"({entry['bound_speedup']}x) at {views} views"
     )
     return entry
 
@@ -322,6 +433,7 @@ def main() -> int:
     payload = run()
     payload["dashboard"] = run_dashboard()
     payload["parallel"] = run_parallel()
+    payload["anderson"] = run_anderson()
     with open(OUT, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

@@ -8,7 +8,7 @@ PMA and PHOS, and closed-form width/planning helpers.
 
 from repro.bounders.anderson import AndersonBounder
 from repro.bounders.asymptotic import BootstrapBounder, CLTBounder, StudentTBounder
-from repro.bounders.base import ErrorBounder, Interval
+from repro.bounders.base import BounderDelta, ErrorBounder, Interval
 from repro.bounders.bernstein import (
     BernsteinSerflingBounder,
     EmpiricalBernsteinBounder,
@@ -21,6 +21,7 @@ from repro.bounders.registry import (
     EVALUATED_BOUNDERS,
     available_bounders,
     get_bounder,
+    native_delta_bounders,
     register_bounder,
 )
 
@@ -28,6 +29,7 @@ __all__ = [
     "AndersonBounder",
     "BernsteinSerflingBounder",
     "BootstrapBounder",
+    "BounderDelta",
     "CLTBounder",
     "StudentTBounder",
     "EmpiricalBernsteinBounder",
@@ -39,6 +41,7 @@ __all__ = [
     "Interval",
     "RangeTrimBounder",
     "available_bounders",
+    "native_delta_bounders",
     "exhibits_phos",
     "exhibits_pma",
     "get_bounder",

@@ -17,6 +17,17 @@ guided by the observed values, this bounder exhibits **PMA**; but since the
 lower bound never consults ``b`` (the trimmed mass *comes from* the largest
 observed points), it is free of **PHOS** — the mirror image of Bernstein's
 pathology profile (Table 2).  Its state is the full sample, O(m) memory.
+
+**Pooled state.**  The scalar engine keeps one :class:`SampleState` buffer
+per view; the pool flavour stores every view's samples in a single
+:class:`CSRSamplePool` — one flat float64 array with per-view offsets and
+amortized-doubling reserved regions, CSR-style.  Ingest appends a whole
+window's per-view segments with one vectorized scatter, and the bound
+kernels batch ``np.partition`` row-wise over same-length segment groups
+instead of looping views.  The pool's mergeable delta
+(:class:`AndersonDelta`) is the per-view value segments themselves — the
+irreducible O(m) payload — with the per-row ``view_idx`` array compressed
+to per-segment ``(slot, length)`` pairs.
 """
 
 from __future__ import annotations
@@ -26,10 +37,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.bounders.base import ErrorBounder, validate_bound_args
+from repro.bounders.base import (
+    BounderDelta,
+    ErrorBounder,
+    segment_bounds,
+    validate_bound_args,
+)
 from repro.cdfbounds.dkw import dkw_epsilon
 
-__all__ = ["AndersonBounder", "SampleState", "anderson_lower_bound"]
+__all__ = [
+    "AndersonBounder",
+    "SampleState",
+    "CSRSamplePool",
+    "AndersonDelta",
+    "anderson_lower_bound",
+]
 
 
 @dataclass
@@ -73,6 +95,138 @@ class SampleState:
         state = SampleState()
         state.extend(self.values)
         return state
+
+
+class CSRSamplePool:
+    """Pooled O(m) sample buffers: one flat array + per-view offsets.
+
+    The struct-of-arrays replacement for a list of per-view
+    :class:`SampleState` buffers: slot ``i``'s samples live at
+    ``data[starts[i] : starts[i] + count[i]]`` inside a reserved region of
+    ``caps[i]`` elements.  Appends scatter a whole window's per-view
+    segments in O(len) with no per-view Python loop; when any region
+    overflows, the layout is rebuilt with doubled capacities for the
+    overflowing views (amortized O(1) per element).  Append order per view
+    is stream order, so slot ``i``'s contents are element-for-element what
+    the scalar :class:`SampleState` fed the same stream would hold.
+    """
+
+    __slots__ = ("size", "count", "_caps", "_starts", "_data")
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        self.size = size
+        self.count = np.zeros(size, dtype=np.int64)
+        self._caps = np.zeros(size, dtype=np.int64)
+        self._starts = np.zeros(size, dtype=np.int64)
+        self._data = np.empty(0, dtype=np.float64)
+
+    def values(self, slot: int) -> np.ndarray:
+        """View of one slot's samples in stream order (do not mutate)."""
+        start = int(self._starts[slot])
+        return self._data[start : start + int(self.count[slot])]
+
+    def matrix(self, slots: np.ndarray, m: int) -> np.ndarray:
+        """Dense ``(len(slots), m)`` matrix of slots holding ``m`` samples.
+
+        The batch-kernel gather: every requested slot must have exactly
+        ``m`` samples (callers group slots by count first).
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        cols = self._starts[slots][:, None] + np.arange(m, dtype=np.int64)[None, :]
+        return self._data[cols]
+
+    def append_segments(
+        self, slots: np.ndarray, seg_counts: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Append per-view segments (concatenated in slot order) in O(len).
+
+        ``slots`` are strictly ascending slot ids, ``seg_counts[j]``
+        elements of ``values`` belong to ``slots[j]``, in stream order.
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        seg_counts = np.asarray(seg_counts, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        need = self.count.copy()
+        need[slots] += seg_counts
+        if (need > self._caps).any():
+            self._rebuild(need)
+        element_slots = np.repeat(slots, seg_counts)
+        within = np.arange(values.size, dtype=np.int64) - np.repeat(
+            np.cumsum(seg_counts) - seg_counts, seg_counts
+        )
+        self._data[
+            self._starts[element_slots] + self.count[element_slots] + within
+        ] = values
+        self.count[slots] += seg_counts
+
+    #: Reserved elements granted to never-touched slots at the first
+    #: relayout, so views whose first rows arrive a few windows late do
+    #: not each force another full relayout (matches SampleState's
+    #: initial buffer).
+    FRESH_RESERVE = 16
+
+    def _rebuild(self, need: np.ndarray) -> None:
+        """Re-lay the flat buffer, granting every slot doubling headroom.
+
+        Each relayout costs O(total data), so every occupied slot — not
+        just the one that overflowed — leaves with twice its needed
+        capacity, and never-touched slots with a small reserve: the next
+        relayout then requires some slot to double its occupancy.  For a
+        stable view population growing at comparable rates — the
+        executor's case: scrambled data spreads every occupied view
+        across all windows — relayouts are logarithmic in the total
+        sample count, i.e. appends are amortized O(1) per element.  A
+        view whose *first* batch exceeds the reserve still costs one
+        relayout when it appears; that is inherent to a contiguous
+        per-view layout and bounded by one relayout per distinct view.
+        """
+        new_caps = np.maximum(self._caps, 2 * need)
+        new_caps[need == 0] = np.maximum(
+            new_caps[need == 0], self.FRESH_RESERVE
+        )
+        new_starts = np.zeros(self.size, dtype=np.int64)
+        if self.size:
+            np.cumsum(new_caps[:-1], out=new_starts[1:])
+        new_data = np.empty(int(new_caps.sum()), dtype=np.float64)
+        total = int(self.count.sum())
+        if total:
+            rows = np.repeat(np.arange(self.size, dtype=np.int64), self.count)
+            within = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(self.count) - self.count, self.count
+            )
+            new_data[new_starts[rows] + within] = self._data[
+                self._starts[rows] + within
+            ]
+        self._caps = new_caps
+        self._starts = new_starts
+        self._data = new_data
+
+
+class AndersonDelta(BounderDelta):
+    """Mergeable delta for the O(m) family: the value segments themselves.
+
+    Anderson's state *is* the sample, so the per-row values are the
+    irreducible payload; the delta compresses the per-row ``view_idx``
+    array into per-segment ``(slot, length)`` pairs — O(present views)
+    instead of O(rows) of int64.
+    """
+
+    __slots__ = ("slots", "seg_counts", "values")
+
+    def __init__(
+        self, slots: np.ndarray, seg_counts: np.ndarray, values: np.ndarray
+    ) -> None:
+        self.slots = slots
+        self.seg_counts = seg_counts
+        self.values = values
+
+    @property
+    def nbytes(self) -> int:
+        return self.slots.nbytes + self.seg_counts.nbytes + self.values.nbytes
 
 
 def anderson_lower_bound(sample: np.ndarray, a: float, delta: float) -> float:
@@ -136,15 +290,104 @@ class AndersonBounder(ErrorBounder):
         return (a + b) - anderson_lower_bound((a + b) - state.values, a, delta)
 
     # -- pool flavour ---------------------------------------------------
-    # The pool is the base class's list-of-states bank: Anderson's state is
-    # the full O(m) sample, so ingest batches per present view (bounded by
-    # the distinct views in a window, via iter_segments) and the bound's
-    # per-view partition is irreducible.  The batch CI below skips the
-    # per-call argument validation and bounds only the requested slots.
+    # The pool is a CSRSamplePool: one flat sample buffer with per-view
+    # offsets.  Ingest is a vectorized segment append; bounds batch
+    # np.partition row-wise over groups of equal-count views (ε and the
+    # trim cutoff depend only on (m, δ), so grouping by count is exact).
+    # The batch CI skips the per-call argument validation and bounds only
+    # the requested slots.
+
+    supports_delta = True
+
+    def init_pool(self, size: int) -> CSRSamplePool:
+        return CSRSamplePool(size)
+
+    def pool_counts(self, pool: CSRSamplePool) -> np.ndarray:
+        return pool.count.copy()
+
+    def pool_size(self, pool: CSRSamplePool) -> int:
+        return pool.size
+
+    def partition_delta(
+        self, indices: np.ndarray, values: np.ndarray, size: int, context=None
+    ) -> AndersonDelta:
+        """Compress the sorted stream into per-view segments (pure)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        starts, ends = segment_bounds(indices)
+        return AndersonDelta(indices[starts], ends - starts, values)
+
+    def merge_delta(self, pool: CSRSamplePool, delta: AndersonDelta) -> None:
+        pool.append_segments(delta.slots, delta.seg_counts, delta.values)
+
+    def update_pool(
+        self, pool: CSRSamplePool, indices: np.ndarray, values: np.ndarray
+    ) -> None:
+        self.merge_delta(pool, self.partition_delta(indices, values, pool.size))
+
+    @staticmethod
+    def _lower_bound_rows(matrix: np.ndarray, a_rows: np.ndarray, delta: float) -> np.ndarray:
+        """Algorithm 3's Lbound per row of an equal-length sample matrix.
+
+        The batched form of :func:`anderson_lower_bound`: one row-wise
+        ``np.partition`` selects every row's trim set at once (ε and the
+        trim cutoff depend only on the shared row length).  ``a_rows``
+        carries per-row range endpoints — RangeTrim queries its inner
+        bounder with per-view trimmed ranges.  The kept multiset per row
+        is exactly the scalar function's (the k smallest values are
+        unique as a multiset), so results agree to summation order.
+        """
+        m = matrix.shape[1]
+        eps = dkw_epsilon(m, delta, two_sided=False)
+        if eps >= 1.0:
+            return np.array(a_rows, dtype=np.float64, copy=True)
+        keep = int(math.floor((1.0 - eps) * m))
+        if keep <= 0:
+            return np.array(a_rows, dtype=np.float64, copy=True)
+        kept = np.partition(matrix, keep - 1, axis=1)[:, :keep]
+        return eps * a_rows + (1.0 - eps) * kept.mean(axis=1)
+
+    def lbound_batch(self, pool: CSRSamplePool, a, b, n, delta, indices=None):
+        if indices is None:
+            indices = np.arange(pool.size, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        a_arr = np.broadcast_to(np.asarray(a, dtype=np.float64), indices.shape)
+        out = np.empty(indices.size, dtype=np.float64)
+        counts = pool.count[indices]
+        for m in np.unique(counts):
+            group = counts == m
+            if m == 0:
+                out[group] = a_arr[group]
+                continue
+            out[group] = self._lower_bound_rows(
+                pool.matrix(indices[group], int(m)), a_arr[group], delta
+            )
+        return out
+
+    def rbound_batch(self, pool: CSRSamplePool, a, b, n, delta, indices=None):
+        """Mirror of :meth:`lbound_batch` via per-row sample reflection."""
+        if indices is None:
+            indices = np.arange(pool.size, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        a_arr = np.broadcast_to(np.asarray(a, dtype=np.float64), indices.shape)
+        b_arr = np.broadcast_to(np.asarray(b, dtype=np.float64), indices.shape)
+        out = np.empty(indices.size, dtype=np.float64)
+        counts = pool.count[indices]
+        span = a_arr + b_arr
+        for m in np.unique(counts):
+            group = counts == m
+            if m == 0:
+                out[group] = b_arr[group]
+                continue
+            reflected = span[group][:, None] - pool.matrix(indices[group], int(m))
+            out[group] = span[group] - self._lower_bound_rows(
+                reflected, a_arr[group], delta
+            )
+        return out
 
     def confidence_interval_batch(
         self,
-        pool,
+        pool: CSRSamplePool,
         a: float,
         b: float,
         n: np.ndarray,
@@ -152,13 +395,9 @@ class AndersonBounder(ErrorBounder):
         indices: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         if indices is None:
-            indices = np.arange(len(pool), dtype=np.int64)
+            indices = np.arange(pool.size, dtype=np.int64)
         indices = np.asarray(indices, dtype=np.int64)
         half = delta / 2.0
-        lo = np.empty(indices.size, dtype=np.float64)
-        hi = np.empty(indices.size, dtype=np.float64)
-        for position, slot in enumerate(indices):
-            values = pool[int(slot)].values
-            lo[position] = anderson_lower_bound(values, a, half)
-            hi[position] = (a + b) - anderson_lower_bound((a + b) - values, a, half)
+        lo = self.lbound_batch(pool, a, b, n, half, indices)
+        hi = self.rbound_batch(pool, a, b, n, half, indices)
         return self._clip_interval_arrays(lo, hi, a, b)

@@ -93,7 +93,12 @@ class CLTBounder(MomentPoolBounderMixin, ErrorBounder):
     *not* SSI: per the Berry-Esseen theorem its coverage error shrinks as
     ``O(1/√m)`` with constants depending on the unknown third absolute
     normalized moment (§1, footnote 1), so for skewed data and small m it
-    can fail far more often than δ.
+    can fail far more often than δ.  Pool state is a
+    :class:`~repro.stats.streaming.MomentPool`, with the worker-computable
+    mergeable delta (``partition_delta``/``merge_delta``) inherited from
+    :class:`~repro.bounders.base.MomentPoolBounderMixin` — the asymptotic
+    family rides the same Chan/Golub/LeVeque moment merge as Hoeffding and
+    Bernstein.
     """
 
     name = "CLT"

@@ -35,10 +35,15 @@ from typing import Any
 
 import numpy as np
 
-from repro.bounders.base import ErrorBounder, validate_bound_args
+from repro.bounders.base import (
+    BounderDelta,
+    ErrorBounder,
+    segment_bounds,
+    validate_bound_args,
+)
 from repro.stats.streaming import ExtremaState
 
-__all__ = ["RangeTrimBounder", "RangeTrimState", "RangeTrimPool"]
+__all__ = ["RangeTrimBounder", "RangeTrimState", "RangeTrimPool", "RangeTrimDelta"]
 
 
 @dataclass
@@ -56,6 +61,47 @@ class RangeTrimPool:
     min: np.ndarray
     max: np.ndarray
     count: np.ndarray
+
+
+class RangeTrimDelta(BounderDelta):
+    """Mergeable delta for Algorithm 6's composite clip state.
+
+    Carries the two inner-bounder deltas (built from the clipped streams)
+    plus the per-segment extrema and counts that update the pool's
+    running ``a'``/``b'``.  Building it needs the pool's *prior* extrema
+    and counts (the clip context), so :meth:`RangeTrimBounder.
+    partition_delta` takes them via ``delta_context`` — still pure: the
+    context is a read-only snapshot.
+    """
+
+    __slots__ = ("slots", "seg_min", "seg_max", "seg_counts", "left", "right")
+
+    def __init__(
+        self,
+        slots: np.ndarray,
+        seg_min: np.ndarray,
+        seg_max: np.ndarray,
+        seg_counts: np.ndarray,
+        left: BounderDelta,
+        right: BounderDelta,
+    ) -> None:
+        self.slots = slots
+        self.seg_min = seg_min
+        self.seg_max = seg_max
+        self.seg_counts = seg_counts
+        self.left = left
+        self.right = right
+
+    @property
+    def nbytes(self) -> int:
+        return (
+            self.slots.nbytes
+            + self.seg_min.nbytes
+            + self.seg_max.nbytes
+            + self.seg_counts.nbytes
+            + self.left.nbytes
+            + self.right.nbytes
+        )
 
 
 def _segmented_prior_extrema(
@@ -266,39 +312,147 @@ class RangeTrimBounder(ErrorBounder):
     def pool_size(self, pool: RangeTrimPool) -> int:
         return pool.count.size
 
+    @property
+    def supports_delta(self) -> bool:
+        """Delta-capable exactly when the inner bounder is (the inner
+        deltas are components of :class:`RangeTrimDelta`)."""
+        return self.inner.supports_delta
+
+    def delta_context(self, pool: RangeTrimPool):
+        """The clip context: per-view extrema + counts, plus inner contexts.
+
+        Read-only references — pickling snapshots them for worker tasks,
+        and the serial path reads them before any merge mutates the pool.
+        """
+        return (
+            pool.min,
+            pool.max,
+            pool.count,
+            self.inner.delta_context(pool.left),
+            self.inner.delta_context(pool.right),
+        )
+
+    def partition_delta(
+        self, indices: np.ndarray, values: np.ndarray, size: int, context=None
+    ) -> RangeTrimDelta:
+        """Segmented clip-then-partition (pure; Algorithm 6's O(rows) half).
+
+        ``indices`` must be sorted with ties in stream order.  Per segment
+        (= per view receiving rows this window): the first-ever sample only
+        seeds the extrema; every other sample is clipped against the
+        extrema of all *earlier* samples of its view (context carry +
+        exclusive running extrema) before entering the inner deltas.
+        """
+        if context is None:
+            raise ValueError(
+                "RangeTrimBounder.partition_delta requires the delta_context "
+                "(per-view extrema and counts) of the target pool"
+            )
+        carry_min, carry_max, pool_counts, left_ctx, right_ctx = context
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if indices.size == 0:
+            empty_i = np.zeros(0, dtype=np.int64)
+            empty_f = np.zeros(0, dtype=np.float64)
+            return RangeTrimDelta(
+                empty_i,
+                empty_f,
+                empty_f,
+                empty_i,
+                self.inner.partition_delta(empty_i, empty_f, size, left_ctx),
+                self.inner.partition_delta(empty_i, empty_f, size, right_ctx),
+            )
+        slots, starts, ends, feed, left_values, right_values = self._clip_segments(
+            indices, values, carry_min, carry_max, pool_counts
+        )
+        left = self.inner.partition_delta(
+            indices[feed], left_values[feed], size, left_ctx
+        )
+        right = self.inner.partition_delta(
+            indices[feed], right_values[feed], size, right_ctx
+        )
+        return RangeTrimDelta(
+            slots,
+            np.minimum.reduceat(values, starts),
+            np.maximum.reduceat(values, starts),
+            ends - starts,
+            left,
+            right,
+        )
+
+    @staticmethod
+    def _clip_segments(
+        indices: np.ndarray,
+        values: np.ndarray,
+        carry_min: np.ndarray,
+        carry_max: np.ndarray,
+        counts: np.ndarray,
+    ):
+        """Algorithm 6's segmented clip over one sorted stream (pure).
+
+        The ONE copy of the clip arithmetic, shared by
+        :meth:`partition_delta` (reading a context snapshot) and the
+        legacy :meth:`update_pool` fallback (reading the pool directly):
+        segments the stream, computes each element's exclusive prior
+        extrema with the per-view carries, masks out the first-ever
+        sample of fresh views (Algorithm 4 lines 3-4: it only seeds the
+        extrema), and returns ``(slots, starts, ends, feed, left_values,
+        right_values)`` with the clipped streams.
+        """
+        starts, ends = segment_bounds(indices)
+        slots = indices[starts]
+        prior_max, prior_min = _segmented_prior_extrema(
+            values, starts, ends, carry_max[slots], carry_min[slots]
+        )
+        seed_positions = starts[counts[slots] == 0]
+        feed = np.ones(indices.size, dtype=bool)
+        feed[seed_positions] = False
+        return (
+            slots,
+            starts,
+            ends,
+            feed,
+            np.minimum(values, prior_max),
+            np.maximum(values, prior_min),
+        )
+
+    def merge_delta(self, pool: RangeTrimPool, delta: RangeTrimDelta) -> None:
+        """O(present views) fold: inner merges, then extrema and counts —
+        the same operations, in the same order, as the mutate-in-place
+        path, so partition→merge is bit-identical to :meth:`update_pool`."""
+        self.inner.merge_delta(pool.left, delta.left)
+        self.inner.merge_delta(pool.right, delta.right)
+        slots = delta.slots
+        pool.max[slots] = np.maximum(pool.max[slots], delta.seg_max)
+        pool.min[slots] = np.minimum(pool.min[slots], delta.seg_min)
+        pool.count[slots] += delta.seg_counts
+
     def update_pool(
         self, pool: RangeTrimPool, indices: np.ndarray, values: np.ndarray
     ) -> None:
         """Vectorized Algorithm 6 across views: segmented clip-then-feed.
 
-        ``indices`` must be sorted with ties in stream order.  Per segment
-        (= per view receiving rows this window): the first-ever sample only
-        seeds the extrema; every other sample is clipped against the
-        extrema of all *earlier* samples of its view (carry + exclusive
-        running extrema) before feeding the inner pools.
+        With a delta-capable inner this *is* the partition→merge pair run
+        in place; the explicit loop below serves inners that implement
+        only the legacy mutate-in-place pool API.
         """
         indices = np.asarray(indices, dtype=np.int64)
         values = np.asarray(values, dtype=np.float64)
         if indices.size == 0:
             return
-        boundaries = np.flatnonzero(np.diff(indices)) + 1
-        starts = np.concatenate(([0], boundaries))
-        ends = np.concatenate((boundaries, [indices.size]))
-        slots = indices[starts]
-        prior_max, prior_min = _segmented_prior_extrema(
-            values, starts, ends, pool.max[slots], pool.min[slots]
+        if self.supports_delta:
+            self.merge_delta(
+                pool,
+                self.partition_delta(
+                    indices, values, self.pool_size(pool), self.delta_context(pool)
+                ),
+            )
+            return
+        slots, starts, ends, feed, left_values, right_values = self._clip_segments(
+            indices, values, pool.min, pool.max, pool.count
         )
-        # Algorithm 4 lines 3-4: the first sample of a fresh view seeds the
-        # extrema and is never fed to the inner states.
-        seed_positions = starts[pool.count[slots] == 0]
-        feed = np.ones(indices.size, dtype=bool)
-        feed[seed_positions] = False
-        self.inner.update_pool(
-            pool.left, indices[feed], np.minimum(values, prior_max)[feed]
-        )
-        self.inner.update_pool(
-            pool.right, indices[feed], np.maximum(values, prior_min)[feed]
-        )
+        self.inner.update_pool(pool.left, indices[feed], left_values[feed])
+        self.inner.update_pool(pool.right, indices[feed], right_values[feed])
         pool.max[slots] = np.maximum(pool.max[slots], np.maximum.reduceat(values, starts))
         pool.min[slots] = np.minimum(pool.min[slots], np.minimum.reduceat(values, starts))
         pool.count[slots] += ends - starts

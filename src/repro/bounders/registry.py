@@ -22,7 +22,13 @@ from repro.bounders.bernstein import (
 from repro.bounders.hoeffding import HoeffdingBounder, HoeffdingSerflingBounder
 from repro.bounders.range_trim import RangeTrimBounder
 
-__all__ = ["get_bounder", "available_bounders", "register_bounder", "EVALUATED_BOUNDERS"]
+__all__ = [
+    "get_bounder",
+    "available_bounders",
+    "native_delta_bounders",
+    "register_bounder",
+    "EVALUATED_BOUNDERS",
+]
 
 _REGISTRY: dict[str, Callable[[], ErrorBounder]] = {
     "hoeffding": HoeffdingSerflingBounder,
@@ -63,6 +69,19 @@ def get_bounder(name: str) -> ErrorBounder:
 def available_bounders() -> tuple[str, ...]:
     """Names accepted by :func:`get_bounder`."""
     return tuple(sorted(_REGISTRY))
+
+
+def native_delta_bounders() -> tuple[str, ...]:
+    """Registry names whose bounders ship worker-computable pool deltas.
+
+    These are the families implementing the mergeable-delta protocol
+    (``supports_delta`` is True): parallel ingest returns only O(views)
+    delta arrays for them, while the others fall back to shipping the
+    sorted per-row values for a main-process ``update_pool`` replay.
+    """
+    return tuple(
+        name for name in sorted(_REGISTRY) if _REGISTRY[name]().supports_delta
+    )
 
 
 def register_bounder(name: str, factory: Callable[[], ErrorBounder]) -> None:

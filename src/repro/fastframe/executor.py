@@ -1021,9 +1021,15 @@ class QueryRun:
         this run's window slice already partitioned by view (built in
         place by :meth:`consume`, or shipped back from a parallel ingest
         worker that ran :func:`~repro.fastframe.viewpool.build_ingest_delta`
-        over shared-memory window buffers).  Merging deltas in window
-        order is bit-identical to serial ingest because the delta arrays
-        are exactly what the serial path computes in place.
+        over shared-memory window buffers).  For delta-capable bounders
+        the worker may also have pre-partitioned the bounder-state update
+        (``IngestDelta.bounder_delta``); when it did not,
+        :meth:`~repro.fastframe.viewpool.ViewPool.apply_ingest` runs the
+        *identical* ``partition_delta`` → ``merge_delta`` pair in place,
+        so serial and parallel execute the same float program.  Merging
+        deltas in window order is bit-identical to serial ingest because
+        the delta arrays are exactly what the serial path computes in
+        place.
         """
         ex = self.executor
         self.metrics.rows_read += delta.n_read

@@ -18,11 +18,19 @@ window-frame architecture exposes:
   combined group codes, predicate masks) to POSIX shared memory once and
   submits one *partition task* per pool-engine run to a persistent
   process pool; workers return per-view bincount
-  :class:`~repro.fastframe.viewpool.IngestDelta`\\ s.
+  :class:`~repro.fastframe.viewpool.IngestDelta`\\ s.  For delta-capable
+  bounders (``ErrorBounder.supports_delta``) the worker also runs the
+  bounder's pure ``partition_delta`` kernel, and — when every view is
+  settling — drops the O(rows) ``view_idx``/``values`` arrays from the
+  return payload entirely: only O(views) delta arrays cross IPC
+  (``ExecutionMetrics.delta_bytes_returned`` counts what ships, and the
+  ``partition_wall_s``/``merge_wall_s`` counters split the ingest wall
+  between the two stages).
 
 **Why results are bit-identical to serial.**  Workers only run the *pure*
-half of ingest (:func:`~repro.fastframe.viewpool.build_ingest_delta` over
-read-only shared buffers — the same function the serial path runs in
+half of ingest (:func:`~repro.fastframe.viewpool.build_ingest_delta` and
+the bounder's ``partition_delta`` over
+read-only shared buffers — the same functions the serial path runs in
 place); all state mutation happens in the main process, which folds the
 deltas into each run's :class:`~repro.fastframe.viewpool.ViewPool` via
 :meth:`~repro.fastframe.executor.QueryRun.consume_delta` in deterministic
@@ -135,11 +143,17 @@ def _partition_task(descriptor: dict, spec: dict):
     """Worker body: partition one run's slice of one exported window.
 
     Mirrors the slicing half of :meth:`QueryRun.consume` over the
-    attached shared-memory buffers and returns the
-    :class:`~repro.fastframe.viewpool.IngestDelta` (with per-view
-    bincount statistics precomputed, so the main process's merge is
-    O(views)).  Pure: touches no executor state.
+    attached shared-memory buffers and returns ``(IngestDelta,
+    partition_seconds)`` with per-view bincount statistics precomputed,
+    so the main process's merge is O(views).  When the spec carries a
+    delta-capable bounder (``spec["bounder"]``), the worker additionally
+    runs the bounder's pure ``partition_delta`` over the sorted stream;
+    with the per-row arrays then fully pre-aggregated (``spec["native"]``)
+    the O(rows) ``view_idx``/``values`` arrays are dropped from the
+    return payload — only O(views) deltas cross IPC.  Pure: touches no
+    executor state.
     """
+    start = time.perf_counter()
     frame = attach_shared_frame(descriptor)
     try:
         mask_bits = spec["mask_bits"]
@@ -149,7 +163,7 @@ def _partition_task(descriptor: dict, spec: dict):
         )
         value_key = spec["value_key"]
         group_key = spec["group_key"]
-        return partition_slice(
+        delta = partition_slice(
             window_slice,
             spec["codes"],
             values_of=(
@@ -164,6 +178,18 @@ def _partition_task(descriptor: dict, spec: dict):
             ),
             with_stats=True,
         )
+        if spec["native"] and delta.n_in_view:
+            bounder = spec["bounder"]
+            if bounder is not None:
+                delta.bounder_delta = bounder.partition_delta(
+                    delta.view_idx,
+                    delta.values,
+                    spec["pool_size"],
+                    spec["bounder_ctx"],
+                )
+            delta.view_idx = None
+            delta.values = None
+        return delta, time.perf_counter() - start
     finally:
         frame.close()
 
@@ -342,8 +368,17 @@ class ParallelScanDriver:
             # Phase 4 — fold, in deterministic run order (serial order).
             for run, mask, state in zip(live, masks, states):
                 if state.future is not None:
-                    delta = state.future.result()
+                    delta, partition_s = state.future.result()
+                    payload = delta.payload_nbytes()
+                    run.metrics.delta_bytes_returned += payload
+                    self.metrics.delta_bytes_returned += payload
+                    run.metrics.partition_wall_s += partition_s
+                    self.metrics.partition_wall_s += partition_s
+                    merge_start = time.perf_counter()
                     run.consume_delta(delta, frame.window_rows, at_end)
+                    merge_s = time.perf_counter() - merge_start
+                    run.metrics.merge_wall_s += merge_s
+                    self.metrics.merge_wall_s += merge_s
                 elif run.pool is not None:
                     run.consume_delta(
                         self._inline_delta(run, frame, state),
@@ -399,13 +434,35 @@ class ParallelScanDriver:
     def _worker_spec(
         self, run, frame: WindowFrame, mask: np.ndarray, state: _RunWindowState
     ) -> dict:
-        """The picklable per-task recipe for :func:`_partition_task`."""
+        """The picklable per-task recipe for :func:`_partition_task`.
+
+        ``native`` is the drop-the-row-arrays gate: the worker's bounder
+        delta (and precomputed stats) can replace ``view_idx``/``values``
+        only when every view is settling — a native delta is partitioned
+        over the whole stream, and the pool's flags cannot change between
+        this submit and the window's fold (rounds run after phase 4), so
+        the gate evaluated here still holds at merge time.  Value queries
+        additionally need a delta-capable bounder; COUNT queries never
+        feed the bounder, so their precomputed bincount suffices.
+        """
+        bounder = run.executor.bounder
+        needs_values = run.value_key is not None
+        native = bool(run.pool.settling_mask(run.freezes_groups).all()) and (
+            not needs_values or bounder.supports_delta
+        )
+        ship_bounder = native and needs_values
         return {
             "mask_bits": None if state.sel is None else mask[frame.union_mask],
             "pred_key": predicate_key(run.query.predicate),
             "value_key": run.value_key,
             "group_key": run.group_by if run.pool.size > 1 else None,
             "codes": run.pool.codes,
+            "pool_size": run.pool.size,
+            "native": native,
+            "bounder": bounder if ship_bounder else None,
+            "bounder_ctx": (
+                bounder.delta_context(run.pool.bounder_pool) if ship_bounder else None
+            ),
         }
 
     def _inline_delta(self, run, frame: WindowFrame, state: _RunWindowState):

@@ -131,6 +131,17 @@ class ExecutionMetrics:
     scan the batch metrics carry the union's gathers and per-run metrics
     record none); ``bounds_recomputed`` counts per-view OptStop bound
     recomputations (the incremental-rounds work metric).
+
+    Parallel-ingest accounting: ``delta_bytes_returned`` counts array
+    bytes shipped back by worker partition tasks (native bounder deltas
+    are O(views); the loop-fallback path ships the O(rows) sorted value
+    arrays — the difference is the IPC saving).  ``partition_wall_s`` /
+    ``merge_wall_s`` split the ingest wall between the workers'
+    partition stage (summed across tasks, so it can exceed elapsed time)
+    and the main process's delta-merge stage.  All three are zero for
+    serial execution; the byte counter is deterministic at a fixed
+    parallelism, the walls are timing (excluded from determinism
+    contracts like ``wall_time_s``).
     """
 
     rows_read: int = 0
@@ -141,6 +152,9 @@ class ExecutionMetrics:
     rounds: int = 0
     values_gathered: int = 0
     bounds_recomputed: int = 0
+    delta_bytes_returned: int = 0
+    partition_wall_s: float = 0.0
+    merge_wall_s: float = 0.0
     wall_time_s: float = 0.0
     stopped_early: bool = False
 

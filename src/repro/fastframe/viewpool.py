@@ -45,10 +45,15 @@ bincount statistics) and a stateful *merge* step
 (:meth:`ViewPool.apply_ingest`).  The partition step touches no pool
 state, so a worker process can run it over shared-memory window buffers
 and ship the resulting :class:`IngestDelta` back; the main process then
-merges deltas in deterministic window order.  Because the partition is a
-pure function of its input arrays and the merge consumes exactly the
-arrays the serial path would have computed in place, parallel ingest is
-bit-identical to serial ingest — the determinism suite pins this.
+merges deltas in deterministic window order.  For delta-capable bounders
+(``ErrorBounder.supports_delta``) the worker additionally runs the
+bounder's own pure ``partition_delta`` over the sorted stream and ships
+the O(views) :class:`~repro.bounders.base.BounderDelta` *instead of* the
+per-row ``view_idx``/``values`` arrays; :meth:`ViewPool.apply_ingest`
+folds it with ``merge_delta``.  Because the partition is a pure function
+of its input arrays and the merge consumes exactly the arrays the serial
+path would have computed in place, parallel ingest is bit-identical to
+serial ingest — the determinism suite pins this.
 """
 
 from __future__ import annotations
@@ -129,6 +134,14 @@ class IngestDelta:
         path leaves them ``None`` and :meth:`ensure_stats` fills them in
         lazily.  Either way the arrays are the output of the same pure
         function over the same inputs, so the merge is bit-identical.
+    bounder_delta:
+        Optional pre-partitioned bounder-state delta
+        (:meth:`~repro.bounders.base.ErrorBounder.partition_delta`
+        output).  A worker sets it — and drops :attr:`view_idx` /
+        :attr:`values` from the payload — when the run's bounder is
+        delta-capable and every view is settling; the serial path leaves
+        it ``None`` and :meth:`ViewPool.apply_ingest` runs the identical
+        partition in place.
     """
 
     n_read: int
@@ -138,11 +151,41 @@ class IngestDelta:
     counts: np.ndarray | None = None
     means: np.ndarray | None = None
     m2s: np.ndarray | None = None
+    bounder_delta: Any = None
+
+    @property
+    def needs_values(self) -> bool:
+        """True for value (non-COUNT) deltas, however they were shipped.
+
+        A worker-native delta omits :attr:`values`; its per-view means
+        (value queries always pre-aggregate stats) or bounder delta still
+        mark it as a value ingest.
+        """
+        return (
+            self.values is not None
+            or self.means is not None
+            or self.bounder_delta is not None
+        )
+
+    def payload_nbytes(self) -> int:
+        """Bytes of array payload this delta carries across IPC."""
+        total = 0
+        for array in (self.view_idx, self.values, self.counts, self.means, self.m2s):
+            if array is not None:
+                total += array.nbytes
+        if self.bounder_delta is not None:
+            total += self.bounder_delta.nbytes
+        return total
 
     def ensure_stats(self, size: int, needs_values: bool) -> None:
         """Fill :attr:`counts` (and value moments) if a worker didn't."""
         if self.counts is not None or self.n_in_view == 0:
             return
+        if self.view_idx is None:
+            raise ValueError(
+                "IngestDelta shipped without per-view statistics or row "
+                "arrays; a native delta must precompute counts"
+            )
         if needs_values:
             self.counts, self.means, self.m2s = MomentPool.batch_stats(
                 self.view_idx, self.values, size
@@ -348,6 +391,43 @@ class ViewPool:
         self.dirty |= mask
         self.snap_dirty |= mask
 
+    def settling_mask(self, freezes_groups: bool) -> np.ndarray:
+        """Views whose rows settle this window (Lemma 5's accounting).
+
+        The ONE copy of the eligibility arithmetic: :meth:`apply_ingest`
+        folds with it, and the parallel driver consults
+        ``settling_mask(...).all()`` to decide whether a worker may ship a
+        native bounder delta (computed over the *unmasked* stream, so only
+        valid when every view settles).
+        """
+        eligible = ~self.dropped & ~self.exhausted
+        if freezes_groups:
+            return eligible & self.active
+        return eligible
+
+    def _ingest_bounder(
+        self, bounder: ErrorBounder, view_idx: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Fold one sorted stream into the bounder pool, in place.
+
+        Delta-capable bounders run the identical partition→merge pair the
+        parallel workers use (so serial and parallel execute the same
+        float program); third-party bounders keep the mutate-in-place
+        ``update_pool`` loop fall-back.
+        """
+        if bounder.supports_delta:
+            bounder.merge_delta(
+                self.bounder_pool,
+                bounder.partition_delta(
+                    view_idx,
+                    values,
+                    self.size,
+                    bounder.delta_context(self.bounder_pool),
+                ),
+            )
+        else:
+            bounder.update_pool(self.bounder_pool, view_idx, values)
+
     def apply_ingest(
         self,
         bounder: ErrorBounder,
@@ -358,17 +438,14 @@ class ViewPool:
         """Merge one window's :class:`IngestDelta` into the pool.
 
         The stateful half of ingest: bincount merges into the moment
-        pools, the bounder-pool update, selectivity counters, and the
-        dirty masks.  The delta may come from the serial path (built in
-        place by the consuming run) or from a parallel worker — the
-        arrays are identical either way, so so is every resulting float.
+        pools, the bounder-pool delta merge (or ``update_pool`` replay for
+        non-delta bounders), selectivity counters, and the dirty masks.
+        The delta may come from the serial path (built in place by the
+        consuming run) or from a parallel worker — the arrays are
+        identical either way, so so is every resulting float.
         """
-        eligible = ~self.dropped & ~self.exhausted
-        if freezes_groups:
-            settling = eligible & self.active
-        else:
-            settling = eligible
-        needs_values = delta.values is not None
+        settling = self.settling_mask(freezes_groups)
+        needs_values = delta.needs_values
         if delta.n_in_view:
             view_idx = delta.view_idx
             # `settling ⊆ eligible`, so when every view settles (the common
@@ -384,12 +461,30 @@ class ViewPool:
                     stats = (delta.counts, delta.means, delta.m2s)
                     self.all_read.merge_arrays(*stats)
                     self.sample.merge_arrays(*stats)
-                    bounder.update_pool(self.bounder_pool, view_idx, delta.values)
+                    if delta.bounder_delta is not None:
+                        bounder.merge_delta(self.bounder_pool, delta.bounder_delta)
+                    else:
+                        self._ingest_bounder(bounder, view_idx, delta.values)
                 else:
                     self.all_read.count += delta.counts
                 self.in_view += delta.counts
             else:
+                if (
+                    delta.bounder_delta is not None
+                    or delta.view_idx is None
+                    or (needs_values and delta.values is None)
+                ):
+                    # A native delta is partitioned over the whole stream;
+                    # folding it while some views are frozen/dropped would
+                    # credit them rows they must not settle.  The driver
+                    # gates on settling_mask().all(), so this is protocol
+                    # misuse, not a recoverable state.
+                    raise ValueError(
+                        "native bounder delta received while not every view "
+                        "is settling; workers must ship row arrays here"
+                    )
                 values = delta.values
+                eligible = ~self.dropped & ~self.exhausted
                 elements_eligible = eligible[view_idx]
                 elements_settling = settling[view_idx]
                 identical = np.array_equal(elements_eligible, elements_settling)
@@ -400,7 +495,7 @@ class ViewPool:
                         stats = MomentPool.batch_stats(idx, vals, self.size)
                         self.all_read.merge_arrays(*stats)
                         self.sample.merge_arrays(*stats)
-                        bounder.update_pool(self.bounder_pool, idx, vals)
+                        self._ingest_bounder(bounder, idx, vals)
                     else:
                         self.all_read.update_indexed(
                             view_idx[elements_eligible], values[elements_eligible]
@@ -408,8 +503,8 @@ class ViewPool:
                         self.sample.update_indexed(
                             view_idx[elements_settling], values[elements_settling]
                         )
-                        bounder.update_pool(
-                            self.bounder_pool,
+                        self._ingest_bounder(
+                            bounder,
                             view_idx[elements_settling],
                             values[elements_settling],
                         )

@@ -1,0 +1,269 @@
+"""Compatibility paths of the worker-side bounder-kernel protocol.
+
+Three safety nets around the native-delta fast path:
+
+* a **third-party bounder** implementing only the scalar §2.2.2 interface
+  (``init_state``/``update``/``lbound``/``rbound``) must produce
+  ≤1e-9-parity results through the scalar, pool, and ``parallelism=2``
+  engines — the loop fall-backs plus the ship-the-sorted-values worker
+  protocol keep working unchanged;
+* the **inline fallback** of ``ParallelScanDriver`` (no usable process
+  pool, or no shared memory) must stay byte-identical to serial;
+* the worker **payload contract**: native deltas carry no per-row
+  arrays, and a run whose bounder lacks the protocol ships strictly more
+  bytes over IPC (``ExecutionMetrics.delta_bytes_returned``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounders.base import ErrorBounder, validate_bound_args
+from repro.bounders.bernstein import EmpiricalBernsteinSerflingBounder
+from repro.bounders.range_trim import RangeTrimBounder
+from repro.fastframe.executor import ApproximateExecutor, QueryRun, run_shared_scan
+from repro.fastframe.parallel import ParallelScanDriver
+from repro.fastframe.query import AggregateFunction, Query
+from repro.fastframe.scan import get_strategy
+from repro.fastframe.scramble import Scramble
+from repro.fastframe.table import Table
+from repro.stopping.conditions import AbsoluteAccuracy, RelativeAccuracy
+
+RTOL = 1e-9
+START_BLOCK = 2
+
+
+class MinimalBounder(ErrorBounder):
+    """A scalar-only Hoeffding-style bounder: the third-party shape.
+
+    Implements nothing but the abstract interface — no batch update, no
+    pool flavour, no mergeable delta — so every executor engine must
+    carry it through the base-class loop fall-backs.
+    """
+
+    name = "minimal"
+
+    def init_state(self):
+        return {"count": 0, "total": 0.0}
+
+    def update(self, state, value: float) -> None:
+        state["count"] += 1
+        state["total"] += value
+
+    def sample_count(self, state) -> int:
+        return state["count"]
+
+    def estimate(self, state) -> float:
+        return state["total"] / state["count"]
+
+    def _epsilon(self, state, a, b, delta):
+        return (b - a) * math.sqrt(math.log(1.0 / delta) / (2.0 * state["count"]))
+
+    def lbound(self, state, a, b, n, delta):
+        validate_bound_args(a, b, n, delta)
+        if state["count"] == 0:
+            return a
+        return self.estimate(state) - self._epsilon(state, a, b, delta)
+
+    def rbound(self, state, a, b, n, delta):
+        validate_bound_args(a, b, n, delta)
+        if state["count"] == 0:
+            return b
+        return self.estimate(state) + self._epsilon(state, a, b, delta)
+
+
+class _NoDeltaRangeTrim(RangeTrimBounder):
+    """Delta-capable math with the protocol switched off — isolates the
+    loop-fallback + values-shipping path for payload comparisons."""
+
+    supports_delta = False
+
+
+@pytest.fixture(scope="module")
+def scramble():
+    rng = np.random.default_rng(11)
+    n = 40_000
+    table = Table(
+        continuous={"x": rng.normal(40.0, 12.0, n)},
+        categorical={"g": rng.integers(0, 20, n).astype(str)},
+        range_pad=0.1,
+    )
+    return Scramble(table, rng=np.random.default_rng(12))
+
+
+def _executor(scramble, bounder, engine):
+    strategy = get_strategy("scan")
+    strategy.window_blocks = 256
+    return ApproximateExecutor(
+        scramble,
+        bounder,
+        strategy=strategy,
+        delta=1e-6,
+        round_rows=5_000,
+        rng=np.random.default_rng(3),
+        engine=engine,
+    )
+
+
+def _query():
+    return Query(AggregateFunction.AVG, "x", AbsoluteAccuracy(0.5), group_by=("g",))
+
+
+def _assert_parity(reference, other, context):
+    assert reference.metrics.rows_read == other.metrics.rows_read, context
+    assert reference.metrics.rounds == other.metrics.rounds, context
+    assert set(reference.groups) == set(other.groups), context
+    for key, left in reference.groups.items():
+        right = other.groups[key]
+        assert left.interval.lo == pytest.approx(
+            right.interval.lo, rel=RTOL, abs=1e-9
+        ), (context, key)
+        assert left.interval.hi == pytest.approx(
+            right.interval.hi, rel=RTOL, abs=1e-9
+        ), (context, key)
+        assert left.estimate == pytest.approx(right.estimate, rel=RTOL, abs=1e-9), (
+            context,
+            key,
+        )
+        assert left.samples == right.samples, (context, key)
+
+
+class TestThirdPartyBounderFallback:
+    def test_scalar_pool_parallel_parity(self, scramble):
+        results = {}
+        for label, engine, parallelism in (
+            ("scalar", "scalar", 1),
+            ("pool", "pool", 1),
+            ("parallel", "pool", 2),
+        ):
+            executor = _executor(scramble, MinimalBounder(), engine)
+            results[label] = executor.execute(
+                _query(), start_block=START_BLOCK, parallelism=parallelism
+            )
+        _assert_parity(results["scalar"], results["pool"], "scalar-vs-pool")
+        _assert_parity(results["scalar"], results["parallel"], "scalar-vs-parallel")
+        # The fallback protocol must have shipped the sorted per-row
+        # values (no native delta exists for this bounder).
+        assert results["parallel"].metrics.delta_bytes_returned > 0
+
+    def test_fallback_deltas_keep_row_arrays(self, scramble, monkeypatch):
+        """Worker deltas for a non-delta bounder must carry view_idx and
+        values; apply_ingest replays them through update_pool."""
+        seen = []
+        original = QueryRun.consume_delta
+
+        def spy(self, delta, window_rows, at_end):
+            seen.append(
+                (
+                    delta.bounder_delta is not None,
+                    delta.view_idx is not None,
+                    delta.values is not None,
+                )
+            )
+            return original(self, delta, window_rows, at_end)
+
+        monkeypatch.setattr(QueryRun, "consume_delta", spy)
+        executor = _executor(scramble, MinimalBounder(), "pool")
+        executor.execute(_query(), start_block=START_BLOCK, parallelism=2)
+        assert seen
+        assert all(not native for native, _, _ in seen)
+        assert all(has_idx and has_values for _, has_idx, has_values in seen)
+
+
+class TestNativeDeltaPayload:
+    def test_native_deltas_ship_no_row_arrays(self, scramble, monkeypatch):
+        seen = []
+        original = QueryRun.consume_delta
+
+        def spy(self, delta, window_rows, at_end):
+            seen.append(
+                (
+                    delta.bounder_delta is not None,
+                    delta.view_idx is not None,
+                    delta.values is not None,
+                )
+            )
+            return original(self, delta, window_rows, at_end)
+
+        monkeypatch.setattr(QueryRun, "consume_delta", spy)
+        bounder = RangeTrimBounder(EmpiricalBernsteinSerflingBounder())
+        executor = _executor(scramble, bounder, "pool")
+        executor.execute(_query(), start_block=START_BLOCK, parallelism=2)
+        native = [entry for entry in seen if entry[0]]
+        assert native, "no worker task shipped a native bounder delta"
+        assert all(
+            not has_idx and not has_values for _, has_idx, has_values in native
+        ), "a native delta carried per-row arrays"
+
+    def test_native_payload_smaller_than_fallback(self, scramble):
+        def bytes_for(bounder):
+            executor = _executor(scramble, bounder, "pool")
+            result = executor.execute(_query(), start_block=START_BLOCK, parallelism=2)
+            return result, result.metrics.delta_bytes_returned
+
+        native_result, native_bytes = bytes_for(
+            RangeTrimBounder(EmpiricalBernsteinSerflingBounder())
+        )
+        fallback_result, fallback_bytes = bytes_for(
+            _NoDeltaRangeTrim(EmpiricalBernsteinSerflingBounder())
+        )
+        # Same math, same answers — only the wire format differs.
+        _assert_parity(native_result, fallback_result, "native-vs-fallback")
+        assert native_bytes > 0
+        assert fallback_bytes > native_bytes, (native_bytes, fallback_bytes)
+        # The fallback ships O(rows) of int64+float64; native is O(views).
+        assert native_bytes < fallback_bytes / 4, (native_bytes, fallback_bytes)
+
+
+class TestInlineDriverFallback:
+    def _run(self, scramble, parallelism):
+        executor = _executor(
+            scramble, RangeTrimBounder(EmpiricalBernsteinSerflingBounder()), "pool"
+        )
+        queries = [
+            _query(),
+            Query(AggregateFunction.AVG, "x", RelativeAccuracy(0.2)),
+        ]
+        runs = [QueryRun(executor, query) for query in queries]
+        cursor = executor.cursor(START_BLOCK, window_blocks=runs[0].window_blocks)
+        run_shared_scan(runs, cursor, parallelism=parallelism)
+        return [run.finalize(merge_index_counters=False) for run in runs]
+
+    def test_no_process_pool_degrades_inline(self, scramble, monkeypatch):
+        """A platform without a usable pool must run fully inline with
+        byte-identical results and zero IPC."""
+        serial = self._run(scramble, parallelism=1)
+        monkeypatch.setattr(
+            "repro.fastframe.parallel._worker_pool", lambda workers: None
+        )
+        inline = self._run(scramble, parallelism=4)
+        for left, right in zip(serial, inline):
+            assert right.metrics.delta_bytes_returned == 0
+            for key, group in left.groups.items():
+                other = right.groups[key]
+                assert group.interval == other.interval
+                assert group.estimate == other.estimate
+                assert group.samples == other.samples
+
+    def test_no_shared_memory_degrades_inline(self, scramble, monkeypatch):
+        """Shared-memory export failure must fall back to inline
+        partitioning mid-flight, same results, zero IPC."""
+        serial = self._run(scramble, parallelism=1)
+
+        def broken_export(self):
+            raise OSError("no shared memory on this platform")
+
+        monkeypatch.setattr(
+            "repro.fastframe.window.WindowFrame.export_shared", broken_export
+        )
+        inline = self._run(scramble, parallelism=2)
+        for left, right in zip(serial, inline):
+            assert right.metrics.delta_bytes_returned == 0
+            for key, group in left.groups.items():
+                other = right.groups[key]
+                assert group.interval == other.interval
+                assert group.estimate == other.estimate
+                assert group.samples == other.samples

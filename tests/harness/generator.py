@@ -17,6 +17,7 @@ stopping decision.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,8 +37,30 @@ from repro.stopping.conditions import (
 
 #: Bounders the harness samples from — the SSI set the parity suite
 #: already pins pairwise (asymptotic/non-SSI bounders are out of scope
-#: for the multi-query guarantee).
-BOUNDERS = ("hoeffding", "hoeffding+rt", "bernstein", "bernstein+rt", "anderson")
+#: for the multi-query guarantee).  Includes both O(m) shapes: plain
+#: Anderson (pooled CSR sample buffers) and RangeTrim with an Anderson
+#: inner (CSR pools nested under the Algorithm 6 clip deltas).
+BOUNDERS = (
+    "hoeffding",
+    "hoeffding+rt",
+    "bernstein",
+    "bernstein+rt",
+    "anderson",
+    "anderson+rt",
+)
+
+#: Environment override pinning every generated case to one bounder —
+#: the CI matrix uses it to replay the parity/determinism suites with a
+#: specific family (e.g. ``REPRO_HARNESS_BOUNDER=anderson+rt`` under
+#: ``REPRO_PARALLELISM=2`` exercises the CSR delta merges end to end).
+HARNESS_BOUNDER_ENV = "REPRO_HARNESS_BOUNDER"
+
+
+def _case_bounder(rng: np.random.Generator) -> str:
+    forced = os.environ.get(HARNESS_BOUNDER_ENV, "").strip().lower()
+    drawn = str(rng.choice(BOUNDERS))  # always consume the stream: the
+    # case's other draws must not depend on whether an override is set.
+    return forced or drawn
 
 STRATEGIES = ("scan", "activesync", "activepeek")
 
@@ -224,7 +247,7 @@ def random_case(seed: int) -> GeneratedCase:
         table=table,
         scramble=scramble,
         query=query,
-        bounder=str(rng.choice(BOUNDERS)),
+        bounder=_case_bounder(rng),
         strategy_name=str(rng.choice(STRATEGIES)),
         window_blocks=int(rng.choice(WINDOW_BLOCKS)),
         delta=float(10 ** rng.uniform(-8, -3)),

@@ -1,12 +1,17 @@
 """Parallel ingest determinism: parallelism must not change a single byte.
 
 The parallel driver's contract is stronger than 1e-9 parity: because
-workers run only the pure partition half of ingest and the main process
-merges deltas in serial order, the same seed and start block must produce
-**byte-identical** `ViewPool` state and identical `ExecutionMetrics`
-(windows, values gathered, bounds recomputed, probe counts — everything
-but wall time) at ``parallelism`` 1, 2, and 4 — including when queries
-retire mid-scan and when the driver's lookahead prefetch is discarded.
+workers run only the pure partition half of ingest (including the
+bounder's ``partition_delta`` kernel) and the main process merges deltas
+in serial order, the same seed and start block must produce
+**byte-identical** `ViewPool` state — *including the bounder pool* — and
+identical `ExecutionMetrics` (windows, values gathered, bounds
+recomputed, probe counts — everything but wall time) at ``parallelism``
+1, 2, and 4 — including when queries retire mid-scan and when the
+driver's lookahead prefetch is discarded.  Every delta-capable bounder
+family is pinned separately, and the worker payload for native-delta
+runs is asserted to carry no per-row value arrays
+(``delta_bytes_returned`` stays O(views)-sized).
 """
 
 from __future__ import annotations
@@ -26,8 +31,22 @@ from repro.stopping.conditions import (
     SamplesTaken,
 )
 
+from tests.support import bounder_pool_bytes as _bounder_pool_bytes
+
 PARALLELISMS = (1, 2, 4)
 START_BLOCK = 5
+
+#: One representative per delta-capable bounder family: Hoeffding,
+#: Bernstein, the asymptotic (CLT) family, RangeTrim composites over an
+#: O(1) and an O(m) inner, and the plain O(m) Anderson/CSR pool.
+FAMILY_BOUNDERS = (
+    "hoeffding",
+    "bernstein",
+    "clt",
+    "bernstein+rt",
+    "anderson",
+    "anderson+rt",
+)
 
 
 @pytest.fixture(scope="module")
@@ -71,8 +90,9 @@ def _dashboard_queries():
 
 
 def _pool_snapshot(pool) -> tuple:
-    """Every array of the pool, as raw bytes."""
+    """Every array of the pool, as raw bytes (bounder pool included)."""
     return (
+        _bounder_pool_bytes(pool.bounder_pool),
         pool.codes.tobytes(),
         pool.sample.count.tobytes(),
         pool.sample.mean.tobytes(),
@@ -178,6 +198,79 @@ def test_solo_execute_byte_identical_across_parallelism(scramble):
             assert group.count_interval == other.count_interval
             assert group.estimate == other.estimate
             assert group.samples == other.samples
+
+
+@pytest.fixture(scope="module")
+def family_scramble():
+    rng = np.random.default_rng(21)
+    n = 24_000
+    table = Table(
+        continuous={"x": rng.lognormal(2.0, 0.6, n)},
+        categorical={"g": rng.integers(0, 16, n).astype(str)},
+        range_pad=0.1,
+    )
+    return Scramble(table, rng=np.random.default_rng(22))
+
+
+@pytest.mark.parametrize("bounder_name", FAMILY_BOUNDERS)
+def test_bounder_family_byte_identical_across_parallelism(
+    family_scramble, bounder_name
+):
+    """Each family's pool — moments, RangeTrim clip state, CSR sample
+    buffers — must evolve byte-identically at any parallelism, and
+    native-delta worker payloads must stay free of per-row arrays."""
+    snapshots = {}
+    for parallelism in PARALLELISMS:
+        strategy = get_strategy("scan")
+        strategy.window_blocks = 192  # several windows per scan
+        executor = ApproximateExecutor(
+            family_scramble,
+            get_bounder(bounder_name),
+            strategy=strategy,
+            delta=1e-6,
+            round_rows=4_000,
+            rng=np.random.default_rng(9),
+            engine="pool",
+        )
+        query = Query(
+            AggregateFunction.AVG, "x", AbsoluteAccuracy(1e-9), group_by=("g",)
+        )
+        run = QueryRun(executor, query)
+        cursor = executor.cursor(START_BLOCK, window_blocks=run.window_blocks)
+        run_shared_scan([run], cursor, parallelism=parallelism)
+        run.finalize(merge_index_counters=False)
+        snapshots[parallelism] = (
+            _pool_snapshot(run.pool),
+            _metrics_snapshot(run.metrics),
+            run.metrics.delta_bytes_returned,
+        )
+    ref_pool, ref_metrics, _ = snapshots[PARALLELISMS[0]]
+    for parallelism in PARALLELISMS[1:]:
+        pool_bytes, metrics, _ = snapshots[parallelism]
+        assert pool_bytes == ref_pool, (
+            f"{bounder_name}: pool state diverged at parallelism={parallelism}"
+        )
+        assert metrics == ref_metrics, (
+            f"{bounder_name}: metrics diverged at parallelism={parallelism}"
+        )
+    # Payload contract: serial ships nothing; worker runs ship the same
+    # bytes at any worker count (the offload split is parallelism-
+    # independent); and native families never ship the O(rows) int64
+    # view_idx column — Anderson's samples are the one irreducible
+    # O(rows) payload, everyone else stays O(views) per window.
+    assert snapshots[1][2] == 0
+    assert snapshots[2][2] == snapshots[4][2]
+    shipped = snapshots[2][2]
+    assert shipped > 0, f"{bounder_name}: no worker task shipped a delta"
+    rows = family_scramble.num_rows
+    if bounder_name in ("hoeffding", "bernstein", "clt", "bernstein+rt"):
+        assert shipped < rows, (bounder_name, shipped)  # O(views), not O(rows)
+    else:
+        # O(m) family: float64 samples ship (8 bytes/row at most once per
+        # row, ×2 for RangeTrim's two clipped streams), but never the
+        # int64 view_idx on top.
+        streams = 2 if bounder_name == "anderson+rt" else 1
+        assert shipped <= streams * 8 * rows + 64 * 16 * 40, (bounder_name, shipped)
 
 
 def test_rounds_stream_identical_across_parallelism(scramble):

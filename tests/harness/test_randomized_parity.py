@@ -19,6 +19,8 @@ decisions never sit on 1e-9 knife edges.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -111,6 +113,19 @@ def test_generated_case_parity(seed):
     )
 
 
+def test_harness_bounder_override(monkeypatch):
+    """REPRO_HARNESS_BOUNDER pins every case to one family without
+    perturbing any other draw (the rng stream is consumed either way)."""
+    baseline = random_case(5)
+    monkeypatch.setenv("REPRO_HARNESS_BOUNDER", "anderson+rt")
+    forced = random_case(5)
+    assert forced.bounder == "anderson+rt"
+    assert forced.query.describe() == baseline.query.describe()
+    assert forced.strategy_name == baseline.strategy_name
+    assert forced.window_blocks == baseline.window_blocks
+    assert forced.start_block == baseline.start_block
+
+
 def test_generator_is_deterministic():
     """The same seed must expand to the same case (reproducible failures)."""
     a, b = random_case(3), random_case(3)
@@ -121,6 +136,10 @@ def test_generator_is_deterministic():
     )
 
 
+@pytest.mark.skipif(
+    bool(os.environ.get("REPRO_HARNESS_BOUNDER", "").strip()),
+    reason="REPRO_HARNESS_BOUNDER pins every case to one family by design",
+)
 def test_generator_covers_the_query_space():
     """The first NUM_CASES seeds must exercise every aggregate, strategy,
     grouped and scalar shapes, predicates, and both engines' dispatch
@@ -132,6 +151,11 @@ def test_generator_covers_the_query_space():
     assert len(aggregates) == 3
     assert len(strategies) == 3
     assert len(bounders) >= 4
+    # Both O(m) pool shapes must be drawn: the CSR sample pool and the
+    # CSR-under-RangeTrim composite (the new delta merges are only as
+    # tested as the harness's spread).
+    assert "anderson" in bounders
+    assert "anderson+rt" in bounders
     assert any(case.query.group_by == () for case in cases)
     assert any(len(case.query.group_by) == 2 for case in cases)
     assert any(

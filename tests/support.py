@@ -1,0 +1,34 @@
+"""Shared test utilities (imported as ``tests.support``)."""
+
+from __future__ import annotations
+
+from repro.bounders.anderson import CSRSamplePool
+from repro.bounders.range_trim import RangeTrimPool
+from repro.stats.streaming import MomentPool
+
+
+def bounder_pool_bytes(pool) -> tuple:
+    """Canonical byte snapshot of any built-in bounder pool.
+
+    Used by the delta-protocol unit tests and the parallel determinism
+    suite to assert byte-identical bounder-state evolution; extend it
+    when a bounder family introduces a new pool type.
+    """
+    if isinstance(pool, MomentPool):
+        return ("moment", pool.count.tobytes(), pool.mean.tobytes(), pool.m2.tobytes())
+    if isinstance(pool, RangeTrimPool):
+        return (
+            "range_trim",
+            bounder_pool_bytes(pool.left),
+            bounder_pool_bytes(pool.right),
+            pool.min.tobytes(),
+            pool.max.tobytes(),
+            pool.count.tobytes(),
+        )
+    if isinstance(pool, CSRSamplePool):
+        return (
+            "csr",
+            pool.count.tobytes(),
+            tuple(pool.values(slot).tobytes() for slot in range(pool.size)),
+        )
+    raise TypeError(f"unknown bounder pool type {type(pool).__name__}")
