@@ -312,12 +312,41 @@ def run_parallel() -> dict:
         parallel_batch = conn.gather(handles, start_block=start_block)
         parallel_s = min(parallel_s, time.perf_counter() - start)
 
+    # Fault-machinery overhead: the recovery layer (deadline-waited
+    # futures, per-dispatch chaos draws, attempt bookkeeping) must be
+    # ~free when no fault fires.  An armed zero-rate plan exercises the
+    # full draw path without ever injecting.
+    from repro.testing.faults import FaultPlan, install_fault_plan, reset_faults
+
+    fault_armed_s = float("inf")
+    armed_batch = None
+    install_fault_plan(FaultPlan(rate=0.0))
+    try:
+        for _ in range(REPS):
+            conn = _dashboard_connection(
+                scramble, parallelism=PARALLELISM, engine=engine
+            )
+            handles = _dashboard_handles(conn)
+            start = time.perf_counter()
+            armed_batch = conn.gather(handles, start_block=start_block)
+            fault_armed_s = min(fault_armed_s, time.perf_counter() - start)
+    finally:
+        reset_faults()
+    assert not armed_batch.metrics.recovery_snapshot(), (
+        "a zero-rate fault plan must never trigger recovery"
+    )
+
     for parallel_result, serial_result in zip(parallel_batch, serial_batch):
         _assert_intervals_match(parallel_result, serial_result)
+    for armed_result, serial_result in zip(armed_batch, serial_batch):
+        _assert_intervals_match(armed_result, serial_result)
     assert parallel_batch.rows_read_shared == serial_batch.rows_read_shared
     assert parallel_batch.values_gathered == serial_batch.values_gathered
     cores = os.cpu_count() or 1
     stage = parallel_batch.metrics
+    fault_overhead_pct = round(
+        100.0 * (fault_armed_s - parallel_s) / parallel_s, 1
+    )
     entry = {
         "parallelism": PARALLELISM,
         "cores": cores,
@@ -332,6 +361,11 @@ def run_parallel() -> dict:
         "partition_wall_s": round(stage.partition_wall_s, 6),
         "merge_wall_s": round(stage.merge_wall_s, 6),
         "delta_bytes_returned": int(stage.delta_bytes_returned),
+        # Recovery machinery cost with injection disabled (armed
+        # zero-rate plan vs plain parallel, best-of-REPS each; negative
+        # = noise).  The CI gate warns above 2%.
+        "fault_armed_s": round(fault_armed_s, 6),
+        "fault_overhead_pct": fault_overhead_pct,
     }
     print(
         f"parallel ingest: serial gather {serial_s:.3f}s vs "
@@ -339,7 +373,9 @@ def run_parallel() -> dict:
         f"({entry['speedup']}x on {cores} core(s)); intervals identical; "
         f"stages: partition {stage.partition_wall_s:.3f}s (worker-summed) / "
         f"merge {stage.merge_wall_s:.3f}s, "
-        f"{stage.delta_bytes_returned:,} delta bytes over IPC"
+        f"{stage.delta_bytes_returned:,} delta bytes over IPC; "
+        f"fault machinery armed: {fault_armed_s:.3f}s "
+        f"({fault_overhead_pct:+.1f}% overhead, no faults fired)"
     )
     return entry
 

@@ -46,7 +46,12 @@ from repro.fastframe.executor import (
     run_shared_scan,
 )
 from repro.fastframe.parallel import ParallelScanDriver, resolve_parallelism
-from repro.fastframe.query import ExecutionMetrics, Query, QueryResult
+from repro.fastframe.query import (
+    ExecutionMetrics,
+    Query,
+    QueryResult,
+    RecoveryCounters,
+)
 from repro.fastframe.scan import SamplingStrategy, get_strategy
 from repro.fastframe.scramble import Scramble
 from repro.fastframe.session import DeltaLedger, QueryLedgerEntry
@@ -79,6 +84,7 @@ def connect(
     rng: np.random.Generator | None = None,
     require_ssi: bool = True,
     parallelism: int | None = None,
+    task_timeout: float | None = None,
     **executor_kwargs,
 ) -> "Connection":
     """Open a :class:`Connection` over a scramble (or a table to scramble).
@@ -118,6 +124,14 @@ def connect(
         the scan is driven by the
         :class:`~repro.fastframe.parallel.ParallelScanDriver` pipeline;
         results and δ accounting are bit-identical to serial execution.
+    task_timeout:
+        Per-worker-task deadline in seconds for parallel ingest
+        (``None`` defers to ``REPRO_TASK_TIMEOUT``, then 60 s; ``0``
+        disables).  A timed-out or crashed task is re-dispatched with
+        backoff and, as the last resort, recomputed inline — recovery
+        never changes results, only the
+        :class:`~repro.fastframe.query.RecoveryCounters` surfaced on
+        round updates and the dashboard.
     executor_kwargs:
         Passed through to each query's
         :class:`~repro.fastframe.executor.ApproximateExecutor`
@@ -133,6 +147,7 @@ def connect(
         rng=rng,
         require_ssi=require_ssi,
         parallelism=parallelism,
+        task_timeout=task_timeout,
         **executor_kwargs,
     )
 
@@ -151,11 +166,17 @@ class RoundUpdate:
         Decoded group key →
         :class:`~repro.stopping.conditions.GroupSnapshot` (current
         certified interval, estimate, sample count, exhaustion flag).
+    recovery:
+        Cumulative :class:`~repro.fastframe.query.RecoveryCounters` as of
+        this round (truthy only if the parallel driver has recovered from
+        a straggler/crash/pool death so far) — ``None`` on serial
+        executions, where no recovery machinery runs.
     """
 
     round_index: int
     rows_read: int
     groups: dict
+    recovery: RecoveryCounters | None = None
 
 
 class QueryHandle:
@@ -212,7 +233,13 @@ class QueryHandle:
         run, cursor = self.connection._begin(self, start_block)
         workers = resolve_parallelism(self.connection.parallelism)
         if workers > 1:
-            ParallelScanDriver([run], cursor, parallelism=workers, solo=True).run()
+            ParallelScanDriver(
+                [run],
+                cursor,
+                parallelism=workers,
+                solo=True,
+                task_timeout=self.connection.task_timeout,
+            ).run()
         else:
             for window, at_end in cursor.windows():
                 run.feed(window, at_end)
@@ -246,7 +273,11 @@ class QueryHandle:
         def passes() -> Iterator:
             if workers > 1:
                 driver = ParallelScanDriver(
-                    [run], cursor, parallelism=workers, solo=True
+                    [run],
+                    cursor,
+                    parallelism=workers,
+                    solo=True,
+                    task_timeout=self.connection.task_timeout,
                 )
                 yield from driver.windows()
                 return
@@ -268,6 +299,11 @@ class QueryHandle:
                             round_index=seen_rounds,
                             rows_read=run.metrics.rows_read,
                             groups=run.group_snapshots(),
+                            recovery=(
+                                run.metrics.recovery_snapshot()
+                                if workers > 1
+                                else None
+                            ),
                         )
                 completed = True
                 self._settle(run.finalize())
@@ -390,10 +426,12 @@ class Connection:
         rng: np.random.Generator | None = None,
         require_ssi: bool = True,
         parallelism: int | None = None,
+        task_timeout: float | None = None,
         **executor_kwargs,
     ) -> None:
         self.rng = rng or np.random.default_rng()
         self.parallelism = parallelism
+        self.task_timeout = task_timeout
         if isinstance(source, Scramble):
             self.scramble = source
         elif isinstance(source, Table):
@@ -512,7 +550,9 @@ class Connection:
         cursor = runs[0].executor.cursor(
             start_block, window_blocks=runs[0].window_blocks
         )
-        metrics = run_shared_scan(runs, cursor, parallelism=self.parallelism)
+        metrics = run_shared_scan(
+            runs, cursor, parallelism=self.parallelism, task_timeout=self.task_timeout
+        )
         results = []
         for handle, run in zip(handles, runs):
             # Index-probe counters were merged into the gather metrics.

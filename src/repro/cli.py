@@ -180,6 +180,15 @@ def build_parser() -> argparse.ArgumentParser:
             "serial execution"
         ),
     )
+    dashboard.add_argument(
+        "--task-timeout", type=float, default=None,
+        help=(
+            "per-worker-task deadline in seconds (default: "
+            "$REPRO_TASK_TIMEOUT, then 60; 0 disables); timed-out or "
+            "crashed tasks are re-dispatched and, as a last resort, "
+            "recomputed inline — results stay bit-identical"
+        ),
+    )
     return parser
 
 
@@ -294,6 +303,7 @@ def _cmd_dashboard(args, out) -> int:
         strategy=args.strategy,
         rng=np.random.default_rng(args.seed),
         parallelism=args.parallelism,
+        task_timeout=args.task_timeout,
     )
     handles = [conn.query(query) for query in queries]
     batch = conn.gather(handles)
@@ -308,6 +318,17 @@ def _cmd_dashboard(args, out) -> int:
         f"window: {batch.values_gathered:,} elements",
         file=out,
     )
+    recovery = batch.metrics.recovery_snapshot()
+    if recovery:
+        print(
+            f"fault recovery: {recovery.tasks_retried} task(s) retried, "
+            f"{recovery.tasks_timed_out} timed out, "
+            f"{recovery.inline_fallbacks} inline fallback(s), "
+            f"{recovery.pool_rebuilds} pool rebuild(s), "
+            f"{recovery.shm_cleanup_failures} shm cleanup failure(s) — "
+            "results unaffected (recovered tasks recompute identical deltas)",
+            file=out,
+        )
     print("delta ledger (union bound over the whole dashboard):", file=out)
     for entry in conn.audit():
         print(

@@ -213,6 +213,11 @@ class ApproximateExecutor:
         and per-query window slices are partitioned in worker processes
         over shared-memory frame buffers.  Results (and every metric
         except wall time) are bit-identical to serial execution.
+    task_timeout:
+        Per-worker-task deadline in seconds for parallel ingest
+        (``None`` defers to ``REPRO_TASK_TIMEOUT``, then 60; ``0``
+        disables).  Timed-out or crashed tasks are re-dispatched and,
+        as a last resort, recomputed inline — still bit-identical.
     """
 
     def __init__(
@@ -227,6 +232,7 @@ class ApproximateExecutor:
         rng: np.random.Generator | None = None,
         engine: str = "auto",
         parallelism: int | None = None,
+        task_timeout: float | None = None,
     ) -> None:
         if count_method not in COUNT_METHODS:
             raise ValueError(
@@ -246,6 +252,7 @@ class ApproximateExecutor:
         self.count_method = count_method
         self.engine = engine
         self.parallelism = parallelism
+        self.task_timeout = task_timeout
         (
             self._count_interval,
             self._upper_bound_population,
@@ -347,7 +354,9 @@ class ApproximateExecutor:
 
         ``parallelism`` overrides the executor-level knob for this one
         execution (``None`` inherits it); above 1 the scan is driven by
-        the parallel ingest pipeline, with bit-identical results.
+        the parallel ingest pipeline, with bit-identical results — the
+        executor's ``task_timeout`` bounds each worker task's deadline
+        (recovery falls back to inline recompute, still bit-identical).
         """
         from repro.fastframe.parallel import ParallelScanDriver, resolve_parallelism
 
@@ -357,7 +366,13 @@ class ApproximateExecutor:
             self.parallelism if parallelism is None else parallelism
         )
         if workers > 1:
-            ParallelScanDriver([run], cursor, parallelism=workers, solo=True).run()
+            ParallelScanDriver(
+                [run],
+                cursor,
+                parallelism=workers,
+                solo=True,
+                task_timeout=self.task_timeout,
+            ).run()
         else:
             for window, at_end in cursor.windows():
                 run.feed(window, at_end)
@@ -1171,7 +1186,10 @@ def validate_shared_runs(runs: list[QueryRun], cursor: ScanCursor) -> None:
 
 
 def run_shared_scan(
-    runs: list[QueryRun], cursor: ScanCursor, parallelism: int | None = None
+    runs: list[QueryRun],
+    cursor: ScanCursor,
+    parallelism: int | None = None,
+    task_timeout: float | None = None,
 ) -> ExecutionMetrics:
     """Drive many query runs from one scan cursor (the gather hot loop).
 
@@ -1211,7 +1229,9 @@ def run_shared_scan(
     validate_shared_runs(runs, cursor)
     workers = resolve_parallelism(parallelism)
     if workers > 1:
-        return ParallelScanDriver(runs, cursor, parallelism=workers).run()
+        return ParallelScanDriver(
+            runs, cursor, parallelism=workers, task_timeout=task_timeout
+        ).run()
     scramble = cursor.scramble
     metrics = ExecutionMetrics()
     start_time = time.perf_counter()

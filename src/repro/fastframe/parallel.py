@@ -48,9 +48,25 @@ inline in the main process — same arrays, same results.  If the platform
 offers no usable process pool or shared memory, the driver degrades to
 fully inline execution with identical semantics.
 
+**Fault tolerance.**  Because every worker task is a *pure recompute*
+of inputs the main process still holds, any failure is recoverable with
+byte-identical results.  Each task carries a deadline
+(``task_timeout`` / ``REPRO_TASK_TIMEOUT``); a timed-out or crashed task
+is re-dispatched up to :data:`MAX_TASK_ATTEMPTS` times under exponential
+backoff, and as the always-correct last resort its slice is recomputed
+in-process via the inline path.  A broken pool
+(``BrokenProcessPool``/dead workers) is rebuilt with backoff up to
+:data:`MAX_POOL_REBUILDS` times per scan, after which the driver degrades
+permanently to inline execution.  Every recovery action is counted in
+``ExecutionMetrics`` (``tasks_retried`` / ``tasks_timed_out`` /
+``inline_fallbacks`` / ``pool_rebuilds`` / ``shm_cleanup_failures``).
+Deterministic chaos for all of this lives in :mod:`repro.testing.faults`.
+
 ``parallelism`` resolution: an explicit knob wins; ``None`` defers to the
 ``REPRO_PARALLELISM`` environment variable (the CI matrix leg sets it to
 2 to run the whole tier-1 suite through this driver), then 1.
+``task_timeout`` resolves the same way through ``REPRO_TASK_TIMEOUT``
+(seconds; ``0`` or negative disables the deadline).
 """
 
 from __future__ import annotations
@@ -58,7 +74,8 @@ from __future__ import annotations
 import atexit
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 
 import numpy as np
 
@@ -69,20 +86,57 @@ from repro.fastframe.window import (
     attach_shared_frame,
     predicate_key,
 )
+from repro.testing.faults import (
+    InjectedWorkerFault,
+    draw_task_fault,
+    execute_worker_fault,
+)
 
 __all__ = [
     "ParallelScanDriver",
     "resolve_parallelism",
+    "resolve_task_timeout",
     "REPRO_PARALLELISM_ENV",
+    "REPRO_TASK_TIMEOUT_ENV",
     "MIN_OFFLOAD_ELEMENTS",
+    "MAX_TASK_ATTEMPTS",
+    "MAX_POOL_REBUILDS",
 ]
 
 #: Environment variable consulted when no explicit parallelism is given.
 REPRO_PARALLELISM_ENV = "REPRO_PARALLELISM"
 
+#: Environment variable consulted when no explicit task timeout is given.
+REPRO_TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+
 #: In-view elements below which a run's window slice is partitioned inline
 #: — at this size the sort+bincount costs less than a task round trip.
 MIN_OFFLOAD_ELEMENTS = 256
+
+#: Default per-task deadline (seconds).  Partition tasks are sub-second;
+#: a minute of silence means the worker is gone, not slow.
+DEFAULT_TASK_TIMEOUT_S = 60.0
+
+#: Dispatch attempts per task (first submit + re-dispatches) before the
+#: slice is recomputed inline.
+MAX_TASK_ATTEMPTS = 3
+
+#: Base of the exponential re-dispatch backoff (seconds): attempt k
+#: sleeps ``RETRY_BACKOFF_S * 2**(k-1)`` before resubmitting.
+RETRY_BACKOFF_S = 0.02
+
+#: Pool rebuilds per scan before permanent inline degradation.
+MAX_POOL_REBUILDS = 2
+
+#: Pause before rebuilding a broken pool (seconds).
+POOL_REBUILD_BACKOFF_S = 0.1
+
+#: Worker exceptions that warrant a re-dispatch: injected crashes and the
+#: transient OS-level failures a sibling's death can cause (shm attach
+#: races, fd exhaustion, allocation failure).  Anything else — a genuine
+#: bug in the partition kernels — propagates: retrying a deterministic
+#: error would loop, and hiding it behind the inline path would mask it.
+RETRIABLE_TASK_ERRORS = (InjectedWorkerFault, MemoryError, OSError)
 
 
 def resolve_parallelism(parallelism: int | None) -> int:
@@ -94,6 +148,21 @@ def resolve_parallelism(parallelism: int | None) -> int:
         except ValueError:
             parallelism = 1
     return max(int(parallelism), 1)
+
+
+def resolve_task_timeout(task_timeout: float | None) -> float | None:
+    """An explicit knob, else ``REPRO_TASK_TIMEOUT``, else the default;
+    zero or negative means no deadline (``None``)."""
+    if task_timeout is None:
+        raw = os.environ.get(REPRO_TASK_TIMEOUT_ENV, "").strip()
+        if not raw:
+            return DEFAULT_TASK_TIMEOUT_S
+        try:
+            task_timeout = float(raw)
+        except ValueError:
+            return DEFAULT_TASK_TIMEOUT_S
+    task_timeout = float(task_timeout)
+    return task_timeout if task_timeout > 0 else None
 
 
 # ----------------------------------------------------------------------
@@ -121,7 +190,10 @@ def _worker_pool(workers: int) -> ProcessPoolExecutor | None:
         context = mp.get_context("fork" if "fork" in methods else None)
         _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=context)
         _POOL_WORKERS = workers
-    except Exception:  # pragma: no cover - restricted platforms
+    except (OSError, ImportError, NotImplementedError, ValueError, RuntimeError):
+        # Restricted platforms: no fork/semaphores (OSError/ImportError/
+        # NotImplementedError), or a hardened runtime rejecting process
+        # creation (ValueError/RuntimeError).  The driver runs inline.
         _POOL = None
         _POOL_WORKERS = 0
     return _POOL
@@ -151,10 +223,18 @@ def _partition_task(descriptor: dict, spec: dict):
     with the per-row arrays then fully pre-aggregated (``spec["native"]``)
     the O(rows) ``view_idx``/``values`` arrays are dropped from the
     return payload — only O(views) deltas cross IPC.  Pure: touches no
-    executor state.
+    executor state — which is what makes every task safely re-dispatchable:
+    running it 0, 1, or N times leaves nothing behind, and its return
+    value is a deterministic function of the (frozen) shared buffers.
+
+    ``spec["fault"]`` is the chaos seam: a directive drawn by the driver
+    (deterministically, see :mod:`repro.testing.faults`) is acted out
+    here — crash, straggle, or kill the process — before any real work.
     """
     start = time.perf_counter()
-    frame = attach_shared_frame(descriptor)
+    fault = spec.get("fault")
+    execute_worker_fault(fault)
+    frame = attach_shared_frame(descriptor, fault=fault)
     try:
         mask_bits = spec["mask_bits"]
         sel = None if mask_bits is None else mask_bits[frame.array("row_blocks")]
@@ -195,14 +275,28 @@ def _partition_task(descriptor: dict, spec: dict):
 
 
 class _RunWindowState:
-    """Per-(run, window) bookkeeping between the slice and fold phases."""
+    """Per-(run, window) bookkeeping between the slice and fold phases.
 
-    __slots__ = ("sel", "window_slice", "future")
+    ``spec`` is the frozen task recipe (re-dispatches reuse it — the
+    native gate evaluated at first submit still holds until the window's
+    rounds run, which is after phase 4); ``attempts`` counts dispatches;
+    ``pool`` records which pool instance the live future was submitted
+    to, so a broken-pool recovery triggered by one task does not tear
+    down the pool a *later* task was already resubmitted to;
+    ``fallback`` marks a slice that exhausted its dispatch budget and
+    must be recomputed inline.
+    """
+
+    __slots__ = ("sel", "window_slice", "future", "spec", "attempts", "pool", "fallback")
 
     def __init__(self) -> None:
         self.sel = None
         self.window_slice = None
         self.future = None
+        self.spec = None
+        self.attempts = 0
+        self.pool = None
+        self.fallback = False
 
 
 class ParallelScanDriver:
@@ -223,6 +317,10 @@ class ParallelScanDriver:
         charged to the single run, bitmap counters left for
         ``run.finalize()``) instead of the batch accounting of
         :func:`~repro.fastframe.executor.run_shared_scan`.
+    task_timeout:
+        Per-task deadline in seconds (``None`` defers to
+        ``REPRO_TASK_TIMEOUT``, then :data:`DEFAULT_TASK_TIMEOUT_S`;
+        zero/negative disables the deadline).
     """
 
     def __init__(
@@ -231,6 +329,7 @@ class ParallelScanDriver:
         cursor,
         parallelism: int,
         solo: bool = False,
+        task_timeout: float | None = None,
     ) -> None:
         from repro.fastframe.executor import validate_shared_runs
 
@@ -241,12 +340,16 @@ class ParallelScanDriver:
         self.cursor = cursor
         self.workers = max(int(parallelism), 1)
         self.solo = solo
+        self.task_timeout = resolve_task_timeout(task_timeout)
         self.metrics = ExecutionMetrics()
         self._start_time = time.perf_counter()
         self._indexes = {}
         for run in self.runs:
             self._indexes.update(run.indexes)
         self._pool = _worker_pool(self.workers) if self.workers > 1 else None
+        self._pool_rebuilds = 0
+        #: Permanent inline degradation: set when pool recovery gives up.
+        self._degraded = False
         # Prefetched next window: (window, at_end, {id(run): mask},
         # {id(run): [(index, probe_delta, batch_delta), ...]}).
         self._prefetched: tuple | None = None
@@ -343,19 +446,19 @@ class ParallelScanDriver:
         if offload:
             try:
                 export = frame.export_shared()
-            except Exception:  # pragma: no cover - no shared memory
+            except (OSError, ImportError, MemoryError):
+                # No usable shared memory (platform restriction, /dev/shm
+                # exhaustion): every offload candidate this window falls
+                # back inline — counted, not silent.
                 export = None
+                for position in offload:
+                    states[position].fallback = True
             if export is not None:
                 for position in offload:
                     run, state = live[position], states[position]
-                    try:
-                        state.future = self._pool.submit(
-                            _partition_task,
-                            export.descriptor,
-                            self._worker_spec(run, frame, masks[position], state),
-                        )
-                    except Exception:  # pragma: no cover - pool died
-                        state.future = None
+                    state.spec = self._worker_spec(run, frame, masks[position], state)
+                    if not self._submit(run, export, state):
+                        state.fallback = True
 
         try:
             # Phase 3 — overlap: block selection for the next window runs
@@ -366,9 +469,17 @@ class ParallelScanDriver:
                 self._prefetch(live)
 
             # Phase 4 — fold, in deterministic run order (serial order).
+            # Recovery happens inside _await_task; whatever path computed
+            # the delta, it is folded here, in this order — which is why
+            # recovered runs stay byte-identical to serial.
             for run, mask, state in zip(live, masks, states):
-                if state.future is not None:
-                    delta, partition_s = state.future.result()
+                result = (
+                    self._await_task(run, export, state)
+                    if state.future is not None
+                    else None
+                )
+                if result is not None:
+                    delta, partition_s = result
                     payload = delta.payload_nbytes()
                     run.metrics.delta_bytes_returned += payload
                     self.metrics.delta_bytes_returned += payload
@@ -380,6 +491,11 @@ class ParallelScanDriver:
                     run.metrics.merge_wall_s += merge_s
                     self.metrics.merge_wall_s += merge_s
                 elif run.pool is not None:
+                    if state.fallback:
+                        # Retries exhausted / no pool / no shared memory:
+                        # the always-correct last resort, recompute the
+                        # slice in-process (same arrays, same arithmetic).
+                        self._count(run, "inline_fallbacks")
                     run.consume_delta(
                         self._inline_delta(run, frame, state),
                         frame.window_rows,
@@ -393,7 +509,7 @@ class ParallelScanDriver:
                     run.finalize(merge_index_counters=False)
         finally:
             if export is not None:
-                export.close()
+                self.metrics.shm_cleanup_failures += export.close()
 
         if self.solo:
             live[0].metrics.values_gathered += frame.values_gathered
@@ -467,13 +583,118 @@ class ParallelScanDriver:
 
     def _inline_delta(self, run, frame: WindowFrame, state: _RunWindowState):
         """Partition a pool run's slice in-process (below the offload
-        cutoff, or shared memory unavailable) — the serial arithmetic."""
+        cutoff, shared memory unavailable, or task retries exhausted) —
+        the serial arithmetic."""
         return partition_slice(
             state.window_slice,
             run.pool.codes,
             values_of=run.frame_values_of(frame),
             combined_of=run.frame_combined_of(frame),
         )
+
+    # -- task lifecycle / recovery --------------------------------------
+
+    def _count(self, run, counter: str) -> None:
+        """Increment a recovery counter on the run's metrics *and* the
+        batch metrics (the ``delta_bytes_returned`` pattern)."""
+        setattr(run.metrics, counter, getattr(run.metrics, counter) + 1)
+        setattr(self.metrics, counter, getattr(self.metrics, counter) + 1)
+
+    def _submit(self, run, export, state: _RunWindowState) -> bool:
+        """Dispatch (or re-dispatch) one partition task; True on success.
+
+        One deterministic chaos draw per dispatch
+        (:func:`~repro.testing.faults.draw_task_fault`); the drawn
+        directive rides in the task spec.  The pool the future went to is
+        recorded on the state so a later broken-pool recovery triggered
+        by *this* task never tears down a pool other tasks were already
+        resubmitted to.
+        """
+        if self._pool is None or state.spec is None:
+            return False
+        spec = state.spec
+        directive = draw_task_fault()
+        if directive is not None:
+            spec = dict(spec)
+            spec["fault"] = directive
+        try:
+            future = self._pool.submit(_partition_task, export.descriptor, spec)
+        except (BrokenExecutor, RuntimeError, OSError):
+            # The pool broke between windows (workers OOM-killed, fd
+            # exhaustion): rebuild once and retry this submit.
+            self._recover_pool(run)
+            if self._pool is None:
+                return False
+            try:
+                future = self._pool.submit(_partition_task, export.descriptor, spec)
+            except (BrokenExecutor, RuntimeError, OSError):
+                return False
+        state.future = future
+        state.pool = self._pool
+        state.attempts += 1
+        return True
+
+    def _await_task(self, run, export, state: _RunWindowState):
+        """Collect one task's ``(delta, partition_seconds)`` under the
+        per-task deadline, re-dispatching on straggle/crash/broken pool.
+
+        Returns ``None`` (with ``state.fallback`` set) when the dispatch
+        budget is exhausted or no pool survives — the caller recomputes
+        the slice inline.  Every path out of here leaves the delta the
+        same bytes the serial arithmetic produces; only the counters
+        differ.
+        """
+        while True:
+            future, pool = state.future, state.pool
+            try:
+                return future.result(timeout=self.task_timeout)
+            except (FutureTimeoutError, TimeoutError):
+                # A straggler blew the deadline.  Cancel if still queued;
+                # a *running* hang cannot be cancelled — its eventual
+                # result is simply never read (and the export's segments
+                # outlive it only until this window's fold finishes).
+                self._count(run, "tasks_timed_out")
+                future.cancel()
+            except BrokenExecutor:
+                # Pool died under this task.  Only the first observer
+                # rebuilds: later tasks' futures from the dead pool fail
+                # the identity check and just re-dispatch to the new one.
+                if pool is self._pool:
+                    self._recover_pool(run)
+            except RETRIABLE_TASK_ERRORS:
+                # Transient in-worker failure (injected crash, shm attach
+                # race, allocation failure): the task is pure, so
+                # re-running it is always safe.
+                pass
+            state.future = None
+            if state.attempts >= MAX_TASK_ATTEMPTS or self._pool is None:
+                state.fallback = True
+                return None
+            time.sleep(RETRY_BACKOFF_S * (2 ** (state.attempts - 1)))
+            if self._submit(run, export, state):
+                self._count(run, "tasks_retried")
+            else:
+                state.fallback = True
+                return None
+
+    def _recover_pool(self, run) -> None:
+        """Tear down a broken pool and rebuild it with backoff; after
+        :data:`MAX_POOL_REBUILDS` rebuilds the driver degrades to
+        permanent inline execution (correct, just slower)."""
+        shutdown_worker_pool()
+        self._pool = None
+        if self._degraded:
+            return
+        if self._pool_rebuilds >= MAX_POOL_REBUILDS:
+            self._degraded = True
+            return
+        self._pool_rebuilds += 1
+        time.sleep(POOL_REBUILD_BACKOFF_S * (2 ** (self._pool_rebuilds - 1)))
+        self._pool = _worker_pool(self.workers)
+        if self._pool is None:
+            self._degraded = True
+        else:
+            self._count(run, "pool_rebuilds")
 
     # -- prefetch -------------------------------------------------------
 

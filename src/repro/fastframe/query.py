@@ -28,6 +28,7 @@ __all__ = [
     "Query",
     "GroupResult",
     "ExecutionMetrics",
+    "RecoveryCounters",
     "QueryResult",
 ]
 
@@ -142,6 +143,17 @@ class ExecutionMetrics:
     serial execution; the byte counter is deterministic at a fixed
     parallelism, the walls are timing (excluded from determinism
     contracts like ``wall_time_s``).
+
+    Fault-recovery accounting (all zero on a healthy run):
+    ``tasks_retried`` counts worker tasks re-dispatched after a retriable
+    failure; ``tasks_timed_out`` counts per-task deadline expiries
+    (stragglers); ``inline_fallbacks`` counts window slices recomputed
+    in-process after retries were exhausted (or the pool degraded);
+    ``pool_rebuilds`` counts broken-pool recoveries; and
+    ``shm_cleanup_failures`` counts shared-memory segments that would not
+    release at export close.  None of these counters participates in the
+    determinism contract — recovery changes *where* a delta is computed,
+    never its bytes.
     """
 
     rows_read: int = 0
@@ -157,6 +169,11 @@ class ExecutionMetrics:
     merge_wall_s: float = 0.0
     wall_time_s: float = 0.0
     stopped_early: bool = False
+    tasks_retried: int = 0
+    tasks_timed_out: int = 0
+    inline_fallbacks: int = 0
+    pool_rebuilds: int = 0
+    shm_cleanup_failures: int = 0
 
     def merge_index_counters(self, indexes) -> None:
         """Pull probe counters from bitmap indexes into this record."""
@@ -164,6 +181,39 @@ class ExecutionMetrics:
             self.index_probes += index.probe_count
             self.batch_probes += index.batch_probe_count
             index.reset_counters()
+
+    def recovery_snapshot(self) -> "RecoveryCounters":
+        """The fault-recovery counters as one frozen record (truthy iff
+        any recovery happened) — what rounds() updates and the CLI
+        dashboard surface."""
+        return RecoveryCounters(
+            tasks_retried=self.tasks_retried,
+            tasks_timed_out=self.tasks_timed_out,
+            inline_fallbacks=self.inline_fallbacks,
+            pool_rebuilds=self.pool_rebuilds,
+            shm_cleanup_failures=self.shm_cleanup_failures,
+        )
+
+
+@dataclass(frozen=True)
+class RecoveryCounters:
+    """A frozen snapshot of :class:`ExecutionMetrics`' fault-recovery
+    counters; ``bool()`` is True exactly when any recovery happened."""
+
+    tasks_retried: int = 0
+    tasks_timed_out: int = 0
+    inline_fallbacks: int = 0
+    pool_rebuilds: int = 0
+    shm_cleanup_failures: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.tasks_retried
+            or self.tasks_timed_out
+            or self.inline_fallbacks
+            or self.pool_rebuilds
+            or self.shm_cleanup_failures
+        )
 
 
 @dataclass

@@ -45,6 +45,8 @@ their (much smaller) per-view results.
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
 from repro.fastframe.predicate import Predicate, TruePredicate
@@ -53,6 +55,7 @@ __all__ = [
     "WindowFrame",
     "SharedWindowExport",
     "attach_shared_frame",
+    "live_export_segments",
     "predicate_key",
 ]
 
@@ -199,20 +202,68 @@ class WindowFrame:
         return SharedWindowExport(self)
 
 
+#: Names of shared-memory segments created by exports in this process
+#: and not yet released — the unlink audit the leak regression tests and
+#: the driver's ``shm_cleanup_failures`` counter read.
+_LIVE_SEGMENT_NAMES: set = set()
+
+
+def live_export_segments() -> tuple:
+    """Names of export segments this process has created but not yet
+    released (sorted, for stable assertions)."""
+    return tuple(sorted(_LIVE_SEGMENT_NAMES))
+
+
+def _release_segments(segments: list) -> int:
+    """Close + unlink every segment in ``segments``; return the number
+    that could not be released.
+
+    Shared between :meth:`SharedWindowExport.close` and the export's
+    ``weakref.finalize`` guard: if a driver error path ever drops an
+    export without closing it, the finalizer still unlinks the segments
+    (at GC or interpreter exit) instead of stranding them in ``/dev/shm``
+    until reboot.  The list is cleared in place so close() and the
+    finalizer never double-release.
+    """
+    failures = 0
+    for segment in segments:
+        try:
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            _LIVE_SEGMENT_NAMES.discard(segment.name)
+        except (OSError, BufferError):  # pragma: no cover - held mapping
+            failures += 1
+        else:
+            _LIVE_SEGMENT_NAMES.discard(segment.name)
+    del segments[:]
+    return failures
+
+
 class SharedWindowExport:
     """One window frame's arrays in POSIX shared memory, plus a picklable
     descriptor worker processes attach to (:func:`attach_shared_frame`).
 
     The export owns the segments: keep it alive until every worker task
-    over this window has returned, then :meth:`close` (which unlinks).
-    Exports degrade gracefully — if the platform offers no shared memory,
-    constructing one raises and the driver falls back to inline ingest.
+    over this window has returned, then :meth:`close` (which unlinks and
+    returns the count of segments that would not release — the driver
+    surfaces that as ``ExecutionMetrics.shm_cleanup_failures``).  A
+    ``weakref.finalize`` guard releases the segments even if close() is
+    never reached, and :func:`live_export_segments` audits what this
+    process still holds.  Exports degrade gracefully — if the platform
+    offers no shared memory, constructing one raises and the driver falls
+    back to inline ingest.
     """
 
     def __init__(self, frame: WindowFrame) -> None:
         from multiprocessing import shared_memory
 
         self._segments: list = []
+        # Registered before any segment exists: whatever __init__ manages
+        # to create is covered even if it raises partway through.
+        self._finalizer = weakref.finalize(
+            self, _release_segments, self._segments
+        )
         arrays: dict = {
             ("rows",): frame.rows,
             ("row_blocks",): frame._row_blocks(),
@@ -230,12 +281,14 @@ class SharedWindowExport:
                 segment = shared_memory.SharedMemory(
                     create=True, size=max(array.nbytes, 1)
                 )
+                self._segments.append(segment)
+                _LIVE_SEGMENT_NAMES.add(segment.name)
                 if array.nbytes:
                     view = np.ndarray(
                         array.shape, dtype=array.dtype, buffer=segment.buf
                     )
                     view[...] = array
-                self._segments.append(segment)
+                    del view
                 layout[name] = (segment.name, array.shape, array.dtype.str)
         except Exception:
             self.close()
@@ -248,37 +301,48 @@ class SharedWindowExport:
             "window_rows": int(frame.window_rows),
         }
 
-    def close(self) -> None:
-        """Release (close + unlink) every segment.  Idempotent."""
-        for segment in self._segments:
-            try:
-                segment.close()
-                segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
-        self._segments = []
+    def close(self) -> int:
+        """Release (close + unlink) every segment.  Idempotent; returns
+        the number of segments that could not be released."""
+        return _release_segments(self._segments)
 
 
 class AttachedFrame:
-    """A worker-side zero-copy view of an exported window frame."""
+    """A worker-side zero-copy view of an exported window frame.
 
-    def __init__(self, descriptor: dict) -> None:
+    ``fault`` is the chaos seam: a ``shm-attach-failure`` directive makes
+    the attach raise *after* the first segment is mapped — the worker
+    dies holding a live attachment, which is exactly the scenario the
+    export's finalizer/unlink audit must survive.
+    """
+
+    def __init__(self, descriptor: dict, fault: dict | None = None) -> None:
         from multiprocessing import shared_memory
 
         self.rows_size: int = descriptor["rows_size"]
         self.window_rows: int = descriptor["window_rows"]
         self._segments = []
         self._arrays: dict = {}
-        for name, (segment_name, shape, dtype) in descriptor["layout"].items():
-            # NB: attaching registers the name with the (process-tree-wide)
-            # resource tracker on Python ≤ 3.12 — harmless here, because
-            # registration is a set and the exporting process always
-            # unlinks+unregisters each segment exactly once in close().
-            segment = shared_memory.SharedMemory(name=segment_name)
-            self._segments.append(segment)
-            self._arrays[name] = np.ndarray(
-                shape, dtype=np.dtype(dtype), buffer=segment.buf
-            )
+        try:
+            for name, (segment_name, shape, dtype) in descriptor["layout"].items():
+                # NB: attaching registers the name with the (process-tree-wide)
+                # resource tracker on Python ≤ 3.12 — harmless here, because
+                # registration is a set and the exporting process always
+                # unlinks+unregisters each segment exactly once in close().
+                segment = shared_memory.SharedMemory(name=segment_name)
+                self._segments.append(segment)
+                self._arrays[name] = np.ndarray(
+                    shape, dtype=np.dtype(dtype), buffer=segment.buf
+                )
+                if fault is not None and fault.get("kind") == "shm-attach-failure":
+                    from repro.testing.faults import InjectedAttachFailure
+
+                    raise InjectedAttachFailure(
+                        "injected attach failure after first segment"
+                    )
+        except BaseException:
+            self.close()
+            raise
 
     def array(self, *name) -> np.ndarray:
         """A named exported array (e.g. ``array("values", key)``)."""
@@ -290,11 +354,13 @@ class AttachedFrame:
         for segment in self._segments:
             try:
                 segment.close()
-            except Exception:  # pragma: no cover - best effort
+            except (OSError, BufferError):  # pragma: no cover - best effort
                 pass
         self._segments = []
 
 
-def attach_shared_frame(descriptor: dict) -> AttachedFrame:
+def attach_shared_frame(
+    descriptor: dict, fault: dict | None = None
+) -> AttachedFrame:
     """Attach to a :class:`SharedWindowExport` descriptor (worker side)."""
-    return AttachedFrame(descriptor)
+    return AttachedFrame(descriptor, fault=fault)

@@ -1,0 +1,44 @@
+"""Deterministic chaos tooling for the execution engine.
+
+This package is part of the *production* tree (not ``tests/``) on
+purpose: the fault-injection seam must ship with the code it perturbs so
+the parallel driver and its workers can consult it in any deployment —
+CI chaos legs, staging soak runs, and the test suite all drive the same
+switchboard (:mod:`repro.testing.faults`).
+"""
+
+from repro.testing.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    InjectedAttachFailure,
+    InjectedWorkerFault,
+    POOL_DEATH,
+    SHM_ATTACH_FAILURE,
+    WORKER_HANG,
+    WORKER_RAISE,
+    active_fault_plan,
+    draw_task_fault,
+    execute_worker_fault,
+    faults_injected,
+    install_fault_plan,
+    reset_faults,
+    tasks_observed,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "InjectedAttachFailure",
+    "InjectedWorkerFault",
+    "POOL_DEATH",
+    "SHM_ATTACH_FAILURE",
+    "WORKER_HANG",
+    "WORKER_RAISE",
+    "active_fault_plan",
+    "draw_task_fault",
+    "execute_worker_fault",
+    "faults_injected",
+    "install_fault_plan",
+    "reset_faults",
+    "tasks_observed",
+]

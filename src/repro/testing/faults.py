@@ -1,0 +1,287 @@
+"""Deterministic fault injection for the parallel scan path.
+
+The fault-tolerance layer of :class:`~repro.fastframe.parallel.
+ParallelScanDriver` is only trustworthy if every failure mode it claims
+to survive can be provoked *on demand and reproducibly*.  This module is
+that switchboard: a single :class:`FaultPlan` describes which faults to
+inject, how often, and under which seed; the driver consults
+:func:`draw_task_fault` once per task submission (main process, so the
+draw sequence is deterministic regardless of worker scheduling) and
+ships the drawn directive to the worker inside its task spec, where
+:func:`execute_worker_fault` acts it out.
+
+Fault kinds
+-----------
+
+``worker-raise``
+    The worker raises :class:`InjectedWorkerFault` before touching the
+    exported frame — models a transient in-worker crash (bad import,
+    numpy error, OOM-killed sibling).  Retriable.
+``worker-hang``
+    The worker sleeps ``hang_seconds`` before running the task normally —
+    models a straggler.  The driver's per-task deadline fires, the task
+    is re-dispatched, and the late result (if any) is discarded.
+``shm-attach-failure``
+    :class:`~repro.fastframe.window.AttachedFrame` raises
+    :class:`InjectedAttachFailure` *after* attaching its first segment —
+    models a worker dying mid-attach, the exact scenario the export
+    unlink audit exists for.  Retriable.
+``pool-death``
+    The worker calls ``os._exit`` — the whole pool breaks
+    (``BrokenProcessPool``), exercising pool rebuild + re-dispatch.
+
+Configuration
+-------------
+
+Installed plans (:func:`install_fault_plan`) win; otherwise a plan is
+built from the environment on every :func:`active_fault_plan` call:
+
+* ``REPRO_FAULT_RATE`` — per-task injection probability (0 disables);
+* ``REPRO_FAULT_SEED`` — RNG seed (default 0) — same seed + same
+  submission sequence → same faults;
+* ``REPRO_FAULT_KINDS`` — comma-separated subset of the kinds above
+  (default ``worker-raise``);
+* ``REPRO_FAULT_HANG_S`` — straggler sleep for ``worker-hang``.
+
+Determinism contract: draws happen only in the driver (one per
+submitted task, in submission order) from a generator seeded by the
+plan, so a given (plan, workload) pair always faults the same tasks.
+``at_task`` pins the k-th submission (1-indexed) instead of drawing —
+the sharpest tool for regression tests.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "WORKER_RAISE",
+    "WORKER_HANG",
+    "SHM_ATTACH_FAILURE",
+    "POOL_DEATH",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "InjectedWorkerFault",
+    "InjectedAttachFailure",
+    "install_fault_plan",
+    "reset_faults",
+    "active_fault_plan",
+    "draw_task_fault",
+    "execute_worker_fault",
+    "tasks_observed",
+    "faults_injected",
+]
+
+WORKER_RAISE = "worker-raise"
+WORKER_HANG = "worker-hang"
+SHM_ATTACH_FAILURE = "shm-attach-failure"
+POOL_DEATH = "pool-death"
+
+#: Every injectable kind, in canonical order.
+FAULT_KINDS = (WORKER_RAISE, WORKER_HANG, SHM_ATTACH_FAILURE, POOL_DEATH)
+
+#: Environment knobs (see module docstring).
+REPRO_FAULT_RATE_ENV = "REPRO_FAULT_RATE"
+REPRO_FAULT_SEED_ENV = "REPRO_FAULT_SEED"
+REPRO_FAULT_KINDS_ENV = "REPRO_FAULT_KINDS"
+REPRO_FAULT_HANG_S_ENV = "REPRO_FAULT_HANG_S"
+
+_DEFAULT_HANG_SECONDS = 2.0
+
+
+class InjectedWorkerFault(RuntimeError):
+    """A deliberate, retriable in-worker crash."""
+
+
+class InjectedAttachFailure(OSError):
+    """A deliberate mid-attach shared-memory failure."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible chaos recipe.
+
+    Parameters
+    ----------
+    rate:
+        Per-task injection probability in [0, 1].  ``0.0`` disables
+        random draws (but ``at_task`` still fires, and an installed
+        zero-rate plan still exercises the draw path — the overhead
+        benchmark uses exactly that).
+    kinds:
+        Fault kinds to rotate through on random draws; ``at_task``
+        injections always use ``kinds[0]``.
+    seed:
+        Seed of the draw sequence.
+    at_task:
+        1-indexed submission ordinal to fault deterministically
+        (``None`` = random draws only).
+    max_faults:
+        Cap on total injections for this plan (``None`` = unbounded).
+    hang_seconds:
+        Straggler sleep for ``worker-hang`` directives.
+    """
+
+    rate: float = 0.0
+    kinds: tuple = (WORKER_RAISE,)
+    seed: int = 0
+    at_task: int | None = None
+    max_faults: int | None = None
+    hang_seconds: float = _DEFAULT_HANG_SECONDS
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+        if not self.kinds:
+            raise ValueError("a fault plan needs at least one kind")
+        unknown = [kind for kind in self.kinds if kind not in FAULT_KINDS]
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {unknown}")
+        object.__setattr__(self, "kinds", tuple(self.kinds))
+
+
+def _plan_from_env() -> FaultPlan | None:
+    raw_rate = os.environ.get(REPRO_FAULT_RATE_ENV, "").strip()
+    if not raw_rate:
+        return None
+    try:
+        rate = float(raw_rate)
+    except ValueError:
+        return None
+    raw_kinds = os.environ.get(REPRO_FAULT_KINDS_ENV, "").strip()
+    kinds = tuple(
+        kind.strip() for kind in raw_kinds.split(",") if kind.strip()
+    ) or (WORKER_RAISE,)
+    kinds = tuple(kind for kind in kinds if kind in FAULT_KINDS) or (WORKER_RAISE,)
+    try:
+        seed = int(os.environ.get(REPRO_FAULT_SEED_ENV, "0").strip() or "0")
+    except ValueError:
+        seed = 0
+    try:
+        hang = float(
+            os.environ.get(REPRO_FAULT_HANG_S_ENV, "").strip()
+            or _DEFAULT_HANG_SECONDS
+        )
+    except ValueError:
+        hang = _DEFAULT_HANG_SECONDS
+    return FaultPlan(
+        rate=min(max(rate, 0.0), 1.0), kinds=kinds, seed=seed, hang_seconds=hang
+    )
+
+
+# ----------------------------------------------------------------------
+# Module state: the installed plan and the deterministic draw sequence.
+# The RNG is keyed to the plan identity so the sequence restarts exactly
+# when the plan changes (install/reset) and never when it doesn't.
+# ----------------------------------------------------------------------
+
+_PLAN: FaultPlan | None = None
+_RNG: random.Random | None = None
+_RNG_PLAN: FaultPlan | None = None
+_TASKS_SUBMITTED = 0
+_FAULTS_INJECTED = 0
+
+
+def install_fault_plan(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` (wins over the environment) and reset the draw
+    sequence.  Returns the plan for chaining."""
+    global _PLAN, _RNG, _RNG_PLAN, _TASKS_SUBMITTED, _FAULTS_INJECTED
+    if not isinstance(plan, FaultPlan):
+        raise TypeError(f"expected FaultPlan, got {type(plan).__name__}")
+    _PLAN = plan
+    _RNG = random.Random(plan.seed)
+    _RNG_PLAN = plan
+    _TASKS_SUBMITTED = 0
+    _FAULTS_INJECTED = 0
+    return plan
+
+
+def reset_faults() -> None:
+    """Remove any installed plan and zero the draw sequence/counters."""
+    global _PLAN, _RNG, _RNG_PLAN, _TASKS_SUBMITTED, _FAULTS_INJECTED
+    _PLAN = None
+    _RNG = None
+    _RNG_PLAN = None
+    _TASKS_SUBMITTED = 0
+    _FAULTS_INJECTED = 0
+
+
+def active_fault_plan() -> FaultPlan | None:
+    """The installed plan if any, else one parsed from the environment
+    (``None`` when chaos is off either way)."""
+    if _PLAN is not None:
+        return _PLAN
+    return _plan_from_env()
+
+
+def tasks_observed() -> int:
+    """Tasks seen by :func:`draw_task_fault` since the last install/reset."""
+    return _TASKS_SUBMITTED
+
+
+def faults_injected() -> int:
+    """Directives issued since the last install/reset."""
+    return _FAULTS_INJECTED
+
+
+def draw_task_fault() -> dict | None:
+    """One draw per task submission (driver side, submission order).
+
+    Returns ``None`` (no fault) or a picklable directive
+    ``{"kind": ..., "hang_seconds": ...}`` for the worker.  Counts every
+    call so ``at_task`` ordinals and rate draws stay aligned with the
+    submission sequence.
+    """
+    global _RNG, _RNG_PLAN, _TASKS_SUBMITTED, _FAULTS_INJECTED
+    plan = active_fault_plan()
+    if plan is None:
+        return None
+    if _RNG is None or _RNG_PLAN != plan:
+        _RNG = random.Random(plan.seed)
+        _RNG_PLAN = plan
+        _TASKS_SUBMITTED = 0
+        _FAULTS_INJECTED = 0
+    _TASKS_SUBMITTED += 1
+    if plan.max_faults is not None and _FAULTS_INJECTED >= plan.max_faults:
+        return None
+    if plan.at_task is not None:
+        if _TASKS_SUBMITTED != plan.at_task:
+            return None
+        kind = plan.kinds[0]
+    else:
+        # Draw even at rate 0.0 so an armed-but-quiet plan pays the same
+        # per-task cost the chaos legs pay — the overhead benchmark's
+        # whole point.
+        if _RNG.random() >= plan.rate:
+            return None
+        kind = plan.kinds[_FAULTS_INJECTED % len(plan.kinds)]
+    _FAULTS_INJECTED += 1
+    return {"kind": kind, "hang_seconds": plan.hang_seconds}
+
+
+def execute_worker_fault(directive: dict | None) -> None:
+    """Act out a directive on the worker side (before frame attach).
+
+    ``shm-attach-failure`` is not handled here — the attach path itself
+    consults the directive (see :class:`~repro.fastframe.window.
+    AttachedFrame`) so the failure lands mid-attach, segments held.
+    """
+    if not directive:
+        return
+    kind = directive.get("kind")
+    if kind == WORKER_RAISE:
+        raise InjectedWorkerFault("injected worker crash")
+    if kind == WORKER_HANG:
+        # A true straggler: sleep past the driver's deadline, then finish
+        # the task normally.  The driver has re-dispatched meanwhile and
+        # discards this late result.
+        time.sleep(float(directive.get("hang_seconds", _DEFAULT_HANG_SECONDS)))
+        return
+    if kind == POOL_DEATH:
+        # Kill the worker without cleanup: the executor observes a dead
+        # process and breaks the pool (BrokenProcessPool on every pending
+        # future) — the driver must rebuild.
+        os._exit(1)

@@ -262,6 +262,9 @@ class TestInlineDriverFallback:
         inline = self._run(scramble, parallelism=2)
         for left, right in zip(serial, inline):
             assert right.metrics.delta_bytes_returned == 0
+            # Degradation is counted, not silent: every window that would
+            # have offloaded recorded an inline fallback.
+            assert right.metrics.inline_fallbacks > 0
             for key, group in left.groups.items():
                 other = right.groups[key]
                 assert group.interval == other.interval
