@@ -85,6 +85,7 @@ def connect(
     require_ssi: bool = True,
     parallelism: int | None = None,
     task_timeout: float | None = None,
+    task_batch: int | None = None,
     **executor_kwargs,
 ) -> "Connection":
     """Open a :class:`Connection` over a scramble (or a table to scramble).
@@ -132,10 +133,17 @@ def connect(
         never changes results, only the
         :class:`~repro.fastframe.query.RecoveryCounters` surfaced on
         round updates and the dashboard.
+    task_batch:
+        Partitions bundled into one worker task for parallel ingest
+        (``None`` defers to ``REPRO_TASK_BATCH``, then auto-sizes each
+        window to ``ceil(partitions / workers)`` so IPC and fault-plan
+        bookkeeping amortize).  Any batch size produces byte-identical
+        results; ``1`` forces one partition per task.
     executor_kwargs:
         Passed through to each query's
         :class:`~repro.fastframe.executor.ApproximateExecutor`
-        (``round_rows``, ``alpha``, ``count_method``, ``engine``, …).
+        (``round_rows``, ``alpha``, ``count_method``, ``engine``,
+        ``round_cadence``, …).
     """
     return Connection(
         source,
@@ -148,6 +156,7 @@ def connect(
         require_ssi=require_ssi,
         parallelism=parallelism,
         task_timeout=task_timeout,
+        task_batch=task_batch,
         **executor_kwargs,
     )
 
@@ -239,6 +248,7 @@ class QueryHandle:
                 parallelism=workers,
                 solo=True,
                 task_timeout=self.connection.task_timeout,
+                task_batch=self.connection.task_batch,
             ).run()
         else:
             for window, at_end in cursor.windows():
@@ -278,6 +288,7 @@ class QueryHandle:
                     parallelism=workers,
                     solo=True,
                     task_timeout=self.connection.task_timeout,
+                    task_batch=self.connection.task_batch,
                 )
                 yield from driver.windows()
                 return
@@ -427,11 +438,13 @@ class Connection:
         require_ssi: bool = True,
         parallelism: int | None = None,
         task_timeout: float | None = None,
+        task_batch: int | None = None,
         **executor_kwargs,
     ) -> None:
         self.rng = rng or np.random.default_rng()
         self.parallelism = parallelism
         self.task_timeout = task_timeout
+        self.task_batch = task_batch
         if isinstance(source, Scramble):
             self.scramble = source
         elif isinstance(source, Table):
@@ -551,7 +564,11 @@ class Connection:
             start_block, window_blocks=runs[0].window_blocks
         )
         metrics = run_shared_scan(
-            runs, cursor, parallelism=self.parallelism, task_timeout=self.task_timeout
+            runs,
+            cursor,
+            parallelism=self.parallelism,
+            task_timeout=self.task_timeout,
+            task_batch=self.task_batch,
         )
         results = []
         for handle, run in zip(handles, runs):

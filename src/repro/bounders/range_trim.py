@@ -45,6 +45,13 @@ from repro.stats.streaming import ExtremaState
 
 __all__ = ["RangeTrimBounder", "RangeTrimState", "RangeTrimPool", "RangeTrimDelta"]
 
+#: Recompute sets at or below this size take the scalar-dispatch mirror of
+#: the batch bound path (bit-identical; see ``_confidence_interval_small``).
+#: numpy dispatch costs ~3-5µs per call regardless of array size, so a
+#: round that touches a handful of dirty views spends more time entering
+#: ufuncs than computing; the Python-float loop crosses over near ~40 slots.
+_SCALAR_DISPATCH_MAX = 16
+
 
 @dataclass
 class RangeTrimPool:
@@ -116,9 +123,12 @@ def _segmented_prior_extrema(
     ``prior_max[j]`` for the ``k``-th element of segment ``i`` is
     ``max(carry_max[i], values of the segment's first k − 1 elements)`` —
     exactly the "extrema of all earlier samples" that Algorithm 6 clips
-    against.  Dense 2-D accumulation when the padding is affordable,
-    per-segment accumulation otherwise (pathologically skewed segment
-    sizes), both exact.
+    against.  Per-segment sliced accumulation when segments are few (the
+    low-cardinality hot case: two in-place sweeps per segment, no index
+    scatter), dense 2-D accumulation when many segments make the padding
+    affordable, per-segment again for pathologically skewed sizes — all
+    exact (max/min prefixes round nothing), so the paths are
+    bit-interchangeable.
     """
     total = values.size
     lengths = ends - starts
@@ -126,7 +136,10 @@ def _segmented_prior_extrema(
     longest = int(lengths.max()) if num_segments else 0
     prior_max = np.empty(total, dtype=np.float64)
     prior_min = np.empty(total, dtype=np.float64)
-    if num_segments and num_segments * (longest + 1) <= max(4 * total, 4096):
+    if (
+        num_segments > 64
+        and num_segments * (longest + 1) <= max(4 * total, 4096)
+    ):
         rows = np.repeat(np.arange(num_segments, dtype=np.int64), lengths)
         cols = np.arange(total, dtype=np.int64) - np.repeat(starts, lengths)
         grid = np.full((num_segments, longest + 1), -math.inf, dtype=np.float64)
@@ -365,12 +378,16 @@ class RangeTrimBounder(ErrorBounder):
         slots, starts, ends, feed, left_values, right_values = self._clip_segments(
             indices, values, carry_min, carry_max, pool_counts
         )
-        left = self.inner.partition_delta(
-            indices[feed], left_values[feed], size, left_ctx
-        )
-        right = self.inner.partition_delta(
-            indices[feed], right_values[feed], size, right_ctx
-        )
+        if feed.all():
+            # No fresh views this window (the steady state): every element
+            # feeds the inners, so skip four full boolean-mask copies.
+            fed_indices = indices
+            fed_left, fed_right = left_values, right_values
+        else:
+            fed_indices = indices[feed]
+            fed_left, fed_right = left_values[feed], right_values[feed]
+        left = self.inner.partition_delta(fed_indices, fed_left, size, left_ctx)
+        right = self.inner.partition_delta(fed_indices, fed_right, size, right_ctx)
         return RangeTrimDelta(
             slots,
             np.minimum.reduceat(values, starts),
@@ -484,3 +501,82 @@ class RangeTrimBounder(ErrorBounder):
             pool.right, a_prime, np.maximum(b_arr, a_prime), inner_n, delta, indices
         )
         return np.where(trivial, b_arr, inner_hi)
+
+    def confidence_interval_batch(self, pool, a, b, n, delta, indices=None):
+        """Both sides from one pass over the shared gathers.
+
+        Same arithmetic, in the same order, as the generic
+        lbound→rbound pair — the trivial mask, trimmed extrema gathers,
+        and inner N−1 are just computed once instead of twice, so the
+        result is bit-identical while halving the per-round gather
+        overhead on small pools.
+        """
+        if indices is None:
+            indices = np.arange(pool.count.size, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if (
+            indices.size <= _SCALAR_DISPATCH_MAX
+            and np.ndim(a) == 0
+            and np.ndim(b) == 0
+            and getattr(self.inner, "supports_scalar_bounds", False)
+        ):
+            return self._confidence_interval_small(
+                pool, float(a), float(b), n, delta, indices
+            )
+        a_arr = np.broadcast_to(np.asarray(a, dtype=np.float64), indices.shape)
+        b_arr = np.broadcast_to(np.asarray(b, dtype=np.float64), indices.shape)
+        trivial = pool.count[indices] < 2
+        half = delta / 2.0
+        inner_n = np.maximum(np.asarray(n) - 1, 1)
+        b_prime = np.where(trivial, b_arr, pool.max[indices])
+        a_prime = np.where(trivial, a_arr, pool.min[indices])
+        inner_lo = self.inner.lbound_batch(
+            pool.left, np.minimum(a_arr, b_prime), b_prime, inner_n, half, indices
+        )
+        inner_hi = self.inner.rbound_batch(
+            pool.right, a_prime, np.maximum(b_arr, a_prime), inner_n, half, indices
+        )
+        lo = np.where(trivial, a_arr, inner_lo)
+        hi = np.where(trivial, b_arr, inner_hi)
+        return self._clip_interval_arrays(lo, hi, a, b)
+
+    def _confidence_interval_small(
+        self, pool: RangeTrimPool, a: float, b: float, n, delta: float,
+        indices: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Scalar-dispatch mirror of :meth:`confidence_interval_batch`.
+
+        Per-slot Python-float transliteration of the fused batch path —
+        same IEEE-754 operations in the same order, so the returned
+        arrays are bit-identical to the vectorized program (pinned by the
+        kernel test-suite).  Worth it because a round that recomputes
+        only a few dirty views pays numpy's per-call dispatch ~60 times
+        in the batch path; here it pays it twice.
+        """
+        n_arr = np.broadcast_to(np.asarray(n), indices.shape)
+        half = delta / 2.0
+        lo_out = np.empty(indices.size, dtype=np.float64)
+        hi_out = np.empty(indices.size, dtype=np.float64)
+        for position in range(indices.size):
+            slot = int(indices[position])
+            inner_n = max(n_arr[position] - 1, 1)
+            if int(pool.count[slot]) < 2:
+                lo, hi = a, b
+            else:
+                b_prime = float(pool.max[slot])
+                a_prime = float(pool.min[slot])
+                lo = self.inner.lbound_one(
+                    pool.left, slot, min(a, b_prime), b_prime, inner_n, half
+                )
+                hi = self.inner.rbound_one(
+                    pool.right, slot, a_prime, max(b, a_prime), inner_n, half
+                )
+            # _clip_interval_arrays, one lane.
+            lo = min(max(lo, a), b)
+            hi = min(max(hi, a), b)
+            if lo > hi:
+                mid = 0.5 * (lo + hi)
+                lo = hi = mid
+            lo_out[position] = lo
+            hi_out[position] = hi
+        return lo_out, hi_out

@@ -189,6 +189,15 @@ def build_parser() -> argparse.ArgumentParser:
             "recomputed inline — results stay bit-identical"
         ),
     )
+    dashboard.add_argument(
+        "--task-batch", type=int, default=None,
+        help=(
+            "partitions bundled into one worker task (default: "
+            "$REPRO_TASK_BATCH, then auto-sized per window to "
+            "ceil(partitions / workers)); any batch size produces "
+            "byte-identical results"
+        ),
+    )
     return parser
 
 
@@ -304,6 +313,7 @@ def _cmd_dashboard(args, out) -> int:
         rng=np.random.default_rng(args.seed),
         parallelism=args.parallelism,
         task_timeout=args.task_timeout,
+        task_batch=args.task_batch,
     )
     handles = [conn.query(query) for query in queries]
     batch = conn.gather(handles)

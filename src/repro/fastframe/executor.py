@@ -99,12 +99,8 @@ from repro.fastframe.scan import (
     ScanStrategy,
 )
 from repro.fastframe.scramble import Scramble
-from repro.fastframe.viewpool import (
-    IngestDelta,
-    ViewPool,
-    partition_slice,
-    slice_elements,
-)
+from repro.fastframe.kernels import IngestDelta, partition_ingest
+from repro.fastframe.viewpool import ViewPool
 from repro.fastframe.window import WindowFrame
 from repro.stats.delta import DEFAULT_DELTA, DeltaBudget
 from repro.stats.streaming import MomentState
@@ -218,6 +214,22 @@ class ApproximateExecutor:
         (``None`` defers to ``REPRO_TASK_TIMEOUT``, then 60; ``0``
         disables).  Timed-out or crashed tasks are re-dispatched and,
         as a last resort, recomputed inline — still bit-identical.
+    task_batch:
+        Partitions batched into one worker task for parallel ingest
+        (``None`` defers to ``REPRO_TASK_BATCH``, then auto: window
+        partition count ÷ parallelism).  Batching amortizes IPC and
+        fault-plan bookkeeping; deltas still fold in serial (window,
+        query) order, so results are bit-identical at any batch size.
+    round_cadence:
+        Adaptive OptStop round cadence for the pool engine (default 1
+        preserves the every-round behavior byte-for-byte).  At ``k > 1``
+        only every k-th round is a *full* round; in between, views the
+        stopping condition certifies as far from their target
+        (:meth:`~repro.stopping.conditions.StoppingCondition.far_mask`)
+        keep their last certified interval and stay dirty.  Deferring a
+        recompute is always sound — the old interval remains a valid
+        1−δ bound and the running intersection only ever narrows — so
+        stopping can fire later, never wrongly.
     """
 
     def __init__(
@@ -233,6 +245,8 @@ class ApproximateExecutor:
         engine: str = "auto",
         parallelism: int | None = None,
         task_timeout: float | None = None,
+        task_batch: int | None = None,
+        round_cadence: int = 1,
     ) -> None:
         if count_method not in COUNT_METHODS:
             raise ValueError(
@@ -242,6 +256,10 @@ class ApproximateExecutor:
         if engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        if round_cadence < 1:
+            raise ValueError(
+                f"round_cadence must be >= 1, got {round_cadence}"
             )
         self.scramble = scramble
         self.bounder = bounder
@@ -253,6 +271,8 @@ class ApproximateExecutor:
         self.engine = engine
         self.parallelism = parallelism
         self.task_timeout = task_timeout
+        self.task_batch = task_batch
+        self.round_cadence = int(round_cadence)
         (
             self._count_interval,
             self._upper_bound_population,
@@ -372,6 +392,7 @@ class ApproximateExecutor:
                 parallelism=workers,
                 solo=True,
                 task_timeout=self.task_timeout,
+                task_batch=self.task_batch,
             ).run()
         else:
             for window, at_end in cursor.windows():
@@ -419,35 +440,37 @@ class ApproximateExecutor:
         derived = column.range_bounds(bounds_by_column)
         return (lambda rows: column.evaluate(table, rows)), (derived.a, derived.b)
 
-    def _ingest(
+    def _ingest_scalar_delta(
         self,
         query: Query,
         views: dict[int, _ViewState],
-        view_values: np.ndarray | None,
-        view_combined: np.ndarray | None,
-        n_in_view: int,
+        domain: np.ndarray,
+        delta: IngestDelta,
         window_rows: int,
         freezes_groups: bool,
     ) -> None:
-        """Fold one window's in-view values into the per-view states.
+        """Fold one partitioned window slice into the per-view states.
 
-        ``view_values`` / ``view_combined`` are this run's predicate-passing
-        slices of the shared :class:`~repro.fastframe.window.WindowFrame`
-        (``view_values`` is ``None`` for COUNT queries, which only need the
-        per-group cardinalities of ``view_combined``).
+        The scalar mirror of :meth:`ViewPool.apply_ingest`: it consumes
+        the same :class:`IngestDelta` the fused
+        :func:`~repro.fastframe.kernels.partition_ingest` kernel produces
+        for the pool engine, so the two engines share every byte of
+        slicing/gather/sort arithmetic and differ only in how per-view
+        state is stored.  The delta's ``view_idx`` is sorted with ties in
+        stream order, so each view's value segment arrives in exactly the
+        order the seed's per-view loop fed it (``delta.values`` is
+        ``None`` for COUNT queries, which only need segment lengths).
         """
         needs_values = query.aggregate is not AggregateFunction.COUNT
         segments: dict[int, np.ndarray | int] = {}
-        if n_in_view:
-            order = np.argsort(view_combined, kind="stable")
-            sorted_codes = view_combined[order]
-            sorted_values = view_values[order] if needs_values else None
-            boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+        if delta.n_in_view:
+            view_idx = delta.view_idx
+            boundaries = np.flatnonzero(np.diff(view_idx)) + 1
             starts = np.concatenate(([0], boundaries))
-            ends = np.concatenate((boundaries, [sorted_codes.size]))
+            ends = np.concatenate((boundaries, [view_idx.size]))
             for start, end in zip(starts, ends):
-                segments[int(sorted_codes[start])] = (
-                    sorted_values[start:end] if needs_values else end - start
+                segments[int(domain[view_idx[start]])] = (
+                    delta.values[start:end] if needs_values else int(end - start)
                 )
 
         for code, view in views.items():
@@ -648,6 +671,7 @@ class ApproximateExecutor:
         bounds: tuple[float, float],
         view_budget: DeltaBudget,
         round_index: int | None,
+        defer: np.ndarray | None = None,
     ) -> int:
         """One OptStop round over the dirty slice of the pool (Algorithm 5).
 
@@ -657,7 +681,10 @@ class ApproximateExecutor:
         so its running-intersection fold is a no-op and the last certified
         interval stands.  ``round_index=None`` (the fixed-sample-count
         single shot) recomputes every surviving view regardless of the
-        dirty mask.  Returns the number of pool rows recomputed.
+        dirty mask.  ``defer`` (the adaptive round cadence) additionally
+        skips the masked rows *without clearing their dirty flag*, so the
+        next undeferred round brings them current.  Returns the number of
+        pool rows recomputed.
         """
         a, b = bounds
         scramble_rows = self.scramble.num_rows
@@ -670,6 +697,8 @@ class ApproximateExecutor:
             recompute &= pool.dirty
             if self.strategy.uses_active_groups:
                 recompute &= pool.active
+            if defer is not None:
+                recompute &= ~defer
         idx = np.flatnonzero(recompute)
         if idx.size == 0:
             return 0
@@ -971,42 +1000,27 @@ class QueryRun:
         rows or at scan end (``at_end=True``), one OptStop round runs.
         """
         ex = self.executor
-        window_slice = self.slice_frame(frame, mask)
-        if self.pool is not None:
-            self.consume_delta(
-                partition_slice(
-                    window_slice,
-                    self.pool.codes,
-                    values_of=self.frame_values_of(frame),
-                    combined_of=self.frame_combined_of(frame),
-                ),
-                frame.window_rows,
-                at_end,
-            )
-            return
-        # Scalar reference engine: unsorted slices into the per-view dict.
-        n_read, n_in_view = window_slice.n_read, window_slice.n_in_view
-        view_values = view_combined = None
-        if n_in_view:
-            values_of = self.frame_values_of(frame)
-            if values_of is not None:
-                view_values = values_of(window_slice.pick)
-            view_combined = self.frame_combined_of(frame)(window_slice.pick)
-        self.metrics.rows_read += n_read
-        ex._ingest(
-            self.query, self.views, view_values, view_combined,
-            n_in_view, frame.window_rows, self.freezes_groups,
-        )
-        self._finish_window(n_read, at_end)
-
-    def slice_frame(self, frame: WindowFrame, mask: np.ndarray):
-        """This run's counted element slice of a frame (pure; shared with
-        the parallel driver, so slicing arithmetic exists exactly once)."""
-        return slice_elements(
+        # Both engines partition through the same fused kernel; they
+        # differ only in the merge half (pool arrays vs the per-view
+        # dict) and in the partition domain (the pool's codes vs the
+        # run's full group domain).
+        delta = partition_ingest(
             frame.rows.size,
             frame.element_selector(mask),
             lambda: frame.predicate_mask(self.query.predicate),
+            self.pool.codes if self.pool is not None else self.domain,
+            self.frame_values_of(frame),
+            self.frame_combined_of(frame),
         )
+        if self.pool is not None:
+            self.consume_delta(delta, frame.window_rows, at_end)
+            return
+        self.metrics.rows_read += delta.n_read
+        ex._ingest_scalar_delta(
+            self.query, self.views, self.domain, delta,
+            frame.window_rows, self.freezes_groups,
+        )
+        self._finish_window(delta.n_read, at_end)
 
     def frame_values_of(self, frame: WindowFrame):
         """Lazy pick-slicer over the frame's shared value array, or
@@ -1035,7 +1049,7 @@ class QueryRun:
         The pool-engine merge half of :meth:`consume`: the delta carries
         this run's window slice already partitioned by view (built in
         place by :meth:`consume`, or shipped back from a parallel ingest
-        worker that ran :func:`~repro.fastframe.viewpool.build_ingest_delta`
+        worker that ran :func:`~repro.fastframe.kernels.partition_ingest`
         over shared-memory window buffers).  For delta-capable bounders
         the worker may also have pre-partitioned the bounder-state update
         (``IngestDelta.bounder_delta``); when it did not,
@@ -1069,6 +1083,7 @@ class QueryRun:
                     self.metrics.bounds_recomputed += ex._recompute_bounds_pool(
                         self.query, self.pool, self.bounds,
                         self.view_budget, self.round_index,
+                        defer=self._cadence_defer_mask(at_end),
                     )
                 columns = ex._snapshot_columns(self.pool, self.bounds)
                 ex._refresh_active_pool(self.query, self.pool, columns)
@@ -1082,6 +1097,33 @@ class QueryRun:
                 snapshots = ex._snapshots(self.views, self.bounds)
                 ex._refresh_active(self.query, self.views, snapshots)
                 self.satisfied = self.query.stopping.satisfied(snapshots)
+
+    def _cadence_defer_mask(self, at_end: bool) -> np.ndarray | None:
+        """Pool rows whose bound recompute this round may skip (or ``None``).
+
+        The adaptive round cadence (``round_cadence=k``): on rounds that
+        are not a multiple of ``k`` — and not the scan's last — views the
+        stopping condition certifies as *far* from its target keep their
+        last certified interval and stay dirty, so the next full round
+        picks them up.  Distance is judged on the current certified
+        snapshot (:meth:`~repro.stopping.conditions.StoppingCondition.
+        far_mask`); conditions without a distance notion return ``None``
+        and every view recomputes as usual.  Deferral is sound: the old
+        interval is still a valid 1−δ bound and a deferred view consumes
+        none of the round's δ budget, so stopping can only fire later.
+        """
+        ex = self.executor
+        if ex.round_cadence <= 1 or at_end:
+            return None
+        if self.round_index % ex.round_cadence == 0:
+            return None  # full round: every dirty view recomputes
+        columns = ex._snapshot_columns(self.pool, self.bounds)
+        far = self.query.stopping.far_mask(columns)
+        if far is None:
+            return None
+        defer = np.zeros(self.pool.size, dtype=bool)
+        defer[columns.rows] = far
+        return defer
 
     def feed(self, window: np.ndarray, at_end: bool) -> np.ndarray:
         """Process one lookahead window solo (select + materialize + consume).
@@ -1190,6 +1232,7 @@ def run_shared_scan(
     cursor: ScanCursor,
     parallelism: int | None = None,
     task_timeout: float | None = None,
+    task_batch: int | None = None,
 ) -> ExecutionMetrics:
     """Drive many query runs from one scan cursor (the gather hot loop).
 
@@ -1222,7 +1265,10 @@ def run_shared_scan(
     :class:`~repro.fastframe.parallel.ParallelScanDriver`: per-query
     window slices are partitioned in worker processes and folded back in
     deterministic order, so results and metrics (except wall time) are
-    bit-identical to the serial loop below.
+    bit-identical to the serial loop below.  ``task_batch`` groups
+    several per-query partitions into one worker task (``None`` defers
+    to ``REPRO_TASK_BATCH``, then auto) — still bit-identical, the fold
+    order never changes.
     """
     from repro.fastframe.parallel import ParallelScanDriver, resolve_parallelism
 
@@ -1230,7 +1276,11 @@ def run_shared_scan(
     workers = resolve_parallelism(parallelism)
     if workers > 1:
         return ParallelScanDriver(
-            runs, cursor, parallelism=workers, task_timeout=task_timeout
+            runs,
+            cursor,
+            parallelism=workers,
+            task_timeout=task_timeout,
+            task_batch=task_batch,
         ).run()
     scramble = cursor.scramble
     metrics = ExecutionMetrics()

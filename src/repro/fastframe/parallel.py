@@ -15,10 +15,14 @@ window-frame architecture exposes:
   query run's consumption of it (predicate slice, gather, stable sort by
   group code, per-view bincount statistics) is independent of every other
   run's.  The driver exports the frame's buffers (row ids, value arrays,
-  combined group codes, predicate masks) to POSIX shared memory once and
-  submits one *partition task* per pool-engine run to a persistent
-  process pool; workers return per-view bincount
-  :class:`~repro.fastframe.viewpool.IngestDelta`\\ s.  For delta-capable
+  combined group codes, predicate masks) to POSIX shared memory once,
+  groups the offloadable partitions into *task batches* (``task_batch``
+  partitions per worker task; ``None`` auto-sizes to
+  ``ceil(partitions / workers)`` so one window costs one task per
+  worker), and submits the batches to a persistent process pool; workers
+  attach the frame once per batch and return one per-view bincount
+  :class:`~repro.fastframe.kernels.IngestDelta` per partition.  For
+  delta-capable
   bounders (``ErrorBounder.supports_delta``) the worker also runs the
   bounder's pure ``partition_delta`` kernel, and — when every view is
   settling — drops the O(rows) ``view_idx``/``values`` arrays from the
@@ -28,13 +32,16 @@ window-frame architecture exposes:
   between the two stages).
 
 **Why results are bit-identical to serial.**  Workers only run the *pure*
-half of ingest (:func:`~repro.fastframe.viewpool.build_ingest_delta` and
+half of ingest (:func:`~repro.fastframe.kernels.partition_ingest` and
 the bounder's ``partition_delta`` over
-read-only shared buffers — the same functions the serial path runs in
+read-only shared buffers — the same fused kernel the serial path runs in
 place); all state mutation happens in the main process, which folds the
 deltas into each run's :class:`~repro.fastframe.viewpool.ViewPool` via
 :meth:`~repro.fastframe.executor.QueryRun.consume_delta` in deterministic
-window-then-run order — the exact order the serial loop uses.  Prefetched
+window-then-run order — the exact order the serial loop uses.  Batching
+changes only how deltas travel (several per task instead of one), never
+the deltas themselves or the fold order, so pool state is byte-identical
+at any ``parallelism`` × ``task_batch``.  Prefetched
 block selections are charged to metrics only when consumed, and the probe
 counters of a selection that is discarded (its run retired meanwhile) are
 reconciled, so every :class:`~repro.fastframe.query.ExecutionMetrics`
@@ -50,11 +57,12 @@ fully inline execution with identical semantics.
 
 **Fault tolerance.**  Because every worker task is a *pure recompute*
 of inputs the main process still holds, any failure is recoverable with
-byte-identical results.  Each task carries a deadline
-(``task_timeout`` / ``REPRO_TASK_TIMEOUT``); a timed-out or crashed task
-is re-dispatched up to :data:`MAX_TASK_ATTEMPTS` times under exponential
-backoff, and as the always-correct last resort its slice is recomputed
-in-process via the inline path.  A broken pool
+byte-identical results.  Each task batch carries a deadline
+(``task_timeout`` / ``REPRO_TASK_TIMEOUT``, covering the whole batch); a
+timed-out or crashed batch is re-dispatched whole up to
+:data:`MAX_TASK_ATTEMPTS` times under exponential backoff, and as the
+always-correct last resort every slice in it is recomputed in-process
+via the inline path.  A broken pool
 (``BrokenProcessPool``/dead workers) is rebuilt with backoff up to
 :data:`MAX_POOL_REBUILDS` times per scan, after which the driver degrades
 permanently to inline execution.  Every recovery action is counted in
@@ -66,7 +74,9 @@ Deterministic chaos for all of this lives in :mod:`repro.testing.faults`.
 ``REPRO_PARALLELISM`` environment variable (the CI matrix leg sets it to
 2 to run the whole tier-1 suite through this driver), then 1.
 ``task_timeout`` resolves the same way through ``REPRO_TASK_TIMEOUT``
-(seconds; ``0`` or negative disables the deadline).
+(seconds; ``0`` or negative disables the deadline), and ``task_batch``
+through ``REPRO_TASK_BATCH`` (partitions per worker task; unset, ``0``
+or negative means auto-size per window).
 """
 
 from __future__ import annotations
@@ -79,8 +89,8 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 
 import numpy as np
 
+from repro.fastframe.kernels import partition_ingest, partition_slice, slice_elements
 from repro.fastframe.query import ExecutionMetrics
-from repro.fastframe.viewpool import partition_slice, slice_elements
 from repro.fastframe.window import (
     WindowFrame,
     attach_shared_frame,
@@ -96,8 +106,10 @@ __all__ = [
     "ParallelScanDriver",
     "resolve_parallelism",
     "resolve_task_timeout",
+    "resolve_task_batch",
     "REPRO_PARALLELISM_ENV",
     "REPRO_TASK_TIMEOUT_ENV",
+    "REPRO_TASK_BATCH_ENV",
     "MIN_OFFLOAD_ELEMENTS",
     "MAX_TASK_ATTEMPTS",
     "MAX_POOL_REBUILDS",
@@ -108,6 +120,9 @@ REPRO_PARALLELISM_ENV = "REPRO_PARALLELISM"
 
 #: Environment variable consulted when no explicit task timeout is given.
 REPRO_TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+
+#: Environment variable consulted when no explicit task batch is given.
+REPRO_TASK_BATCH_ENV = "REPRO_TASK_BATCH"
 
 #: In-view elements below which a run's window slice is partitioned inline
 #: — at this size the sort+bincount costs less than a task round trip.
@@ -165,6 +180,26 @@ def resolve_task_timeout(task_timeout: float | None) -> float | None:
     return task_timeout if task_timeout > 0 else None
 
 
+def resolve_task_batch(task_batch: int | None) -> int | None:
+    """An explicit knob, else ``REPRO_TASK_BATCH``, else ``None`` (auto).
+
+    ``None`` means auto-size per window: ``ceil(partitions / workers)``,
+    so every window costs at most one task round trip per worker.  Zero,
+    negative, or unparsable values also mean auto.  ``1`` disables
+    batching (one partition per task — exactly the pre-batching driver).
+    """
+    if task_batch is None:
+        raw = os.environ.get(REPRO_TASK_BATCH_ENV, "").strip()
+        if not raw:
+            return None
+        try:
+            task_batch = int(raw)
+        except ValueError:
+            return None
+    task_batch = int(task_batch)
+    return task_batch if task_batch >= 1 else None
+
+
 # ----------------------------------------------------------------------
 # Persistent worker pool (shared by every driver in the process; workers
 # hold no per-scramble state, so one pool serves any number of scans).
@@ -211,65 +246,72 @@ def shutdown_worker_pool() -> None:
 atexit.register(shutdown_worker_pool)
 
 
-def _partition_task(descriptor: dict, spec: dict):
-    """Worker body: partition one run's slice of one exported window.
+def _partition_batch_task(descriptor: dict, specs: list):
+    """Worker body: partition a batch of runs' slices of one exported window.
 
-    Mirrors the slicing half of :meth:`QueryRun.consume` over the
-    attached shared-memory buffers and returns ``(IngestDelta,
-    partition_seconds)`` with per-view bincount statistics precomputed,
-    so the main process's merge is O(views).  When the spec carries a
-    delta-capable bounder (``spec["bounder"]``), the worker additionally
-    runs the bounder's pure ``partition_delta`` over the sorted stream;
-    with the per-row arrays then fully pre-aggregated (``spec["native"]``)
-    the O(rows) ``view_idx``/``values`` arrays are dropped from the
-    return payload — only O(views) deltas cross IPC.  Pure: touches no
-    executor state — which is what makes every task safely re-dispatchable:
-    running it 0, 1, or N times leaves nothing behind, and its return
-    value is a deterministic function of the (frozen) shared buffers.
+    Attaches the shared-memory frame **once** and runs
+    :func:`~repro.fastframe.kernels.partition_ingest` — the same fused
+    kernel the serial paths call — once per spec, returning a list of
+    ``(IngestDelta, partition_seconds)`` aligned with ``specs``.  Per-view
+    bincount statistics are precomputed so the main process's merge is
+    O(views); when a spec carries a delta-capable bounder the kernel also
+    runs the pure ``partition_delta`` and (``spec["native"]``) drops the
+    O(rows) arrays from the payload — only O(views) deltas cross IPC.
+    Per-item seconds are cumulative splits (the attach is charged to the
+    first item), so their sum is the task's wall time.
+
+    Pure: touches no executor state — which is what makes every batch
+    safely re-dispatchable: running it 0, 1, or N times leaves nothing
+    behind, and its return value is a deterministic function of the
+    (frozen) shared buffers.  ``own_arrays=True`` re-materializes any
+    zero-copy views the fused kernel produced: a delta must not keep a
+    buffer of the attached frame alive past ``frame.close()``, or the
+    persistent worker would leak the mapping.
 
     ``spec["fault"]`` is the chaos seam: a directive drawn by the driver
-    (deterministically, see :mod:`repro.testing.faults`) is acted out
-    here — crash, straggle, or kill the process — before any real work.
+    (deterministically, see :mod:`repro.testing.faults`) is acted out at
+    its spec's position in the loop — crash, straggle, or kill the
+    process mid-batch — exercising whole-batch recovery.  Attach-time
+    directives (shm-attach-failure) are honored by the attach itself,
+    wherever in the batch they ride.
     """
     start = time.perf_counter()
-    fault = spec.get("fault")
-    execute_worker_fault(fault)
+    fault = next((s.get("fault") for s in specs if s.get("fault") is not None), None)
     frame = attach_shared_frame(descriptor, fault=fault)
     try:
-        mask_bits = spec["mask_bits"]
-        sel = None if mask_bits is None else mask_bits[frame.array("row_blocks")]
-        window_slice = slice_elements(
-            frame.rows_size, sel, lambda: frame.array("mask", spec["pred_key"])
-        )
-        value_key = spec["value_key"]
-        group_key = spec["group_key"]
-        delta = partition_slice(
-            window_slice,
-            spec["codes"],
-            values_of=(
-                None
-                if value_key is None
-                else lambda pick: frame.array("values", value_key)[pick]
-            ),
-            combined_of=(
-                None
-                if group_key is None
-                else lambda pick: frame.array("combined", group_key)[pick]
-            ),
-            with_stats=True,
-        )
-        if spec["native"] and delta.n_in_view:
-            bounder = spec["bounder"]
-            if bounder is not None:
-                delta.bounder_delta = bounder.partition_delta(
-                    delta.view_idx,
-                    delta.values,
-                    spec["pool_size"],
-                    spec["bounder_ctx"],
-                )
-            delta.view_idx = None
-            delta.values = None
-        return delta, time.perf_counter() - start
+        results = []
+        last = start
+        for spec in specs:
+            execute_worker_fault(spec.get("fault"))
+            mask_bits = spec["mask_bits"]
+            sel = None if mask_bits is None else mask_bits[frame.array("row_blocks")]
+            value_key = spec["value_key"]
+            group_key = spec["group_key"]
+            delta = partition_ingest(
+                frame.rows_size,
+                sel,
+                lambda key=spec["pred_key"]: frame.array("mask", key),
+                spec["codes"],
+                values_of=(
+                    None
+                    if value_key is None
+                    else lambda pick, key=value_key: frame.array("values", key)[pick]
+                ),
+                combined_of=(
+                    None
+                    if group_key is None
+                    else lambda pick, key=group_key: frame.array("combined", key)[pick]
+                ),
+                with_stats=True,
+                native=spec["native"],
+                bounder=spec["bounder"],
+                bounder_ctx=spec["bounder_ctx"],
+                own_arrays=True,
+            )
+            now = time.perf_counter()
+            results.append((delta, now - last))
+            last = now
+        return results
     finally:
         frame.close()
 
@@ -277,26 +319,50 @@ def _partition_task(descriptor: dict, spec: dict):
 class _RunWindowState:
     """Per-(run, window) bookkeeping between the slice and fold phases.
 
-    ``spec`` is the frozen task recipe (re-dispatches reuse it — the
-    native gate evaluated at first submit still holds until the window's
-    rounds run, which is after phase 4); ``attempts`` counts dispatches;
-    ``pool`` records which pool instance the live future was submitted
-    to, so a broken-pool recovery triggered by one task does not tear
-    down the pool a *later* task was already resubmitted to;
-    ``fallback`` marks a slice that exhausted its dispatch budget and
-    must be recomputed inline.
+    ``batch`` points at the :class:`_TaskBatch` this run's partition was
+    grouped into (``None`` for inline runs) and ``index_in_batch`` at its
+    slot in the batch's spec/result lists; ``fallback`` marks a slice
+    that never reached a worker (no shared memory) and must be
+    recomputed inline.
     """
 
-    __slots__ = ("sel", "window_slice", "future", "spec", "attempts", "pool", "fallback")
+    __slots__ = ("sel", "window_slice", "batch", "index_in_batch", "fallback")
 
     def __init__(self) -> None:
         self.sel = None
         self.window_slice = None
+        self.batch = None
+        self.index_in_batch = 0
+        self.fallback = False
+
+
+class _TaskBatch:
+    """One worker task: a batch of partitions sharing dispatch fate.
+
+    ``positions`` indexes the batch's members into the window's ``live``
+    run list, in serial fold order; ``specs`` holds the frozen task
+    recipes (re-dispatches reuse them — the native gate evaluated at
+    first submit still holds until the window's rounds run, which is
+    after phase 4); ``attempts`` counts dispatches of the *whole* batch;
+    ``pool`` records which pool instance the live future was submitted
+    to, so a broken-pool recovery triggered by one batch does not tear
+    down the pool a *later* batch was already resubmitted to;
+    ``fallback`` marks a batch that exhausted its dispatch budget —
+    every member slice is then recomputed inline; ``results`` memoizes
+    the worker's ``(delta, seconds)`` list once collected, so the first
+    member to fold awaits the task and later members just index into it.
+    """
+
+    __slots__ = ("positions", "specs", "future", "attempts", "pool", "fallback", "results")
+
+    def __init__(self, positions: list) -> None:
+        self.positions = positions
+        self.specs: list = []
         self.future = None
-        self.spec = None
         self.attempts = 0
         self.pool = None
         self.fallback = False
+        self.results = None
 
 
 class ParallelScanDriver:
@@ -318,9 +384,16 @@ class ParallelScanDriver:
         ``run.finalize()``) instead of the batch accounting of
         :func:`~repro.fastframe.executor.run_shared_scan`.
     task_timeout:
-        Per-task deadline in seconds (``None`` defers to
-        ``REPRO_TASK_TIMEOUT``, then :data:`DEFAULT_TASK_TIMEOUT_S`;
-        zero/negative disables the deadline).
+        Per-task deadline in seconds, covering a whole batch (``None``
+        defers to ``REPRO_TASK_TIMEOUT``, then
+        :data:`DEFAULT_TASK_TIMEOUT_S`; zero/negative disables the
+        deadline).
+    task_batch:
+        Partitions bundled per worker task (``None`` defers to
+        ``REPRO_TASK_BATCH``, then auto-sizes each window to
+        ``ceil(partitions / workers)``).  Batch size never changes a
+        byte of any result — only how many deltas share one task round
+        trip.
     """
 
     def __init__(
@@ -330,6 +403,7 @@ class ParallelScanDriver:
         parallelism: int,
         solo: bool = False,
         task_timeout: float | None = None,
+        task_batch: int | None = None,
     ) -> None:
         from repro.fastframe.executor import validate_shared_runs
 
@@ -341,6 +415,7 @@ class ParallelScanDriver:
         self.workers = max(int(parallelism), 1)
         self.solo = solo
         self.task_timeout = resolve_task_timeout(task_timeout)
+        self.task_batch = resolve_task_batch(task_batch)
         self.metrics = ExecutionMetrics()
         self._start_time = time.perf_counter()
         self._indexes = {}
@@ -432,7 +507,8 @@ class ParallelScanDriver:
         # match the serial loop bit for bit).
         states = [self._slice(run, frame, mask) for run, mask in zip(live, masks)]
 
-        # Phase 2 — export the frame once, fan the heavy partitions out.
+        # Phase 2 — export the frame once, fan the heavy partitions out
+        # in task batches (one attach + one round trip per batch).
         export = None
         offload = [
             position
@@ -454,11 +530,18 @@ class ParallelScanDriver:
                 for position in offload:
                     states[position].fallback = True
             if export is not None:
-                for position in offload:
-                    run, state = live[position], states[position]
-                    state.spec = self._worker_spec(run, frame, masks[position], state)
-                    if not self._submit(run, export, state):
-                        state.fallback = True
+                size = self._batch_size(len(offload))
+                for start in range(0, len(offload), size):
+                    batch = _TaskBatch(offload[start : start + size])
+                    for index, position in enumerate(batch.positions):
+                        run, state = live[position], states[position]
+                        batch.specs.append(
+                            self._worker_spec(run, frame, masks[position], state)
+                        )
+                        state.batch = batch
+                        state.index_in_batch = index
+                    if not self._submit_batch(export, batch, live):
+                        batch.fallback = True
 
         try:
             # Phase 3 — overlap: block selection for the next window runs
@@ -469,15 +552,16 @@ class ParallelScanDriver:
                 self._prefetch(live)
 
             # Phase 4 — fold, in deterministic run order (serial order).
-            # Recovery happens inside _await_task; whatever path computed
+            # Recovery happens inside _await_batch; whatever path computed
             # the delta, it is folded here, in this order — which is why
-            # recovered runs stay byte-identical to serial.
+            # recovered runs stay byte-identical to serial at any
+            # parallelism × task_batch.
             for run, mask, state in zip(live, masks, states):
-                result = (
-                    self._await_task(run, export, state)
-                    if state.future is not None
-                    else None
-                )
+                result = None
+                if state.batch is not None:
+                    self._await_batch(export, state.batch, live)
+                    if state.batch.results is not None:
+                        result = state.batch.results[state.index_in_batch]
                 if result is not None:
                     delta, partition_s = result
                     payload = delta.payload_nbytes()
@@ -491,7 +575,9 @@ class ParallelScanDriver:
                     run.metrics.merge_wall_s += merge_s
                     self.metrics.merge_wall_s += merge_s
                 elif run.pool is not None:
-                    if state.fallback:
+                    if state.fallback or (
+                        state.batch is not None and state.batch.fallback
+                    ):
                         # Retries exhausted / no pool / no shared memory:
                         # the always-correct last resort, recompute the
                         # slice in-process (same arrays, same arithmetic).
@@ -573,7 +659,6 @@ class ParallelScanDriver:
             "value_key": run.value_key,
             "group_key": run.group_by if run.pool.size > 1 else None,
             "codes": run.pool.codes,
-            "pool_size": run.pool.size,
             "native": native,
             "bounder": bounder if ship_bounder else None,
             "bounder_ctx": (
@@ -600,82 +685,111 @@ class ParallelScanDriver:
         setattr(run.metrics, counter, getattr(run.metrics, counter) + 1)
         setattr(self.metrics, counter, getattr(self.metrics, counter) + 1)
 
-    def _submit(self, run, export, state: _RunWindowState) -> bool:
-        """Dispatch (or re-dispatch) one partition task; True on success.
+    def _batch_size(self, n_offload: int) -> int:
+        """Partitions per worker task for a window with ``n_offload``
+        offloadable partitions: the explicit/env knob, else
+        ``ceil(n_offload / workers)`` — the whole window costs at most
+        one task round trip per worker while every worker stays busy."""
+        if self.task_batch is not None:
+            return self.task_batch
+        return max(1, -(-n_offload // self.workers))
+
+    def _submit_batch(self, export, batch: _TaskBatch, live: list) -> bool:
+        """Dispatch (or re-dispatch) one task batch; True on success.
 
         One deterministic chaos draw per dispatch
-        (:func:`~repro.testing.faults.draw_task_fault`); the drawn
-        directive rides in the task spec.  The pool the future went to is
-        recorded on the state so a later broken-pool recovery triggered
-        by *this* task never tears down a pool other tasks were already
-        resubmitted to.
+        (:func:`~repro.testing.faults.draw_task_fault`) — batching
+        amortizes the fault-plan bookkeeping exactly like the IPC.  The
+        drawn directive rides on the batch's *middle* spec, so injected
+        crashes land mid-batch and exercise whole-batch recovery (at
+        batch size 1 the middle is the only spec — the pre-batching
+        behavior).  The pool the future went to is recorded on the batch
+        so a later broken-pool recovery triggered by *this* batch never
+        tears down a pool other batches were already resubmitted to.
         """
-        if self._pool is None or state.spec is None:
+        if self._pool is None or not batch.specs:
             return False
-        spec = state.spec
+        specs = batch.specs
         directive = draw_task_fault()
         if directive is not None:
-            spec = dict(spec)
+            specs = list(specs)
+            middle = len(specs) // 2
+            spec = dict(specs[middle])
             spec["fault"] = directive
+            specs[middle] = spec
         try:
-            future = self._pool.submit(_partition_task, export.descriptor, spec)
+            future = self._pool.submit(_partition_batch_task, export.descriptor, specs)
         except (BrokenExecutor, RuntimeError, OSError):
             # The pool broke between windows (workers OOM-killed, fd
             # exhaustion): rebuild once and retry this submit.
-            self._recover_pool(run)
+            self._recover_pool(live[batch.positions[0]])
             if self._pool is None:
                 return False
             try:
-                future = self._pool.submit(_partition_task, export.descriptor, spec)
+                future = self._pool.submit(
+                    _partition_batch_task, export.descriptor, specs
+                )
             except (BrokenExecutor, RuntimeError, OSError):
                 return False
-        state.future = future
-        state.pool = self._pool
-        state.attempts += 1
+        batch.future = future
+        batch.pool = self._pool
+        batch.attempts += 1
         return True
 
-    def _await_task(self, run, export, state: _RunWindowState):
-        """Collect one task's ``(delta, partition_seconds)`` under the
-        per-task deadline, re-dispatching on straggle/crash/broken pool.
+    def _await_batch(self, export, batch: _TaskBatch, live: list) -> None:
+        """Collect one batch's ``(delta, partition_seconds)`` list into
+        ``batch.results`` under the batch deadline, re-dispatching the
+        whole batch on straggle/crash/broken pool.
 
-        Returns ``None`` (with ``state.fallback`` set) when the dispatch
-        budget is exhausted or no pool survives — the caller recomputes
-        the slice inline.  Every path out of here leaves the delta the
-        same bytes the serial arithmetic produces; only the counters
-        differ.
+        Memoized: the first member to fold pays the wait; later members
+        index the memoized list.  Leaves ``batch.fallback`` set (results
+        ``None``) when the dispatch budget is exhausted or no pool
+        survives — every member slice is then recomputed inline.  Every
+        path out of here leaves each delta the same bytes the serial
+        arithmetic produces; only the recovery counters differ, charged
+        once per member run (so batch size 1 reduces exactly to the
+        pre-batching counters).
         """
+        if batch.results is not None or batch.fallback:
+            return
         while True:
-            future, pool = state.future, state.pool
+            future, pool = batch.future, batch.pool
+            if future is None:
+                batch.fallback = True
+                return
             try:
-                return future.result(timeout=self.task_timeout)
+                batch.results = future.result(timeout=self.task_timeout)
+                return
             except (FutureTimeoutError, TimeoutError):
                 # A straggler blew the deadline.  Cancel if still queued;
                 # a *running* hang cannot be cancelled — its eventual
                 # result is simply never read (and the export's segments
                 # outlive it only until this window's fold finishes).
-                self._count(run, "tasks_timed_out")
+                for position in batch.positions:
+                    self._count(live[position], "tasks_timed_out")
                 future.cancel()
             except BrokenExecutor:
-                # Pool died under this task.  Only the first observer
-                # rebuilds: later tasks' futures from the dead pool fail
+                # Pool died under this batch.  Only the first observer
+                # rebuilds: later batches' futures from the dead pool fail
                 # the identity check and just re-dispatch to the new one.
                 if pool is self._pool:
-                    self._recover_pool(run)
+                    self._recover_pool(live[batch.positions[0]])
             except RETRIABLE_TASK_ERRORS:
                 # Transient in-worker failure (injected crash, shm attach
-                # race, allocation failure): the task is pure, so
+                # race, allocation failure): the batch is pure, so
                 # re-running it is always safe.
                 pass
-            state.future = None
-            if state.attempts >= MAX_TASK_ATTEMPTS or self._pool is None:
-                state.fallback = True
-                return None
-            time.sleep(RETRY_BACKOFF_S * (2 ** (state.attempts - 1)))
-            if self._submit(run, export, state):
-                self._count(run, "tasks_retried")
+            batch.future = None
+            if batch.attempts >= MAX_TASK_ATTEMPTS or self._pool is None:
+                batch.fallback = True
+                return
+            time.sleep(RETRY_BACKOFF_S * (2 ** (batch.attempts - 1)))
+            if self._submit_batch(export, batch, live):
+                for position in batch.positions:
+                    self._count(live[position], "tasks_retried")
             else:
-                state.fallback = True
-                return None
+                batch.fallback = True
+                return
 
     def _recover_pool(self, run) -> None:
         """Tear down a broken pool and rebuild it with backoff; after

@@ -39,9 +39,10 @@ executor's ingest/recompute paths) must call :meth:`mark_dirty` for the
 touched rows, or the cached snapshot goes stale.
 
 **Parallel ingest.**  Folding one window into the pool is split into a
-pure *partition* step (:func:`build_ingest_delta` — sort the in-view
-elements by group code, map codes to pool rows, pre-aggregate per-view
-bincount statistics) and a stateful *merge* step
+pure *partition* step (the fused kernel in
+:mod:`repro.fastframe.kernels` — slice the window, gather the in-view
+elements, stable-sort by group code, map codes to pool rows,
+pre-aggregate per-view bincount statistics) and a stateful *merge* step
 (:meth:`ViewPool.apply_ingest`).  The partition step touches no pool
 state, so a worker process can run it over shared-memory window buffers
 and ship the resulting :class:`IngestDelta` back; the main process then
@@ -64,9 +65,22 @@ from typing import Any
 import numpy as np
 
 from repro.bounders.base import ErrorBounder
+from repro.fastframe.kernels import (
+    IngestDelta,
+    WindowSlice,
+    build_ingest_delta,
+    lookup_codes,
+    partition_ingest,
+    partition_slice,
+    slice_elements,
+)
 from repro.stats.streaming import MomentPool
 from repro.stopping.conditions import SnapshotColumns
 
+# The partition primitives live in :mod:`repro.fastframe.kernels` (the
+# ONE copy of the slicing/gather arithmetic); they are re-exported here
+# because this module is their historical home and the delta protocol's
+# documentation anchor.
 __all__ = [
     "ViewPool",
     "IngestDelta",
@@ -74,242 +88,9 @@ __all__ = [
     "build_ingest_delta",
     "slice_elements",
     "partition_slice",
+    "partition_ingest",
+    "lookup_codes",
 ]
-
-
-def lookup_codes(codes: np.ndarray, combined: np.ndarray) -> np.ndarray:
-    """Pool row index per combined code over a sorted domain (checked).
-
-    Raises :class:`KeyError` when any code is outside the domain — an
-    unguarded ``searchsorted`` would silently return a neighboring view's
-    row and corrupt its counters (e.g. when an insert widens a dictionary
-    after the pool was built).  Module-level so worker processes can map
-    codes without holding a :class:`ViewPool`.
-    """
-    combined = np.asarray(combined, dtype=np.int64)
-    if codes.size == 0:
-        if combined.size:
-            raise KeyError(
-                f"combined group codes {np.unique(combined)[:8].tolist()} "
-                "looked up in an empty pool domain"
-            )
-        return np.zeros(0, dtype=np.int64)
-    idx = np.searchsorted(codes, combined)
-    clipped = np.minimum(idx, codes.size - 1)
-    bad = (idx >= codes.size) | (codes[clipped] != combined)
-    if bad.any():
-        missing = np.unique(combined[bad])[:8]
-        raise KeyError(
-            f"combined group codes {missing.tolist()} are not in the "
-            "pool domain (stale pool after inserts?)"
-        )
-    return idx
-
-
-@dataclass
-class IngestDelta:
-    """One (query, window) slice, partitioned and ready to merge.
-
-    The unit of work a parallel ingest worker returns: everything
-    :meth:`ViewPool.apply_ingest` needs to fold the window into the pool
-    without touching the window's row data again.
-
-    Attributes
-    ----------
-    n_read:
-        Rows of the window this run read (its block mask's elements).
-    n_in_view:
-        Rows that additionally pass the run's predicate.
-    view_idx:
-        Pool row per in-view element, sorted ascending with ties in
-        stream order (the order the bounder pools require); ``None``
-        when ``n_in_view == 0``.
-    values:
-        Aggregated-column values aligned with ``view_idx``; ``None`` for
-        COUNT queries.
-    counts, means, m2s:
-        Optional pre-aggregated per-view batch statistics
-        (:meth:`MomentPool.batch_stats` output for value queries, a
-        plain bincount for COUNT).  Workers precompute them; the serial
-        path leaves them ``None`` and :meth:`ensure_stats` fills them in
-        lazily.  Either way the arrays are the output of the same pure
-        function over the same inputs, so the merge is bit-identical.
-    bounder_delta:
-        Optional pre-partitioned bounder-state delta
-        (:meth:`~repro.bounders.base.ErrorBounder.partition_delta`
-        output).  A worker sets it — and drops :attr:`view_idx` /
-        :attr:`values` from the payload — when the run's bounder is
-        delta-capable and every view is settling; the serial path leaves
-        it ``None`` and :meth:`ViewPool.apply_ingest` runs the identical
-        partition in place.
-    """
-
-    n_read: int
-    n_in_view: int
-    view_idx: np.ndarray | None = None
-    values: np.ndarray | None = None
-    counts: np.ndarray | None = None
-    means: np.ndarray | None = None
-    m2s: np.ndarray | None = None
-    bounder_delta: Any = None
-
-    @property
-    def needs_values(self) -> bool:
-        """True for value (non-COUNT) deltas, however they were shipped.
-
-        A worker-native delta omits :attr:`values`; its per-view means
-        (value queries always pre-aggregate stats) or bounder delta still
-        mark it as a value ingest.
-        """
-        return (
-            self.values is not None
-            or self.means is not None
-            or self.bounder_delta is not None
-        )
-
-    def payload_nbytes(self) -> int:
-        """Bytes of array payload this delta carries across IPC."""
-        total = 0
-        for array in (self.view_idx, self.values, self.counts, self.means, self.m2s):
-            if array is not None:
-                total += array.nbytes
-        if self.bounder_delta is not None:
-            total += self.bounder_delta.nbytes
-        return total
-
-    def ensure_stats(self, size: int, needs_values: bool) -> None:
-        """Fill :attr:`counts` (and value moments) if a worker didn't."""
-        if self.counts is not None or self.n_in_view == 0:
-            return
-        if self.view_idx is None:
-            raise ValueError(
-                "IngestDelta shipped without per-view statistics or row "
-                "arrays; a native delta must precompute counts"
-            )
-        if needs_values:
-            self.counts, self.means, self.m2s = MomentPool.batch_stats(
-                self.view_idx, self.values, size
-            )
-        else:
-            self.counts = np.bincount(self.view_idx, minlength=size)
-
-
-def build_ingest_delta(
-    n_read: int,
-    n_in_view: int,
-    view_values: np.ndarray | None,
-    view_combined: np.ndarray | None,
-    codes: np.ndarray,
-    *,
-    needs_values: bool,
-    with_stats: bool = False,
-) -> IngestDelta:
-    """Partition one window slice into an :class:`IngestDelta`.
-
-    ``view_values`` / ``view_combined`` are the run's predicate-passing
-    elements of the window in scan order (``view_values`` is ``None`` for
-    COUNT queries; ``view_combined`` is ``None`` for single-view pools,
-    which need no partitioning).  ``codes`` is the pool's sorted combined
-    domain.  Pure function: safe to run in a worker process over
-    shared-memory buffers.  ``with_stats`` additionally pre-aggregates the
-    per-view bincount statistics (workers pay this O(rows) pass so the
-    main process's merge is O(views)).
-    """
-    if n_in_view == 0:
-        return IngestDelta(n_read=n_read, n_in_view=0)
-    if view_combined is None or codes.size <= 1:
-        # Single view: no partitioning needed, keep stream order.
-        view_idx = np.zeros(n_in_view, dtype=np.int64)
-        ordered_values = view_values
-    else:
-        # Stable sort by group code: stream order within each view is
-        # preserved, as the order-sensitive bounder pools require.
-        sort_order = np.argsort(view_combined, kind="stable")
-        view_idx = lookup_codes(codes, view_combined[sort_order])
-        ordered_values = view_values[sort_order] if needs_values else None
-    delta = IngestDelta(
-        n_read=n_read,
-        n_in_view=n_in_view,
-        view_idx=view_idx,
-        values=ordered_values,
-    )
-    if with_stats:
-        delta.ensure_stats(max(codes.size, 1), needs_values)
-    return delta
-
-
-@dataclass
-class WindowSlice:
-    """Element accounting of one run's slice of one window.
-
-    Attributes
-    ----------
-    n_read:
-        Elements the run's block mask selects (all of them when ``sel``
-        was ``None``, i.e. the mask equals the window's union).
-    n_in_view:
-        Selected elements that additionally pass the run's predicate.
-    pick:
-        The combined boolean element mask (``None`` when nothing was
-        read — the predicate mask is then never evaluated).
-    """
-
-    n_read: int
-    n_in_view: int
-    pick: np.ndarray | None
-
-
-def slice_elements(n_rows: int, sel, predicate_of) -> WindowSlice:
-    """Count one run's window slice (pure; the first half of ingest).
-
-    ``sel`` is the run's element selector over the window's fetched rows
-    (``None`` when the run's mask is the union); ``predicate_of`` lazily
-    supplies the predicate mask — evaluated only when the run read
-    anything, exactly the serial lazy condition.  The ONE copy of this
-    arithmetic: the serial consume path, the parallel driver, and the
-    worker processes all call it, so the engines cannot drift.
-    """
-    n_read = int(n_rows) if sel is None else int(np.count_nonzero(sel))
-    pick = None
-    n_in_view = 0
-    if n_read:
-        pred = predicate_of()
-        pick = pred if sel is None else (sel & pred)
-        n_in_view = int(np.count_nonzero(pick))
-    return WindowSlice(n_read=n_read, n_in_view=n_in_view, pick=pick)
-
-
-def partition_slice(
-    window_slice: WindowSlice,
-    codes: np.ndarray,
-    values_of=None,
-    combined_of=None,
-    *,
-    with_stats: bool = False,
-) -> IngestDelta:
-    """Partition a counted slice into an :class:`IngestDelta` (pure).
-
-    ``values_of`` / ``combined_of`` lazily gather the slice's value and
-    combined-code arrays from a pick mask (``None`` for COUNT queries /
-    single-view pools); they are only invoked when the slice has in-view
-    elements — again the serial lazy condition, shared by every engine.
-    """
-    view_values = None
-    view_combined = None
-    if window_slice.n_in_view:
-        if values_of is not None:
-            view_values = values_of(window_slice.pick)
-        if combined_of is not None:
-            view_combined = combined_of(window_slice.pick)
-    return build_ingest_delta(
-        window_slice.n_read,
-        window_slice.n_in_view,
-        view_values,
-        view_combined,
-        codes,
-        needs_values=values_of is not None,
-        with_stats=with_stats,
-    )
 
 
 @dataclass
