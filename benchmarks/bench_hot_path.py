@@ -639,12 +639,91 @@ def run_anderson() -> dict:
     return entry
 
 
+def run_quantile() -> dict:
+    """Grouped quantile-rank kernel vs the per-view scalar loop.
+
+    The quantile family rides the same CSR pool as Anderson, but its
+    bound kernel selects order statistics: one row-wise ``np.sort`` per
+    equal-count group serves both CI endpoints.  The baseline is the
+    scalar reference — one ``QuantileBounder.confidence_interval`` call
+    per view.  Both paths pick elements of the same multiset, so parity
+    is asserted **exactly**, not to 1e-9.
+    """
+    from repro.bounders.quantile import QuantileBounder
+
+    rows = min(ROWS, 200_000)
+    window = 20_000
+    a, b, delta, p = 0.0, 200.0, 1e-6, 0.95
+    sweep = []
+    for views in (10, 100, 2000):
+        rng = np.random.default_rng(views)
+        windows = []
+        for start in range(0, rows, window):
+            count = min(window, rows - start)
+            indices = np.sort(rng.integers(0, views, count)).astype(np.int64)
+            windows.append((indices, rng.uniform(a + 1.0, b - 1.0, count)))
+        bounder = QuantileBounder(p)
+        n_plus = np.full(views, rows, dtype=np.int64)
+
+        pool_s = scalar_s = float("inf")
+        pool_bounds = scalar_bounds = None
+        for _ in range(REPS):
+            pool = bounder.init_pool(views)
+            states = [bounder.init_state() for _ in range(views)]
+            for indices, values in windows:
+                bounder.update_pool(pool, indices, values)
+                boundaries = np.flatnonzero(np.diff(indices)) + 1
+                for chunk, slot in zip(
+                    np.split(values, boundaries), np.unique(indices)
+                ):
+                    bounder.update_batch(states[slot], chunk)
+
+            start = time.perf_counter()
+            pool_bounds = bounder.confidence_interval_batch(
+                pool, a, b, n_plus, delta
+            )
+            pool_s = min(pool_s, time.perf_counter() - start)
+
+            start = time.perf_counter()
+            lo = np.empty(views)
+            hi = np.empty(views)
+            for slot in range(views):
+                interval = bounder.confidence_interval(
+                    states[slot], a, b, rows, delta
+                )
+                lo[slot], hi[slot] = interval.lo, interval.hi
+            scalar_bounds = (lo, hi)
+            scalar_s = min(scalar_s, time.perf_counter() - start)
+
+        assert np.array_equal(pool_bounds[0], scalar_bounds[0])
+        assert np.array_equal(pool_bounds[1], scalar_bounds[1])
+        sweep.append(
+            {
+                "views": views,
+                "pool_bound_s": round(pool_s, 6),
+                "scalar_bound_s": round(scalar_s, 6),
+                "speedup": round(scalar_s / pool_s, 2),
+            }
+        )
+        print(
+            f"quantile(p={p}) bound: pool {pool_s:.4f}s vs scalar "
+            f"{scalar_s:.4f}s ({sweep[-1]['speedup']}x) at {views} views"
+        )
+    return {
+        "p": p,
+        "rows": rows,
+        "sweep": sweep,
+        "pool_parity": True,  # asserted exact (==) above
+    }
+
+
 def main() -> int:
     payload = run()
     payload["dashboard"] = run_dashboard()
     payload["parallel"] = run_parallel()
     payload["kernel"] = run_kernel()
     payload["anderson"] = run_anderson()
+    payload["quantile"] = run_quantile()
     with open(OUT, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

@@ -135,16 +135,31 @@ class QueryBuilder:
         """COUNT(*) of the (filtered, grouped) view."""
         return self._handle(AggregateFunction.COUNT, None, stop)
 
+    def median(self, column, **stop) -> "QueryHandle":
+        """Certified MEDIAN of a continuous column (DKW-band inversion)."""
+        return self._handle(AggregateFunction.MEDIAN, column, stop)
+
+    def percentile(self, column, p: float, **stop) -> "QueryHandle":
+        """Certified ``p``-quantile of a continuous column, ``p`` in (0, 1)."""
+        return self._handle(
+            AggregateFunction.PERCENTILE, column, stop, percentile=float(p)
+        )
+
     # ------------------------------------------------------------------
 
     def _handle(
-        self, aggregate: AggregateFunction, column, stop: dict
+        self,
+        aggregate: AggregateFunction,
+        column,
+        stop: dict,
+        percentile: float | None = None,
     ) -> "QueryHandle":
         query = Query(
             aggregate,
             column,
             _stopping_from(stop),
             group_by=self._group_columns,
+            percentile=percentile,
             name=self._label,
             **({} if self._predicate is None else {"predicate": self._predicate}),
         )
@@ -189,10 +204,12 @@ def _stopping_from(stop: dict) -> StoppingCondition:
         return SamplesTaken(int(value))
     if key in ("above", "below"):
         return ThresholdSide(float(value))
-    if key == "top":
-        return TopKSeparated(int(value))
-    if key == "bottom":
-        return TopKSeparated(int(value), largest=False)
+    if key in ("top", "bottom"):
+        if int(value) < 1:
+            raise ValueError(
+                f"{key}= must be a positive integer, got {int(value)}"
+            )
+        return TopKSeparated(int(value), largest=(key == "top"))
     if key == "ordered":
         return GroupsOrdered()
     raise TypeError(f"unknown stopping specifier {key!r}")

@@ -7,6 +7,13 @@ from repro.cdfbounds.dkw import (
     empirical_cdf,
     mean_from_cdf_upper,
 )
+from repro.cdfbounds.quantile import (
+    deterministic_quantile_ranks,
+    dkw_quantile_ranks,
+    empirical_quantile,
+    quantile_interval,
+    quantile_rank,
+)
 
 __all__ = [
     "anderson_mean_bounds",
@@ -14,4 +21,9 @@ __all__ = [
     "dkw_epsilon",
     "empirical_cdf",
     "mean_from_cdf_upper",
+    "deterministic_quantile_ranks",
+    "dkw_quantile_ranks",
+    "empirical_quantile",
+    "quantile_interval",
+    "quantile_rank",
 ]

@@ -106,6 +106,15 @@ def mean_from_cdf_upper(
     heights = np.asarray(heights, dtype=np.float64)
     if values.size == 0:
         raise ValueError("cannot integrate an empty CDF")
+    if not a <= b:
+        raise ValueError(f"support must satisfy a <= b, got [{a}, {b}]")
+    # Values outside the declared support (float drift in the (a + b) − x
+    # reflection, or a caller-supplied loose support) would make np.diff of
+    # the edge array negative and silently corrupt the integral.  Clipping
+    # is sound: the CDF is declared to be supported on [a, b], so all mass
+    # observed outside belongs at the nearest endpoint.  np.clip preserves
+    # sortedness, keeping the step-function segments well ordered.
+    values = np.clip(values, a, b)
     shifted = np.clip(heights + shift, 0.0, 1.0)
     head = min(max(shift, 0.0), 1.0)
     # Integral of the step function from a to b: the segment before the

@@ -1,0 +1,170 @@
+"""Certified quantile intervals by inverting the DKW band (Lemma 3).
+
+The DKW inequality gives a simultaneous (1 − δ) band ``|F̂ − F| <= ε`` around
+the empirical CDF; inverting it at probability level ``p`` bounds the true
+quantile ``F⁻¹(p)`` between two order statistics of the sample:
+
+    ``x_(⌈m(p − ε)⌉)  <=  F⁻¹(p)  <=  x_(⌈m(p + ε)⌉)``     (1-based ranks)
+
+with ranks falling off either end replaced by the support endpoints ``a``/
+``b``.  Theorem 1 extends DKW validity to without-replacement samples from a
+finite dataset, so the same inversion certifies quantiles mid-scan.
+
+Two refinements tighten the interval for finite populations of (at most)
+``n`` rows when ``m`` of them have been sampled without replacement:
+
+* **Deterministic rank clamp** — the dataset's rank-``r`` value
+  (``r = ⌈p·n⌉``) sits, with probability 1, between sample order statistics
+  ``x_(r − (n − m))`` and ``x_(r)``: at most ``n − m`` unseen rows can be
+  inserted below it, and at least ``r − (n − m)`` of the ``r`` dataset rows
+  at or below it have already been seen.  Both bounds are monotone-safe
+  under an *upper bound* ``n⁺ >= n`` (growing ``n`` only loosens them), so
+  the executor can pass its certified ``N⁺``.
+* **Exact collapse at exhaustion** — at ``m == n`` the clamp degenerates to
+  ``[x_(r), x_(r)]``: the exact population quantile, with no δ spent.
+
+The final interval is the per-side intersection of the DKW band and the
+deterministic clamp.  Quantiles use the inverse-CDF convention throughout:
+``Q(p) = x_(⌈p·n⌉)``, 1-based, no interpolation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cdfbounds.dkw import dkw_epsilon
+
+__all__ = [
+    "quantile_rank",
+    "dkw_quantile_ranks",
+    "deterministic_quantile_ranks",
+    "quantile_interval",
+    "empirical_quantile",
+]
+
+
+def quantile_rank(p: float, n: int) -> int:
+    """The 1-based inverse-CDF rank ``⌈p·n⌉`` (clipped into ``[1, n]``)."""
+    if n < 1:
+        raise ValueError(f"population size must be >= 1, got {n}")
+    return min(max(int(math.ceil(p * n)), 1), n)
+
+
+def _validate_p(p: float) -> None:
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"quantile level p must be in (0, 1), got {p}")
+
+
+def dkw_quantile_ranks(m: int, p: float, delta: float) -> tuple[int, int]:
+    """DKW-certified 1-based rank bounds on ``F⁻¹(p)`` from ``m`` samples.
+
+    Splits δ evenly: each side uses a one-sided band of width
+    ``ε = sqrt(log(2/δ) / 2m)`` — numerically identical to the two-sided
+    DKW band, so the pair is a simultaneous (1 − δ) statement.  Returns
+    ``(lo_rank, hi_rank)`` where a rank of 0 means "below the sample"
+    (use the support minimum ``a``) and a rank of ``m + 1`` means "above
+    the sample" (use the support maximum ``b``).
+    """
+    _validate_p(p)
+    eps = dkw_epsilon(m, delta / 2.0, two_sided=False)
+    # F(x_(k)) >= p − ε certified fails only below rank ⌈m(p − ε)⌉; the
+    # ceil of a non-positive argument clamps to 0 ("no sample lower bound").
+    lo_rank = max(int(math.ceil(m * (p - eps))), 0)
+    hi_rank = int(math.ceil(m * (p + eps)))
+    if hi_rank > m:
+        hi_rank = m + 1
+    return lo_rank, hi_rank
+
+
+def deterministic_quantile_ranks(m: int, p: float, n: int) -> tuple[int, int]:
+    """Probability-1 rank bounds on the population rank-``r`` value.
+
+    With ``m`` of (at most) ``n`` rows sampled without replacement and
+    ``r = ⌈p·n⌉``, the dataset's rank-``r`` value lies between sample order
+    statistics ``x_(r − (n − m))`` and ``x_(r)``.  Returns ``(lo_rank,
+    hi_rank)`` with the same 0 / ``m + 1`` out-of-range conventions as
+    :func:`dkw_quantile_ranks`.  At ``m == n`` both ranks equal ``r``.
+    """
+    _validate_p(p)
+    if n < m:
+        raise ValueError(f"population bound n={n} smaller than sample m={m}")
+    r = quantile_rank(p, n)
+    lo_rank = max(r - (n - m), 0)
+    hi_rank = r if r <= m else m + 1
+    return lo_rank, hi_rank
+
+
+def _order_stats(sorted_sample: np.ndarray, rank: int, a: float, b: float) -> float:
+    """Sample order statistic at a 1-based ``rank`` with endpoint fallback."""
+    if rank <= 0:
+        return a
+    if rank > sorted_sample.size:
+        return b
+    return float(sorted_sample[rank - 1])
+
+
+def quantile_interval(
+    sample: np.ndarray,
+    p: float,
+    delta: float,
+    a: float,
+    b: float,
+    n: int | None = None,
+) -> tuple[float, float]:
+    """(1 − δ) certified interval for the ``p``-quantile.
+
+    Combines the inverted DKW band with the deterministic finite-population
+    clamp (when a population bound ``n`` is given), taking the tighter of
+    the two on each side.  An empty sample returns the trivial ``(a, b)``.
+
+    Parameters
+    ----------
+    sample:
+        The without-replacement sample (any order; sorted internally).
+    p:
+        Quantile level in (0, 1).
+    delta:
+        Error probability in (0, 1) for the DKW part.
+    a, b:
+        Declared support of the value column (``a <= b``).
+    n:
+        Optional certified *upper bound* on the population size (``>= m``).
+        Enables the deterministic clamp and the exact collapse at ``m == n``.
+    """
+    _validate_p(p)
+    if not a <= b:
+        raise ValueError(f"support must satisfy a <= b, got [{a}, {b}]")
+    sample = np.asarray(sample, dtype=np.float64)
+    m = int(sample.size)
+    if m == 0:
+        return a, b
+    sorted_sample = np.sort(sample)
+    lo_rank, hi_rank = dkw_quantile_ranks(m, p, delta)
+    lo = _order_stats(sorted_sample, lo_rank, a, b)
+    hi = _order_stats(sorted_sample, hi_rank, a, b)
+    if n is not None:
+        d_lo_rank, d_hi_rank = deterministic_quantile_ranks(m, p, n)
+        lo = max(lo, _order_stats(sorted_sample, d_lo_rank, a, b))
+        hi = min(hi, _order_stats(sorted_sample, d_hi_rank, a, b))
+    # Clip to the declared support (samples may graze the endpoints).
+    lo = min(max(lo, a), b)
+    hi = min(max(hi, a), b)
+    if lo > hi:  # only possible through float ties; collapse to the point
+        lo = hi = 0.5 * (lo + hi)
+    return lo, hi
+
+
+def empirical_quantile(sample: np.ndarray, p: float) -> float:
+    """The sample ``p``-quantile under the inverse-CDF convention.
+
+    ``Q̂(p) = x_(⌈p·m⌉)`` (1-based, no interpolation) — the value reported
+    as the point estimate and, at exhaustion, the exact population answer.
+    """
+    _validate_p(p)
+    sample = np.asarray(sample, dtype=np.float64)
+    if sample.size == 0:
+        raise ValueError("empirical quantile of an empty sample is undefined")
+    rank = quantile_rank(p, int(sample.size))
+    return float(np.partition(sample, rank - 1)[rank - 1])

@@ -58,6 +58,11 @@ class ExactExecutor:
 
         counts = np.zeros(domain_size, dtype=np.int64)
         sums = np.zeros(domain_size, dtype=np.float64)
+        # MEDIAN/PERCENTILE need the full per-group multiset, not a
+        # running sum; collect (code, value) pairs and select the order
+        # statistic per group after the scan.
+        quantile_codes: list[np.ndarray] = []
+        quantile_values: list[np.ndarray] = []
         num_blocks = self.scramble.num_blocks
         for window_start in range(0, num_blocks, self.window_blocks):
             window = np.arange(
@@ -86,7 +91,19 @@ class ExactExecutor:
                     values = table.continuous(query.column)[rows]
                 else:
                     values = query.column.evaluate(table, rows)
-                sums += np.bincount(combined, weights=values, minlength=domain_size)
+                if query.aggregate.is_quantile:
+                    quantile_codes.append(combined)
+                    quantile_values.append(np.asarray(values, dtype=np.float64))
+                else:
+                    sums += np.bincount(
+                        combined, weights=values, minlength=domain_size
+                    )
+
+        quantiles = None
+        if query.aggregate.is_quantile:
+            quantiles = self._group_quantiles(
+                query, quantile_codes, quantile_values, counts
+            )
 
         groups: dict = {}
         present = np.flatnonzero(counts)
@@ -96,6 +113,8 @@ class ExactExecutor:
                 value = float(count)
             elif query.aggregate is AggregateFunction.AVG:
                 value = float(sums[code]) / count
+            elif query.aggregate.is_quantile:
+                value = float(quantiles[code])
             else:
                 value = float(sums[code])
             key = self._decode(int(code), query.group_by)
@@ -116,6 +135,32 @@ class ExactExecutor:
             wall_time_s=time.perf_counter() - start_time,
         )
         return QueryResult(query=query, groups=groups, metrics=metrics)
+
+    @staticmethod
+    def _group_quantiles(
+        query: Query,
+        code_chunks: list[np.ndarray],
+        value_chunks: list[np.ndarray],
+        counts: np.ndarray,
+    ) -> np.ndarray:
+        """Exact per-group ``x_(⌈p·n⌉)`` via one sort of the collected pairs."""
+        from repro.cdfbounds.quantile import empirical_quantile
+
+        out = np.zeros(counts.size, dtype=np.float64)
+        if not code_chunks:
+            return out
+        codes = np.concatenate(code_chunks)
+        values = np.concatenate(value_chunks)
+        order = np.argsort(codes, kind="stable")
+        codes, values = codes[order], values[order]
+        boundaries = np.concatenate(
+            ([0], np.flatnonzero(np.diff(codes)) + 1, [codes.size])
+        )
+        for start, end in zip(boundaries[:-1], boundaries[1:]):
+            out[codes[start]] = empirical_quantile(
+                values[start:end], query.quantile_p
+            )
+        return out
 
     def _decode(self, combined: int, group_by: tuple[str, ...]) -> tuple:
         if not group_by:

@@ -448,6 +448,7 @@ class ApproximateExecutor:
         delta: IngestDelta,
         window_rows: int,
         freezes_groups: bool,
+        bounder: ErrorBounder | None = None,
     ) -> None:
         """Fold one partitioned window slice into the per-view states.
 
@@ -461,6 +462,7 @@ class ApproximateExecutor:
         order the seed's per-view loop fed it (``delta.values`` is
         ``None`` for COUNT queries, which only need segment lengths).
         """
+        bounder = self.bounder if bounder is None else bounder
         needs_values = query.aggregate is not AggregateFunction.COUNT
         segments: dict[int, np.ndarray | int] = {}
         if delta.n_in_view:
@@ -492,7 +494,7 @@ class ApproximateExecutor:
             view.selectivity.observe(in_view, window_rows)
             if in_view and needs_values:
                 view.sample_moments.update_batch(values)
-                self.bounder.update_batch(view.bounder_state, values)
+                bounder.update_batch(view.bounder_state, values)
 
     def _recompute_bounds(
         self,
@@ -501,6 +503,7 @@ class ApproximateExecutor:
         bounds: tuple[float, float],
         view_budget: DeltaBudget,
         round_index: int | None,
+        bounder: ErrorBounder | None = None,
     ) -> int:
         """One OptStop round: per-view CIs at the decayed δ (Algorithm 5).
 
@@ -517,6 +520,7 @@ class ApproximateExecutor:
         Returns the number of views whose bounds were recomputed.
         """
         a, b = bounds
+        bounder = self.bounder if bounder is None else bounder
         scramble_rows = self.scramble.num_rows
         single_shot = round_index is None
         round_budget = (
@@ -553,18 +557,24 @@ class ApproximateExecutor:
                 view.selectivity, scramble_rows, avg_budget.delta, alpha=self.alpha
             )
             avg_iv = view.running.fold(
-                self.bounder.confidence_interval(
+                bounder.confidence_interval(
                     view.bounder_state, a, b, n_plus, ci_budget.delta
                 )
             )
-            if query.aggregate is AggregateFunction.AVG:
-                view.interval = avg_iv
-            else:
+            if query.aggregate is AggregateFunction.SUM:
                 view.interval = sum_interval(view.count_iv, avg_iv)
+            else:
+                # AVG — and the quantile family, whose bounder interval
+                # already certifies the view-level aggregate directly.
+                view.interval = avg_iv
         return recomputed
 
     def _snapshots(
-        self, views: dict[int, _ViewState], bounds: tuple[float, float]
+        self,
+        views: dict[int, _ViewState],
+        bounds: tuple[float, float],
+        query: Query | None = None,
+        bounder: ErrorBounder | None = None,
     ) -> dict[int, GroupSnapshot]:
         a, b = bounds
         snapshots = {}
@@ -580,7 +590,7 @@ class ApproximateExecutor:
                     interval.lo if np.isfinite(interval.lo) else a,
                     interval.hi if np.isfinite(interval.hi) else b,
                 )
-            estimate = self._estimate(view, interval)
+            estimate = self._estimate(view, interval, query, bounder)
             snapshots[code] = GroupSnapshot(
                 interval=interval,
                 estimate=estimate,
@@ -589,8 +599,18 @@ class ApproximateExecutor:
             )
         return snapshots
 
-    def _estimate(self, view: _ViewState, interval: Interval) -> float:
+    def _estimate(
+        self,
+        view: _ViewState,
+        interval: Interval,
+        query: Query | None = None,
+        bounder: ErrorBounder | None = None,
+    ) -> float:
         if view.sample_moments.count > 0:
+            if query is not None and query.aggregate.is_quantile:
+                return (self.bounder if bounder is None else bounder).estimate(
+                    view.bounder_state
+                )
             return view.sample_moments.mean
         return interval.midpoint
 
@@ -607,8 +627,14 @@ class ApproximateExecutor:
                 continue
             view.active = code in active
 
-    def _finalize_exhausted(self, query: Query, views: dict[int, _ViewState]) -> None:
+    def _finalize_exhausted(
+        self,
+        query: Query,
+        views: dict[int, _ViewState],
+        bounder: ErrorBounder | None = None,
+    ) -> None:
         """Mark views whose every row is settled; their aggregates are exact."""
+        bounder = self.bounder if bounder is None else bounder
         scramble_rows = self.scramble.num_rows
         for view in views.values():
             if view.dropped:
@@ -625,12 +651,23 @@ class ApproximateExecutor:
                 elif query.aggregate is AggregateFunction.AVG:
                     exact = view.all_read_moments.mean
                     view.interval = Interval(exact, exact)
+                elif query.aggregate.is_quantile:
+                    # Covered-row accounting only advances while the view
+                    # settles, so exhaustion implies the bounder state holds
+                    # the full view multiset: its sample quantile IS the
+                    # population quantile.
+                    exact = bounder.estimate(view.bounder_state)
+                    view.interval = Interval(exact, exact)
                 else:
                     exact = view.all_read_moments.mean * exact_count
                     view.interval = Interval(exact, exact)
 
     def _group_result(
-        self, query: Query, view: _ViewState, group_by: tuple[str, ...]
+        self,
+        query: Query,
+        view: _ViewState,
+        group_by: tuple[str, ...],
+        bounder: ErrorBounder | None = None,
     ) -> GroupResult:
         interval = view.interval
         if not np.isfinite(interval.lo) or not np.isfinite(interval.hi):
@@ -640,7 +677,7 @@ class ApproximateExecutor:
                 interval.lo if np.isfinite(interval.lo) else -np.inf,
                 interval.hi if np.isfinite(interval.hi) else np.inf,
             )
-        estimate = self._estimate(view, interval)
+        estimate = self._estimate(view, interval, query, bounder)
         count_estimate = (
             view.selectivity.in_view
             / max(view.selectivity.covered, 1)
@@ -672,6 +709,7 @@ class ApproximateExecutor:
         view_budget: DeltaBudget,
         round_index: int | None,
         defer: np.ndarray | None = None,
+        bounder: ErrorBounder | None = None,
     ) -> int:
         """One OptStop round over the dirty slice of the pool (Algorithm 5).
 
@@ -687,6 +725,7 @@ class ApproximateExecutor:
         pool rows recomputed.
         """
         a, b = bounds
+        bounder = self.bounder if bounder is None else bounder
         scramble_rows = self.scramble.num_rows
         single_shot = round_index is None
         round_budget = (
@@ -736,17 +775,19 @@ class ApproximateExecutor:
             pool.in_view[idx], pool.covered[idx], scramble_rows,
             avg_budget.delta, alpha=self.alpha,
         )
-        avg_lo, avg_hi = self.bounder.confidence_interval_batch(
+        avg_lo, avg_hi = bounder.confidence_interval_batch(
             pool.bounder_pool, a, b, n_plus, ci_budget.delta, indices=idx
         )
         avg_lo, avg_hi = pool.fold_value(idx, avg_lo, avg_hi)
-        if query.aggregate is AggregateFunction.AVG:
-            pool.iv_lo[idx] = avg_lo
-            pool.iv_hi[idx] = avg_hi
-        else:
+        if query.aggregate is AggregateFunction.SUM:
             sum_lo, sum_hi = sum_interval_batch(count_lo, count_hi, avg_lo, avg_hi)
             pool.iv_lo[idx] = sum_lo
             pool.iv_hi[idx] = sum_hi
+        else:
+            # AVG — and the quantile family, whose bounder interval already
+            # certifies the view-level aggregate directly.
+            pool.iv_lo[idx] = avg_lo
+            pool.iv_hi[idx] = avg_hi
         return recomputed
 
     def _snapshot_columns(
@@ -763,8 +804,11 @@ class ApproximateExecutor:
         pool.active[:] = False
         pool.active[columns.rows] = active & ~pool.exhausted[columns.rows]
 
-    def _finalize_exhausted_pool(self, query: Query, pool: ViewPool) -> None:
+    def _finalize_exhausted_pool(
+        self, query: Query, pool: ViewPool, bounder: ErrorBounder | None = None
+    ) -> None:
         """Mark views whose every row is settled; their aggregates are exact."""
+        bounder = self.bounder if bounder is None else bounder
         scramble_rows = self.scramble.num_rows
         done = ~pool.dropped & (pool.covered >= scramble_rows)
         if not done.any():
@@ -782,15 +826,25 @@ class ApproximateExecutor:
             exact = exact_count
         elif query.aggregate is AggregateFunction.AVG:
             exact = pool.all_read.mean[idx]
+        elif query.aggregate.is_quantile:
+            # Covered rows only advance while the view settles, so the
+            # bounder pool holds the exhausted views' full row multisets:
+            # their sample quantiles ARE the population quantiles.
+            exact = bounder.estimate_batch(pool.bounder_pool, indices=idx)
         else:
             exact = pool.all_read.mean[idx] * exact_count
         pool.iv_lo[idx] = exact
         pool.iv_hi[idx] = exact
 
     def _pool_results(
-        self, query: Query, pool: ViewPool, group_by: tuple[str, ...]
+        self,
+        query: Query,
+        pool: ViewPool,
+        group_by: tuple[str, ...],
+        bounder: ErrorBounder | None = None,
     ) -> dict:
         """Materialize per-group results (the only O(views) Python loop)."""
+        bounder = self.bounder if bounder is None else bounder
         live = np.flatnonzero(~pool.dropped)
         lo = pool.iv_lo[live]
         hi = pool.iv_hi[live]
@@ -806,6 +860,12 @@ class ApproximateExecutor:
         )
         if query.aggregate is AggregateFunction.COUNT:
             estimate = count_estimate
+        elif query.aggregate.is_quantile:
+            estimate = np.where(
+                samples > 0,
+                bounder.estimate_batch(pool.bounder_pool, indices=live),
+                0.5 * (lo + hi),
+            )
         else:
             estimate = np.where(
                 samples > 0, pool.sample.mean[live], 0.5 * (lo + hi)
@@ -869,6 +929,16 @@ class QueryRun:
         self.metrics = ExecutionMetrics()
         self._start_time = time.perf_counter()
 
+        # The quantile family certifies order statistics, not means, so
+        # each MEDIAN/PERCENTILE query gets its own DKW-inversion bounder
+        # at the query's level p; everything else shares the executor's.
+        if query.aggregate.is_quantile:
+            from repro.bounders.quantile import QuantileBounder
+
+            self.bounder: ErrorBounder = QuantileBounder(query.quantile_p)
+        else:
+            self.bounder = ex.bounder
+
         self.values_of, self.bounds = ex._resolve_value_column(query)
         # Frame memoization key for the aggregated column: queries over the
         # same named column share one gathered value array per window.
@@ -907,8 +977,13 @@ class QueryRun:
                 for code in self.domain
             ]
             self.pool: ViewPool | None = ViewPool.build(
-                self.domain, key_codes, ex.bounder
+                self.domain, key_codes, self.bounder
             )
+            if query.aggregate.is_quantile:
+                pool, bounder = self.pool, self.bounder
+                self.pool.estimator = lambda rows: bounder.estimate_batch(
+                    pool.bounder_pool, indices=rows
+                )
             self.views: dict[int, _ViewState] | None = None
             num_views = max(self.pool.size, 1)
             if self.group_by:
@@ -920,7 +995,7 @@ class QueryRun:
             self.views = {
                 int(code): _ViewState(
                     key_codes=ex._split_combined(int(code), self.group_by),
-                    bounder_state=ex.bounder.init_state(),
+                    bounder_state=self.bounder.init_state(),
                 )
                 for code in self.domain
             }
@@ -1018,7 +1093,7 @@ class QueryRun:
         self.metrics.rows_read += delta.n_read
         ex._ingest_scalar_delta(
             self.query, self.views, self.domain, delta,
-            frame.window_rows, self.freezes_groups,
+            frame.window_rows, self.freezes_groups, bounder=self.bounder,
         )
         self._finish_window(delta.n_read, at_end)
 
@@ -1060,10 +1135,9 @@ class QueryRun:
         the delta arrays are exactly what the serial path computes in
         place.
         """
-        ex = self.executor
         self.metrics.rows_read += delta.n_read
         self.pool.apply_ingest(
-            ex.bounder, delta, window_rows, self.freezes_groups
+            self.bounder, delta, window_rows, self.freezes_groups
         )
         self._finish_window(delta.n_read, at_end)
 
@@ -1084,6 +1158,7 @@ class QueryRun:
                         self.query, self.pool, self.bounds,
                         self.view_budget, self.round_index,
                         defer=self._cadence_defer_mask(at_end),
+                        bounder=self.bounder,
                     )
                 columns = ex._snapshot_columns(self.pool, self.bounds)
                 ex._refresh_active_pool(self.query, self.pool, columns)
@@ -1093,8 +1168,11 @@ class QueryRun:
                     self.metrics.bounds_recomputed += ex._recompute_bounds(
                         self.query, self.views, self.bounds,
                         self.view_budget, self.round_index,
+                        bounder=self.bounder,
                     )
-                snapshots = ex._snapshots(self.views, self.bounds)
+                snapshots = ex._snapshots(
+                    self.views, self.bounds, self.query, self.bounder
+                )
                 ex._refresh_active(self.query, self.views, snapshots)
                 self.satisfied = self.query.stopping.satisfied(snapshots)
 
@@ -1158,7 +1236,7 @@ class QueryRun:
                 )
                 for i, row in enumerate(columns.rows)
             }
-        snapshots = ex._snapshots(self.views, self.bounds)
+        snapshots = ex._snapshots(self.views, self.bounds, self.query, self.bounder)
         return {
             ex._decode_key(self.views[code].key_codes, self.group_by): snap
             for code, snap in snapshots.items()
@@ -1182,21 +1260,25 @@ class QueryRun:
                 self.metrics.bounds_recomputed += ex._recompute_bounds_pool(
                     self.query, self.pool, self.bounds,
                     self.view_budget, round_index=None,
+                    bounder=self.bounder,
                 )
             else:
                 self.metrics.bounds_recomputed += ex._recompute_bounds(
                     self.query, self.views, self.bounds,
                     self.view_budget, round_index=None,
+                    bounder=self.bounder,
                 )
         self.metrics.stopped_early = self.satisfied and not self._scan_ended
         if self.pool is not None:
-            ex._finalize_exhausted_pool(self.query, self.pool)
-            groups = ex._pool_results(self.query, self.pool, self.group_by)
+            ex._finalize_exhausted_pool(self.query, self.pool, bounder=self.bounder)
+            groups = ex._pool_results(
+                self.query, self.pool, self.group_by, bounder=self.bounder
+            )
         else:
-            ex._finalize_exhausted(self.query, self.views)
+            ex._finalize_exhausted(self.query, self.views, bounder=self.bounder)
             groups = {
                 ex._decode_key(view.key_codes, self.group_by): ex._group_result(
-                    self.query, view, self.group_by
+                    self.query, view, self.group_by, bounder=self.bounder
                 )
                 for view in self.views.values()
                 if not view.dropped

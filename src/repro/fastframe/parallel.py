@@ -647,7 +647,7 @@ class ParallelScanDriver:
         additionally need a delta-capable bounder; COUNT queries never
         feed the bounder, so their precomputed bincount suffices.
         """
-        bounder = run.executor.bounder
+        bounder = run.bounder
         needs_values = run.value_key is not None
         native = bool(run.pool.settling_mask(run.freezes_groups).all()) and (
             not needs_values or bounder.supports_delta

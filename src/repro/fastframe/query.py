@@ -34,11 +34,24 @@ __all__ = [
 
 
 class AggregateFunction(Enum):
-    """Aggregates supported with confidence intervals (§4.1)."""
+    """Aggregates supported with confidence intervals (§4.1).
+
+    MEDIAN/PERCENTILE are the order-statistics family: their intervals
+    come from DKW-band inversion (:mod:`repro.cdfbounds.quantile`) rather
+    than a mean bounder, so the executor gives each such query its own
+    :class:`~repro.bounders.quantile.QuantileBounder`.
+    """
 
     AVG = "AVG"
     SUM = "SUM"
     COUNT = "COUNT"
+    MEDIAN = "MEDIAN"
+    PERCENTILE = "PERCENTILE"
+
+    @property
+    def is_quantile(self) -> bool:
+        """True for the order-statistics aggregates (MEDIAN/PERCENTILE)."""
+        return self in (AggregateFunction.MEDIAN, AggregateFunction.PERCENTILE)
 
 
 @dataclass(frozen=True)
@@ -60,6 +73,9 @@ class Query:
         Categorical columns to group by (empty for a scalar aggregate).
     stopping:
         Stopping condition driving early termination and active groups.
+    percentile:
+        Quantile level ``p`` in (0, 1) for PERCENTILE queries (MEDIAN is
+        fixed at 0.5 and must leave this ``None``).
     name:
         Label for experiment tables (e.g. ``"F-q2"``).
     """
@@ -69,6 +85,7 @@ class Query:
     stopping: StoppingCondition
     predicate: Predicate = field(default_factory=TruePredicate)
     group_by: tuple[str, ...] = ()
+    percentile: float | None = None
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -77,10 +94,33 @@ class Query:
                 raise ValueError("COUNT queries must not specify a column")
         elif self.column is None:
             raise ValueError(f"{self.aggregate.value} queries require a column")
+        if self.aggregate is AggregateFunction.PERCENTILE:
+            if self.percentile is None:
+                raise ValueError("PERCENTILE queries require a percentile level")
+            if not 0.0 < self.percentile < 1.0:
+                raise ValueError(
+                    f"percentile level must be in (0, 1), got {self.percentile}"
+                )
+        elif self.percentile is not None:
+            raise ValueError(
+                f"{self.aggregate.value} queries must not specify a percentile"
+            )
+
+    @property
+    def quantile_p(self) -> float:
+        """The quantile level of a MEDIAN/PERCENTILE query (0.5 for MEDIAN)."""
+        if self.aggregate is AggregateFunction.MEDIAN:
+            return 0.5
+        if self.aggregate is AggregateFunction.PERCENTILE:
+            return float(self.percentile)  # type: ignore[arg-type]
+        raise ValueError(f"{self.aggregate.value} has no quantile level")
 
     def describe(self) -> str:
         """One-line human-readable summary."""
-        parts = [f"{self.aggregate.value}({self.column or '*'})"]
+        if self.aggregate is AggregateFunction.PERCENTILE:
+            parts = [f"PERCENTILE({self.column}, {self.percentile:g})"]
+        else:
+            parts = [f"{self.aggregate.value}({self.column or '*'})"]
         if not isinstance(self.predicate, TruePredicate):
             parts.append(f"WHERE {self.predicate!r}")
         if self.group_by:

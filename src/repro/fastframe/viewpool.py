@@ -117,6 +117,11 @@ class ViewPool:
     exhausted: np.ndarray      #: bool — every row settled, aggregate exact
     dirty: np.ndarray          #: bool — counters changed since last recompute
     snap_dirty: np.ndarray     #: bool — snapshot columns stale for the row
+    #: Optional per-row point estimator ``(pool_rows) -> float64 array``
+    #: consulted by :meth:`snapshot_columns` for rows holding samples.
+    #: ``None`` falls back to the sampled mean — correct for the mean
+    #: family; quantile queries install their bounder's batch quantile.
+    estimator: Any = field(default=None, repr=False)
     # Cached snapshot columns (one entry per pool row), refreshed
     # incrementally by snapshot_columns() for snap_dirty rows only.
     _snap_lo: np.ndarray | None = field(default=None, repr=False)
@@ -334,8 +339,13 @@ class ViewPool:
             samples = self.sample.count[stale]
             self._snap_lo[stale] = lo
             self._snap_hi[stale] = hi
+            point = (
+                self.estimator(stale)
+                if self.estimator is not None
+                else self.sample.mean[stale]
+            )
             self._snap_estimate[stale] = np.where(
-                samples > 0, self.sample.mean[stale], 0.5 * (lo + hi)
+                samples > 0, point, 0.5 * (lo + hi)
             )
             self.snap_dirty[:] = False
         live = np.flatnonzero(~self.dropped)

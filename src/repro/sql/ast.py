@@ -2,7 +2,8 @@
 
 These nodes mirror the shape of the paper's Figure 5 queries: a single
 SELECT over one table with optional WHERE / GROUP BY / HAVING /
-ORDER BY … LIMIT clauses, where exactly one aggregate (AVG, SUM, or COUNT)
+ORDER BY … LIMIT clauses, where exactly one aggregate (AVG, SUM, COUNT,
+MEDIAN, or PERCENTILE)
 appears — either in the select list, inside a CASE WHEN threshold test
 (F-q4), in the HAVING comparison, or in the ORDER BY key.
 
@@ -72,13 +73,16 @@ class UnaryMinus(SqlExpr):
 
 @dataclass(frozen=True)
 class AggregateCall(SqlExpr):
-    """``AVG(expr)``, ``SUM(expr)``, or ``COUNT(*)``.
+    """``AVG(expr)``, ``SUM(expr)``, ``COUNT(*)``, ``MEDIAN(expr)``, or
+    ``PERCENTILE(expr, p)``.
 
-    ``argument`` is None exactly for ``COUNT(*)``.
+    ``argument`` is None exactly for ``COUNT(*)``; ``percentile`` is set
+    exactly for PERCENTILE (a literal in (0, 1), validated at parse time).
     """
 
-    function: str  # AVG | SUM | COUNT
+    function: str  # AVG | SUM | COUNT | MEDIAN | PERCENTILE
     argument: SqlExpr | None
+    percentile: float | None = None
 
 
 @dataclass(frozen=True)

@@ -313,6 +313,8 @@ def compile_statement(
     query_kwargs = {}
     if statement.where is not None:
         query_kwargs["predicate"] = _lower_predicate(statement.where)
+    if function is AggregateFunction.PERCENTILE:
+        query_kwargs["percentile"] = aggregate.percentile
     return Query(
         function,
         column,

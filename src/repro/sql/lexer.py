@@ -43,7 +43,7 @@ KEYWORDS = frozenset(
     {
         "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
         "ASC", "DESC", "AND", "OR", "NOT", "IN", "AS", "BETWEEN",
-        "AVG", "SUM", "COUNT",
+        "AVG", "SUM", "COUNT", "MEDIAN", "PERCENTILE",
         "CASE", "WHEN", "THEN", "ELSE", "END",
     }
 )

@@ -15,7 +15,9 @@ Grammar (terminals upper-case; ``[x]`` optional, ``{x}`` repeated)::
     term        := factor {(* | /) factor}
     factor      := - factor | ( value_expr ) | aggregate | case_expr
                    | identifier | number | string
-    aggregate   := (AVG | SUM) ( value_expr ) | COUNT ( * | value_expr )
+    aggregate   := (AVG | SUM | MEDIAN) ( value_expr )
+                   | COUNT ( * | value_expr )
+                   | PERCENTILE ( value_expr , number )
     case_expr   := CASE WHEN condition THEN value_expr
                    ELSE value_expr END
     condition   := or_cond
@@ -175,6 +177,13 @@ class _Parser:
             token = self.current
             if token.type is not TokenType.NUMBER or token.value != int(token.value):
                 raise self.error("expected an integer LIMIT")
+            if int(token.value) < 1:
+                # Reject here rather than deep in the compiler: "LIMIT 0"
+                # asks for an empty top-k, which the stopping conditions
+                # cannot represent.
+                raise self.error(
+                    f"LIMIT must be a positive integer, got {int(token.value)}"
+                )
             limit = int(token.value)
             self.advance()
 
@@ -229,7 +238,7 @@ class _Parser:
             node = self.parse_value_expr()
             self.expect_punct(")")
             return node
-        if token.is_keyword("AVG", "SUM", "COUNT"):
+        if token.is_keyword("AVG", "SUM", "COUNT", "MEDIAN", "PERCENTILE"):
             return self.parse_aggregate()
         if token.is_keyword("CASE"):
             return self.parse_case()
@@ -251,8 +260,20 @@ class _Parser:
             self.expect_punct(")")
             return AggregateCall(function, None)
         argument = self.parse_value_expr()
+        percentile = None
+        if function == "PERCENTILE":
+            self.expect_punct(",")
+            token = self.current
+            if token.type is not TokenType.NUMBER:
+                raise self.error("expected a numeric percentile level")
+            if not 0.0 < float(token.value) < 1.0:
+                raise self.error(
+                    f"percentile level must be in (0, 1), got {token.value:g}"
+                )
+            percentile = float(token.value)
+            self.advance()
         self.expect_punct(")")
-        return AggregateCall(function, argument)
+        return AggregateCall(function, argument, percentile)
 
     def parse_case(self) -> CaseWhen:
         self.expect_keyword("CASE")

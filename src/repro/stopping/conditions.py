@@ -326,14 +326,22 @@ class ThresholdSide(StoppingCondition):
 class TopKSeparated(StoppingCondition):
     """Condition Î: stop once the top- (or bottom-)K groups are separated.
 
-    Termination: the CIs of the K groups with the largest (resp. smallest)
-    estimates intersect none of the remaining groups' CIs.
+    Termination: every non-selected group is **dominated** — at least K
+    groups' inner confidence bounds lie strictly beyond its outer bound —
+    so its true aggregate cannot rank inside the top (bottom) K.  Full
+    pairwise separation of the selected CIs from the rest implies
+    dominance, so this fires no later than the classic test and usually
+    earlier: a straggler view whose upper bound already sits below K
+    lower bounds needs no further samples even while the leaders are
+    still disentangling among themselves.
 
     Activeness (§4.3's rule, the most involved of the six): sort groups by
     estimate and take the midpoint between the K-th ranked aggregate and the
     (K+1)-th.  A top-K group is active while its inner confidence bound
     crosses that midpoint; a remaining group is active while its bound
-    crosses from the other side.
+    crosses from the other side — unless it is already dominated, in which
+    case it retires immediately (intervals are running intersections, so
+    dominance can never be undone by more samples).
     """
 
     def __init__(self, k: int, largest: bool = True) -> None:
@@ -342,29 +350,60 @@ class TopKSeparated(StoppingCondition):
         self.k = k
         self.largest = largest
 
+    def _ranked_order(self, estimate: np.ndarray) -> np.ndarray:
+        """Row order by estimate (descending for top-K), stable on ties.
+
+        The single ranking rule for both condition flavours: the mapping
+        path feeds its estimates through this same argsort, so tie-heavy
+        snapshots partition identically however they are represented.
+        """
+        return np.argsort(-estimate if self.largest else estimate, kind="stable")
+
     def _partition(
         self, groups: Mapping[GroupKey, GroupSnapshot]
     ) -> tuple[list[GroupKey], list[GroupKey]]:
         """Split keys into (selected top/bottom K, remainder) by estimate."""
-        ranked = sorted(
-            groups, key=lambda key: groups[key].estimate, reverse=self.largest
-        )
+        keys = list(groups)
+        estimate = np.array([groups[key].estimate for key in keys], dtype=np.float64)
+        ranked = [keys[row] for row in self._ranked_order(estimate)]
         return ranked[: self.k], ranked[self.k :]
+
+    def _dominated(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Rows certifiably outside the top (bottom) K.
+
+        A row is dominated when at least K *other* rows' inner bounds lie
+        strictly beyond its outer bound, i.e. its outer bound is beyond
+        the K-th best inner bound over all rows (a row never dominates
+        itself: lo ≤ hi rules it out of its own dominator set).
+        """
+        if self.largest:
+            bar = np.partition(lo, lo.size - self.k)[lo.size - self.k]
+            return hi < bar
+        bar = np.partition(hi, self.k - 1)[self.k - 1]
+        return lo > bar
 
     def satisfied(self, groups: Mapping[GroupKey, GroupSnapshot]) -> bool:
         if len(groups) <= self.k:
             return True
-        selected, rest = self._partition(groups)
-        for key in selected:
-            for other in rest:
-                if groups[key].interval.intersects(groups[other].interval):
-                    return False
-        return True
+        keys = list(groups)
+        lo = np.array([groups[key].interval.lo for key in keys], dtype=np.float64)
+        hi = np.array([groups[key].interval.hi for key in keys], dtype=np.float64)
+        order = self._ranked_order(
+            np.array([groups[key].estimate for key in keys], dtype=np.float64)
+        )
+        return bool(self._dominated(lo, hi)[order[self.k :]].all())
 
     def active_groups(self, groups: Mapping[GroupKey, GroupSnapshot]) -> set[GroupKey]:
         if len(groups) <= self.k:
             return set()
         selected, rest = self._partition(groups)
+        lo = np.array([groups[key].interval.lo for key in groups], dtype=np.float64)
+        hi = np.array([groups[key].interval.hi for key in groups], dtype=np.float64)
+        retired = {
+            key
+            for key, dominated in zip(groups, self._dominated(lo, hi))
+            if dominated
+        }
         boundary_in = groups[selected[-1]].estimate
         boundary_out = groups[rest[0]].estimate
         midpoint = 0.5 * (boundary_in + boundary_out)
@@ -382,7 +421,7 @@ class TopKSeparated(StoppingCondition):
                 active.add(key)
         for key in rest:
             snap = groups[key]
-            if snap.exhausted:
+            if snap.exhausted or key in retired:
                 continue
             crosses = (
                 snap.interval.hi >= midpoint
@@ -393,20 +432,12 @@ class TopKSeparated(StoppingCondition):
                 active.add(key)
         return active
 
-    def _ranked_order(self, estimate: np.ndarray) -> np.ndarray:
-        """Row order by estimate (descending for top-K), stable on ties —
-        matching ``sorted(..., reverse=self.largest)`` over mapping keys."""
-        return np.argsort(-estimate if self.largest else estimate, kind="stable")
-
     def satisfied_columns(self, columns: SnapshotColumns) -> bool:
         if columns.size <= self.k:
             return True
         order = self._ranked_order(columns.estimate)
-        selected, rest = order[: self.k], order[self.k :]
-        overlaps = (columns.lo[selected][:, None] <= columns.hi[rest][None, :]) & (
-            columns.lo[rest][None, :] <= columns.hi[selected][:, None]
-        )
-        return not bool(overlaps.any())
+        dominated = self._dominated(columns.lo, columns.hi)
+        return bool(dominated[order[self.k :]].all())
 
     def active_mask(self, columns: SnapshotColumns) -> np.ndarray:
         if columns.size <= self.k:
@@ -423,6 +454,11 @@ class TopKSeparated(StoppingCondition):
         else:
             active[selected] = columns.hi[selected] >= midpoint
             active[rest] = columns.lo[rest] <= midpoint
+        # Dominance retirement: a rest view certifiably outside the
+        # selection can never re-enter it, so it stops sampling now even
+        # though the leaders are still separating.
+        dominated = self._dominated(columns.lo, columns.hi)
+        active[rest] &= ~dominated[rest]
         return active & ~columns.exhausted
 
     def __repr__(self) -> str:

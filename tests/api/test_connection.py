@@ -202,6 +202,27 @@ class TestBuilder:
         with pytest.raises(TypeError, match="exactly one"):
             conn.table().avg("x", above=0.0, rel=0.5)
 
+    def test_median_terminal(self, scramble):
+        conn = _connect(scramble)
+        handle = conn.table().group_by("g").median("x", rel=0.2)
+        assert handle.query.aggregate is AggregateFunction.MEDIAN
+        assert handle.query.percentile is None
+        assert handle.query.quantile_p == 0.5
+
+    def test_percentile_terminal(self, scramble):
+        conn = _connect(scramble)
+        handle = conn.table().percentile("x", 0.95, abs=2.0)
+        assert handle.query.aggregate is AggregateFunction.PERCENTILE
+        assert handle.query.percentile == 0.95
+        with pytest.raises(ValueError, match="percentile"):
+            conn.table().percentile("x", 1.5, abs=2.0)
+
+    def test_non_positive_topk_rejected(self, scramble):
+        conn = _connect(scramble)
+        for bad in ({"top": 0}, {"bottom": 0}, {"top": -2}):
+            with pytest.raises(ValueError, match="positive integer"):
+                conn.table().group_by("g").avg("x", **bad)
+
 
 class TestHandleResolution:
     def test_result_charges_once_and_caches(self, scramble):

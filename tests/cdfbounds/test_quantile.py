@@ -1,0 +1,212 @@
+"""Tests for DKW-band inversion into certified quantile intervals."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdfbounds.dkw import dkw_epsilon, mean_from_cdf_upper
+from repro.cdfbounds.quantile import (
+    deterministic_quantile_ranks,
+    dkw_quantile_ranks,
+    empirical_quantile,
+    quantile_interval,
+    quantile_rank,
+)
+
+
+class TestQuantileRank:
+    def test_inverse_cdf_convention(self):
+        # Q(p) = x_(⌈p·n⌉), 1-based.
+        assert quantile_rank(0.5, 10) == 5
+        assert quantile_rank(0.5, 11) == 6
+        assert quantile_rank(0.95, 100) == 95
+        assert quantile_rank(0.95, 101) == 96
+
+    def test_clipped_into_range(self):
+        assert quantile_rank(1e-9, 10) == 1
+        assert quantile_rank(1.0 - 1e-12, 10) == 10
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            quantile_rank(0.5, 0)
+
+
+class TestDkwQuantileRanks:
+    def test_matches_two_sided_band(self):
+        # δ/2 per one-sided band is numerically the two-sided DKW band.
+        m, p, delta = 400, 0.5, 0.05
+        eps = dkw_epsilon(m, delta, two_sided=True)
+        lo, hi = dkw_quantile_ranks(m, p, delta)
+        assert lo == max(int(math.ceil(m * (p - eps))), 0)
+        assert hi == int(math.ceil(m * (p + eps)))
+
+    def test_brackets_the_empirical_rank(self):
+        m = 1000
+        for p in (0.1, 0.5, 0.9):
+            lo, hi = dkw_quantile_ranks(m, p, 0.05)
+            assert lo <= quantile_rank(p, m) <= hi
+
+    def test_out_of_range_conventions(self):
+        # Tiny samples push both ranks off the ends: 0 = "use a",
+        # m + 1 = "use b".
+        lo, hi = dkw_quantile_ranks(2, 0.5, 0.01)
+        assert lo == 0
+        assert hi == 3
+
+    def test_tightens_with_m(self):
+        lo1, hi1 = dkw_quantile_ranks(100, 0.5, 0.05)
+        lo2, hi2 = dkw_quantile_ranks(10_000, 0.5, 0.05)
+        assert (hi2 - lo2) / 10_000 < (hi1 - lo1) / 100
+
+    def test_rejects_bad_p(self):
+        for p in (0.0, 1.0, -0.2, 1.7):
+            with pytest.raises(ValueError):
+                dkw_quantile_ranks(10, p, 0.05)
+
+
+class TestDeterministicRanks:
+    def test_exact_collapse_at_exhaustion(self):
+        lo, hi = deterministic_quantile_ranks(100, 0.5, 100)
+        assert lo == hi == quantile_rank(0.5, 100)
+
+    def test_brute_force_soundness(self):
+        """Every sampled subset's clamp must contain the population rank-r
+        value — checked exhaustively on a small population."""
+        rng = np.random.default_rng(5)
+        population = np.sort(rng.normal(0, 1, 12))
+        n = population.size
+        for p in (0.25, 0.5, 0.8):
+            r = quantile_rank(p, n)
+            truth = population[r - 1]
+            for _ in range(200):
+                m = int(rng.integers(1, n + 1))
+                sample = np.sort(rng.choice(population, size=m, replace=False))
+                lo_rank, hi_rank = deterministic_quantile_ranks(m, p, n)
+                lo = -np.inf if lo_rank < 1 else sample[lo_rank - 1]
+                hi = np.inf if hi_rank > m else sample[hi_rank - 1]
+                assert lo <= truth <= hi
+
+    def test_monotone_in_population_bound(self):
+        """Growing n (the certified upper bound N⁺) only loosens the clamp:
+        passing an overestimate is always sound."""
+        m = 40
+        for p in (0.3, 0.5, 0.9):
+            prev_lo, prev_hi = deterministic_quantile_ranks(m, p, m)
+            for n in range(m, m + 60):
+                lo, hi = deterministic_quantile_ranks(m, p, n)
+                assert lo <= prev_lo
+                assert hi >= prev_hi or prev_hi > m
+                prev_lo, prev_hi = lo, hi
+
+    def test_rejects_n_below_m(self):
+        with pytest.raises(ValueError):
+            deterministic_quantile_ranks(10, 0.5, 9)
+
+
+class TestQuantileInterval:
+    def test_empty_sample_trivial(self):
+        assert quantile_interval(np.array([]), 0.5, 0.05, -1.0, 1.0) == (-1.0, 1.0)
+
+    def test_contains_empirical_quantile(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(10, 3, 500)
+        lo, hi = quantile_interval(sample, 0.5, 0.05, -50.0, 50.0)
+        assert lo <= empirical_quantile(sample, 0.5) <= hi
+
+    def test_population_bound_tightens(self):
+        rng = np.random.default_rng(1)
+        sample = rng.uniform(0, 1, 200)
+        wide = quantile_interval(sample, 0.5, 0.05, 0.0, 1.0)
+        narrow = quantile_interval(sample, 0.5, 0.05, 0.0, 1.0, n=220)
+        assert narrow[0] >= wide[0]
+        assert narrow[1] <= wide[1]
+
+    def test_exact_at_exhaustion(self):
+        rng = np.random.default_rng(2)
+        sample = rng.normal(0, 1, 321)
+        lo, hi = quantile_interval(sample, 0.75, 1e-12, -10.0, 10.0, n=321)
+        assert lo == hi == empirical_quantile(sample, 0.75)
+
+    def test_clipped_to_support(self):
+        lo, hi = quantile_interval(np.array([1.0, 2.0]), 0.5, 0.01, 0.0, 5.0)
+        assert 0.0 <= lo <= hi <= 5.0
+
+    def test_monte_carlo_coverage(self):
+        """Empirical coverage of the true quantile must beat 1 − δ."""
+        rng = np.random.default_rng(7)
+        delta, trials, n_pop, m = 0.2, 300, 5_000, 400
+        population = rng.gamma(2.0, 10.0, n_pop)
+        truth = np.sort(population)[quantile_rank(0.5, n_pop) - 1]
+        hits = 0
+        for _ in range(trials):
+            sample = rng.choice(population, size=m, replace=False)
+            lo, hi = quantile_interval(sample, 0.5, delta, 0.0, 1e3, n=n_pop)
+            hits += int(lo <= truth <= hi)
+        coverage = hits / trials
+        slack = 4.0 * math.sqrt(delta * (1 - delta) / trials)
+        assert coverage >= 1.0 - delta - slack
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        m=st.integers(min_value=1, max_value=300),
+        p=st.floats(min_value=0.01, max_value=0.99),
+        pad=st.integers(min_value=0, max_value=200),
+    )
+    def test_property_interval_well_formed(self, m, p, pad):
+        rng = np.random.default_rng(m * 1_000 + pad)
+        sample = rng.normal(0, 5, m)
+        a, b = float(sample.min()) - 1.0, float(sample.max()) + 1.0
+        lo, hi = quantile_interval(sample, p, 0.05, a, b, n=m + pad)
+        assert a <= lo <= hi <= b
+
+
+class TestEmpiricalQuantile:
+    def test_matches_sorted_indexing(self):
+        sample = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        assert empirical_quantile(sample, 0.5) == 3.0
+        assert empirical_quantile(sample, 0.2) == 1.0
+        assert empirical_quantile(sample, 0.81) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_quantile(np.array([]), 0.5)
+
+
+class TestMeanFromCdfUpperSupportGuard:
+    """Regression: values outside [a, b] used to produce negative
+    np.diff(edges) terms and an unsound (non-monotone) mean bound."""
+
+    def test_out_of_support_values_clipped(self):
+        heights = np.array([0.5, 1.0])
+        inside = mean_from_cdf_upper(
+            np.array([2.0, 8.0]), heights, 0.0, 0.0, 10.0
+        )
+        # A value dangling below the declared support must not push the
+        # bound below the all-inside evaluation of the clipped sample.
+        outside = mean_from_cdf_upper(
+            np.array([-5.0, 8.0]), heights, 0.0, 0.0, 10.0
+        )
+        clipped = mean_from_cdf_upper(
+            np.array([0.0, 8.0]), heights, 0.0, 0.0, 10.0
+        )
+        assert outside == pytest.approx(clipped)
+        assert inside >= outside  # monotone in the value positions
+
+    def test_result_stays_in_support(self):
+        rng = np.random.default_rng(3)
+        values = np.sort(rng.normal(5.0, 4.0, 50))  # spills past [0, 10]
+        heights = np.linspace(1 / 50, 1.0, 50)
+        for shift in (0.0, 0.1, 0.3):
+            result = mean_from_cdf_upper(values, heights, shift, 0.0, 10.0)
+            assert 0.0 <= result <= 10.0
+
+    def test_rejects_inverted_support(self):
+        with pytest.raises(ValueError):
+            mean_from_cdf_upper(
+                np.array([1.0]), np.array([1.0]), 0.0, 5.0, 4.0
+            )

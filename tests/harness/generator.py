@@ -116,6 +116,8 @@ class GeneratedCase:
             values = None
         else:
             values = table.continuous(query.column)[rows]
+        if query.aggregate.is_quantile:
+            from repro.cdfbounds.quantile import empirical_quantile
         if not query.group_by:
             keys = np.zeros(rows.size, dtype=np.int64)
         else:
@@ -145,6 +147,10 @@ class GeneratedCase:
                 out[key] = float(np.count_nonzero(member))
             elif query.aggregate is AggregateFunction.AVG:
                 out[key] = float(values[member].mean())
+            elif query.aggregate.is_quantile:
+                out[key] = float(
+                    empirical_quantile(values[member], query.quantile_p)
+                )
             else:
                 out[key] = float(values[member].sum())
         return out
@@ -216,8 +222,12 @@ def random_case(seed: int) -> GeneratedCase:
 
     aggregates = (
         AggregateFunction.AVG, AggregateFunction.SUM, AggregateFunction.COUNT,
+        AggregateFunction.MEDIAN, AggregateFunction.PERCENTILE,
     )
-    aggregate = aggregates[rng.choice(3, p=[0.5, 0.25, 0.25])]
+    aggregate = aggregates[rng.choice(5, p=[0.4, 0.18, 0.18, 0.12, 0.12])]
+    # Draw the quantile level unconditionally so the case's later draws
+    # (bounder, strategy, geometry) are identical across aggregate kinds.
+    percentile_level = float(rng.uniform(0.1, 0.9))
     group_by_options = ((), ("g",), ("g", "h"))
     group_by = group_by_options[rng.choice(3, p=[0.2, 0.6, 0.2])]
     if rng.random() < 0.35:
@@ -240,6 +250,11 @@ def random_case(seed: int) -> GeneratedCase:
         stopping,
         predicate=predicate,
         group_by=group_by,
+        percentile=(
+            percentile_level
+            if aggregate is AggregateFunction.PERCENTILE
+            else None
+        ),
         name=f"harness-{seed}",
     )
     return GeneratedCase(

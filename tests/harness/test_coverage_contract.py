@@ -64,6 +64,11 @@ def _trial_case(seed: int, aggregate: AggregateFunction) -> GeneratedCase:
         # Half a typical group total (mean 20 × n/6 rows): loose enough
         # to stop mid-scan, tight enough to need a certified interval.
         stopping = AbsoluteAccuracy(20.0 * n / 6 * 0.5)
+    elif aggregate.is_quantile:
+        # DKW-inverted widths shrink with 1/sqrt(m) times the local
+        # density; ~8 value units is reachable after a few rounds on
+        # gamma(2, 10) groups of ~4k rows without scanning to exhaustion.
+        stopping = AbsoluteAccuracy(8.0)
     else:
         stopping = AbsoluteAccuracy(n / 6 * 0.4)
     query = Query(
@@ -71,6 +76,7 @@ def _trial_case(seed: int, aggregate: AggregateFunction) -> GeneratedCase:
         None if aggregate is AggregateFunction.COUNT else "x",
         stopping,
         group_by=("g",),
+        percentile=0.9 if aggregate is AggregateFunction.PERCENTILE else None,
     )
     return GeneratedCase(
         seed=seed,
@@ -128,8 +134,16 @@ def _run_trials(aggregate: AggregateFunction, engine: str, parallelism: int):
         (AggregateFunction.AVG, "pool", 1),
         (AggregateFunction.SUM, "scalar", 1),
         (AggregateFunction.COUNT, "pool", 2),
+        (AggregateFunction.MEDIAN, "pool", 2),
+        (AggregateFunction.PERCENTILE, "scalar", 1),
     ],
-    ids=["avg-pool", "sum-scalar", "count-parallel"],
+    ids=[
+        "avg-pool",
+        "sum-scalar",
+        "count-parallel",
+        "median-parallel",
+        "percentile-scalar",
+    ],
 )
 def test_intervals_cover_truth_at_least_one_minus_delta(
     aggregate, engine, parallelism

@@ -273,6 +273,51 @@ def test_bounder_family_byte_identical_across_parallelism(
         assert shipped <= streams * 8 * rows + 64 * 16 * 40, (bounder_name, shipped)
 
 
+@pytest.mark.parametrize("aggregate", ["MEDIAN", "PERCENTILE"])
+def test_quantile_family_byte_identical_across_parallelism(
+    family_scramble, aggregate
+):
+    """The order-statistics family rides Anderson's CSR pool and delta
+    protocol; its per-query bounder must evolve byte-identically at any
+    parallelism, with native O(views)-shaped worker deltas."""
+    snapshots = {}
+    for parallelism in PARALLELISMS[:2]:
+        strategy = get_strategy("scan")
+        strategy.window_blocks = 192
+        executor = ApproximateExecutor(
+            family_scramble,
+            get_bounder("bernstein+rt"),
+            strategy=strategy,
+            delta=1e-6,
+            round_rows=4_000,
+            rng=np.random.default_rng(9),
+            engine="pool",
+        )
+        query = Query(
+            AggregateFunction[aggregate],
+            "x",
+            SamplesTaken(12_000),
+            group_by=("g",),
+            percentile=0.75 if aggregate == "PERCENTILE" else None,
+        )
+        run = QueryRun(executor, query)
+        cursor = executor.cursor(START_BLOCK, window_blocks=run.window_blocks)
+        run_shared_scan([run], cursor, parallelism=parallelism)
+        run.finalize(merge_index_counters=False)
+        snapshots[parallelism] = (
+            _pool_snapshot(run.pool),
+            _metrics_snapshot(run.metrics),
+            run.metrics.delta_bytes_returned,
+        )
+    assert snapshots[2][0] == snapshots[1][0], "quantile pool state diverged"
+    assert snapshots[2][1] == snapshots[1][1], "quantile metrics diverged"
+    # Serial ships nothing; worker runs ship the float64 samples (the
+    # O(m) family's irreducible payload) but never the int64 view_idx.
+    assert snapshots[1][2] == 0
+    rows = family_scramble.num_rows
+    assert 0 < snapshots[2][2] <= 8 * rows + 64 * 16 * 40
+
+
 def test_rounds_stream_identical_across_parallelism(scramble):
     from repro.api import connect
 

@@ -148,7 +148,19 @@ def test_generator_covers_the_query_space():
     aggregates = {case.query.aggregate for case in cases}
     strategies = {case.strategy_name for case in cases}
     bounders = {case.bounder for case in cases}
-    assert len(aggregates) == 3
+    assert len(aggregates) == 5
+    # The order-statistics family must be drawn in both flavours, at
+    # several quantile levels (each gets its own per-query bounder).
+    from repro.fastframe.query import AggregateFunction
+
+    assert AggregateFunction.MEDIAN in aggregates
+    assert AggregateFunction.PERCENTILE in aggregates
+    levels = {
+        case.query.percentile
+        for case in cases
+        if case.query.aggregate is AggregateFunction.PERCENTILE
+    }
+    assert len(levels) >= 3
     assert len(strategies) == 3
     assert len(bounders) >= 4
     # Both O(m) pool shapes must be drawn: the CSR sample pool and the

@@ -185,6 +185,70 @@ class TestExpressionAggregates:
         assert query.aggregate is AggregateFunction.SUM
 
 
+class TestQuantileCompilation:
+    def test_median_compiles(self):
+        query = parse_query(
+            "SELECT g, MEDIAN(x) FROM t GROUP BY g",
+            stopping=RelativeAccuracy(0.3),
+        )
+        assert query.aggregate is AggregateFunction.MEDIAN
+        assert query.column == "x"
+        assert query.percentile is None
+        assert query.quantile_p == 0.5
+
+    def test_percentile_level_threads_through(self):
+        query = parse_query(
+            "SELECT PERCENTILE(x, 0.95) FROM t",
+            stopping=RelativeAccuracy(0.3),
+        )
+        assert query.aggregate is AggregateFunction.PERCENTILE
+        assert query.percentile == 0.95
+        assert query.quantile_p == 0.95
+
+    def test_median_topk_infers_separation(self):
+        query = parse_query(
+            "SELECT g FROM t GROUP BY g ORDER BY MEDIAN(x) DESC LIMIT 3"
+        )
+        assert query.aggregate is AggregateFunction.MEDIAN
+        assert isinstance(query.stopping, TopKSeparated)
+        assert query.stopping.k == 3
+        assert query.stopping.largest
+
+    def test_percentile_having_threshold(self):
+        query = parse_query(
+            "SELECT g FROM t GROUP BY g HAVING PERCENTILE(x, 0.9) > 25"
+        )
+        assert isinstance(query.stopping, ThresholdSide)
+        assert query.stopping.threshold == 25.0
+
+    def test_median_sql_matches_exact(self):
+        from repro.bounders import get_bounder
+        from repro.datasets import make_flights_scramble
+        from repro.fastframe import ApproximateExecutor, ExactExecutor
+
+        scramble = make_flights_scramble(rows=20_000, seed=0)
+        query = parse_query(
+            "SELECT Airline, MEDIAN(DepDelay) FROM flights GROUP BY Airline",
+            stopping=RelativeAccuracy(0.25),
+        )
+        executor = ApproximateExecutor(
+            scramble,
+            get_bounder("bernstein+rt"),
+            delta=1e-6,
+            rng=np.random.default_rng(0),
+        )
+        approx = executor.execute(query)
+        exact = ExactExecutor(scramble).execute(query)
+        assert set(approx.groups) == set(exact.groups)
+        for key, truth in exact.groups.items():
+            group = approx.groups[key]
+            assert (
+                group.interval.lo - 1e-9
+                <= truth.estimate
+                <= group.interval.hi + 1e-9
+            ), key
+
+
 class TestCompileErrors:
     def test_no_aggregate(self):
         with pytest.raises(SqlCompileError, match="no aggregate"):

@@ -131,6 +131,67 @@ class TestHaving:
         )
 
 
+class TestQuantileAggregates:
+    def test_median(self):
+        stmt = parse("SELECT g, MEDIAN(x) FROM t GROUP BY g")
+        assert stmt.select[1].expression == AggregateCall(
+            "MEDIAN", ColumnRef("x")
+        )
+
+    def test_percentile_with_level(self):
+        stmt = parse("SELECT PERCENTILE(x, 0.95) FROM t")
+        assert stmt.select[0].expression == AggregateCall(
+            "PERCENTILE", ColumnRef("x"), 0.95
+        )
+
+    def test_percentile_in_order_by(self):
+        stmt = parse(
+            "SELECT g FROM t GROUP BY g "
+            "ORDER BY PERCENTILE(x, 0.5) DESC LIMIT 2"
+        )
+        assert stmt.order_by.key == AggregateCall(
+            "PERCENTILE", ColumnRef("x"), 0.5
+        )
+        assert stmt.limit == 2
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT PERCENTILE(x) FROM t",        # missing level
+            "SELECT PERCENTILE(x, ) FROM t",      # dangling comma
+            "SELECT PERCENTILE(x, g) FROM t",     # non-numeric level
+            "SELECT PERCENTILE(x, 0) FROM t",     # level at the boundary
+            "SELECT PERCENTILE(x, 1) FROM t",     # level at the boundary
+            "SELECT PERCENTILE(x, 1.5) FROM t",   # level out of range
+            "SELECT MEDIAN(x, 0.5) FROM t",       # MEDIAN takes no level
+        ],
+    )
+    def test_rejected(self, sql):
+        with pytest.raises(SqlSyntaxError):
+            parse(sql)
+
+
+class TestLimitGuard:
+    """LIMIT 0 / negative LIMITs are rejected at parse time with a clear
+    message (they used to surface as an opaque compiler error)."""
+
+    def test_limit_zero_rejected_with_clear_message(self):
+        with pytest.raises(SqlSyntaxError, match="LIMIT must be a positive"):
+            parse("SELECT g FROM t GROUP BY g ORDER BY AVG(x) DESC LIMIT 0")
+
+    @pytest.mark.parametrize("bad", ["-1", "-3"])
+    def test_negative_limit_rejected(self, bad):
+        # "-" never fuses with the number in LIMIT position, so negatives
+        # die on the integer check rather than the positivity one.
+        with pytest.raises(SqlSyntaxError):
+            parse(f"SELECT g FROM t GROUP BY g ORDER BY AVG(x) DESC LIMIT {bad}")
+
+    def test_positive_limit_still_parses(self):
+        assert parse(
+            "SELECT g FROM t GROUP BY g ORDER BY AVG(x) DESC LIMIT 1"
+        ).limit == 1
+
+
 class TestParseErrors:
     @pytest.mark.parametrize(
         "sql",

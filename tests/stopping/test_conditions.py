@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.bounders.base import Interval
@@ -173,6 +174,127 @@ class TestTopKSeparated:
         }
         active = cond.active_groups(groups)
         assert active == {"best", "other"}
+
+
+class TestTopKDominance:
+    """Dominance termination and early retirement for condition Î."""
+
+    def test_dominated_rest_group_retires_immediately(self):
+        """A rest view whose upper bound sits below K lower bounds stops
+        sampling even though the midpoint rule would keep it active."""
+        cond = TopKSeparated(2)
+        groups = {
+            "a": snap(9.5, 12.0, estimate=11.0),
+            "b": snap(9.0, 11.5, estimate=10.0),
+            "d": snap(3.0, 9.2, estimate=6.0),   # hi 9.2 >= bar 9.0 -> live
+            "c": snap(2.0, 8.5, estimate=5.0),   # hi 8.5 >= midpoint 8.0
+        }
+        # midpoint between 2nd and 3rd estimates is 8.0, so the old rule
+        # would keep "c" active; dominance (8.5 < 2nd-largest lo = 9.0)
+        # retires it now.
+        assert not cond.satisfied(groups)
+        active = cond.active_groups(groups)
+        assert "c" not in active
+        assert "d" in active
+
+    def test_satisfied_with_overlapping_leaders(self):
+        """Leaders may still overlap each other: only the rest must be
+        certifiably outside the selection."""
+        cond = TopKSeparated(2)
+        groups = {
+            "a": snap(9.5, 12.0, estimate=11.0),
+            "b": snap(9.0, 11.5, estimate=10.0),
+            "c": snap(2.0, 8.5, estimate=5.0),
+        }
+        assert cond.satisfied(groups)
+        assert cond.active_groups(groups) == set()
+
+    def test_bottom_k_retirement_mirrors(self):
+        cond = TopKSeparated(2, largest=False)
+        groups = {
+            "a": snap(-12.0, -9.5, estimate=-11.0),
+            "b": snap(-11.5, -9.0, estimate=-10.0),
+            "d": snap(-9.2, -3.0, estimate=-6.0),
+            "c": snap(-8.5, -2.0, estimate=-5.0),
+        }
+        assert not cond.satisfied(groups)
+        active = cond.active_groups(groups)
+        assert "c" not in active
+        assert "d" in active
+
+    def test_full_separation_still_satisfies(self):
+        """The classic full-separation certificate implies dominance, so
+        the new test never fires later than the old one."""
+        cond = TopKSeparated(2)
+        groups = {
+            "a": snap(10.0, 12.0),
+            "b": snap(8.0, 9.5),
+            "c": snap(0.0, 7.0),
+            "d": snap(1.0, 6.0),
+        }
+        assert cond.satisfied(groups)
+
+
+class TestTopKTieParity:
+    """S3: the mapping and columns paths share one stable ranking rule, so
+    tie-heavy snapshots partition identically in both representations."""
+
+    @staticmethod
+    def _columns_from(groups):
+        from repro.stopping.conditions import SnapshotColumns
+
+        keys = list(groups)
+        return SnapshotColumns(
+            keys=np.arange(len(keys)),
+            lo=np.array([groups[k].interval.lo for k in keys]),
+            hi=np.array([groups[k].interval.hi for k in keys]),
+            estimate=np.array([groups[k].estimate for k in keys]),
+            samples=np.array([groups[k].samples for k in keys]),
+            exhausted=np.array([groups[k].exhausted for k in keys]),
+        )
+
+    def test_tie_heavy_partition_matches_ranked_order(self):
+        cond = TopKSeparated(3)
+        rng = np.random.default_rng(17)
+        # Estimates drawn from 4 distinct values over 12 groups: ties
+        # everywhere.  Ranking must be stable on insertion/row order.
+        estimates = rng.choice([1.0, 2.0, 2.0, 5.0], size=12)
+        groups = {
+            f"g{i}": snap(e - 1.0, e + 1.0, estimate=float(e))
+            for i, e in enumerate(estimates)
+        }
+        selected, rest = cond._partition(groups)
+        keys = list(groups)
+        order = cond._ranked_order(np.asarray(estimates, dtype=np.float64))
+        assert selected == [keys[row] for row in order[:3]]
+        assert rest == [keys[row] for row in order[3:]]
+
+    @pytest.mark.parametrize("largest", [True, False])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_mapping_and_columns_paths_agree(self, largest, seed):
+        """satisfied/active answers are identical across representations
+        on randomized tie-heavy snapshots."""
+        cond = TopKSeparated(2, largest=largest)
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(3, 10))
+        estimates = rng.choice([0.0, 1.0, 1.0, 3.0, 7.0], size=size)
+        widths = rng.uniform(0.1, 4.0, size=size)
+        groups = {
+            i: snap(
+                float(e - w),
+                float(e + w),
+                estimate=float(e),
+                exhausted=bool(rng.random() < 0.2),
+            )
+            for i, (e, w) in enumerate(zip(estimates, widths))
+        }
+        columns = self._columns_from(groups)
+        assert cond.satisfied(groups) == cond.satisfied_columns(columns)
+        active = cond.active_groups(groups)
+        mask = cond.active_mask(columns)
+        assert {i for i in groups if i in active} == {
+            int(i) for i in np.flatnonzero(mask)
+        }
 
 
 class TestGroupsOrdered:
