@@ -66,12 +66,18 @@ from repro.api import (
 from repro.bounders import ErrorBounder, Interval, RangeTrimBounder, get_bounder
 from repro.fastframe import (
     AggregateFunction,
+    BlockStoreError,
     ExactExecutor,
+    MmapBlockStore,
     Query,
     QueryPlanner,
     QueryResult,
     Scramble,
+    StorageCounters,
     Table,
+    attach_block_storage,
+    open_block_scramble,
+    write_block_store,
 )
 from repro.fastframe import ApproximateExecutor as _ApproximateExecutor
 from repro.fastframe import Session as _Session
@@ -83,6 +89,7 @@ __version__ = "1.1.0"
 __all__ = [
     "AggregateFunction",
     "ApproximateExecutor",
+    "BlockStoreError",
     "Connection",
     "DEFAULT_DELTA",
     "DeltaBudget",
@@ -90,6 +97,7 @@ __all__ = [
     "ExactExecutor",
     "GatherResult",
     "Interval",
+    "MmapBlockStore",
     "Query",
     "QueryBuilder",
     "QueryHandle",
@@ -99,12 +107,16 @@ __all__ = [
     "RoundUpdate",
     "Scramble",
     "Session",
+    "StorageCounters",
     "Table",
     "__version__",
+    "attach_block_storage",
     "connect",
     "get_bounder",
+    "open_block_scramble",
     "parse_query",
     "parse_statements",
+    "write_block_store",
 ]
 
 

@@ -51,6 +51,7 @@ from repro.fastframe.query import (
     Query,
     QueryResult,
     RecoveryCounters,
+    StorageCounters,
 )
 from repro.fastframe.scan import SamplingStrategy, get_strategy
 from repro.fastframe.scramble import Scramble
@@ -86,6 +87,8 @@ def connect(
     parallelism: int | None = None,
     task_timeout: float | None = None,
     task_batch: int | None = None,
+    storage: str | None = None,
+    cache_bytes: int | None = None,
     **executor_kwargs,
 ) -> "Connection":
     """Open a :class:`Connection` over a scramble (or a table to scramble).
@@ -139,6 +142,22 @@ def connect(
         window to ``ceil(partitions / workers)`` so IPC and fault-plan
         bookkeeping amortize).  Any batch size produces byte-identical
         results; ``1`` forces one partition per task.
+    storage:
+        Column storage backend — ``"memory"`` (resident arrays, the
+        default) or ``"mmap"`` (spill the scramble to an out-of-core
+        block store and serve gathers as zero-copy views into the
+        mapping; see :mod:`repro.fastframe.storage`).  ``None`` defers
+        to the ``REPRO_STORAGE`` environment variable, then
+        ``"memory"``.  A scramble opened with
+        :func:`~repro.fastframe.storage.open_block_scramble` is already
+        store-backed whatever this says.  Results are byte-identical
+        across backends.
+    cache_bytes:
+        Byte budget for the block cache serving this connection's store
+        (``None`` defers to ``REPRO_CACHE_BYTES``, then the shared
+        256 MiB process-wide cache).  Connections over the same block
+        directory share one store and one cache, so a dashboard's second
+        connection reads the blocks the first already paid for.
     executor_kwargs:
         Passed through to each query's
         :class:`~repro.fastframe.executor.ApproximateExecutor`
@@ -157,6 +176,8 @@ def connect(
         parallelism=parallelism,
         task_timeout=task_timeout,
         task_batch=task_batch,
+        storage=storage,
+        cache_bytes=cache_bytes,
         **executor_kwargs,
     )
 
@@ -180,12 +201,18 @@ class RoundUpdate:
         this round (truthy only if the parallel driver has recovered from
         a straggler/crash/pool death so far) — ``None`` on serial
         executions, where no recovery machinery runs.
+    storage:
+        Cumulative :class:`~repro.fastframe.query.StorageCounters` as of
+        this round (block reads, cache hits/evictions, prefetch hits) —
+        ``None`` when the scramble runs on resident in-memory arrays,
+        where no block I/O happens.
     """
 
     round_index: int
     rows_read: int
     groups: dict
     recovery: RecoveryCounters | None = None
+    storage: StorageCounters | None = None
 
 
 class QueryHandle:
@@ -315,6 +342,11 @@ class QueryHandle:
                                 if workers > 1
                                 else None
                             ),
+                            storage=(
+                                run.metrics.storage_snapshot()
+                                if self.connection.scramble.storage is not None
+                                else None
+                            ),
                         )
                 completed = True
                 self._settle(run.finalize())
@@ -439,8 +471,12 @@ class Connection:
         parallelism: int | None = None,
         task_timeout: float | None = None,
         task_batch: int | None = None,
+        storage: str | None = None,
+        cache_bytes: int | None = None,
         **executor_kwargs,
     ) -> None:
+        from repro.fastframe.storage import attach_block_storage, resolve_storage
+
         self.rng = rng or np.random.default_rng()
         self.parallelism = parallelism
         self.task_timeout = task_timeout
@@ -454,6 +490,15 @@ class Connection:
                 f"connect() expects a Scramble or a Table, got "
                 f"{type(source).__name__}"
             )
+        self.storage = resolve_storage(storage)
+        self.cache_bytes = cache_bytes
+        if self.scramble.storage is not None:
+            # Already store-backed (open_block_scramble, or a prior
+            # connection over the same scramble); just apply the budget.
+            if cache_bytes is not None:
+                self.scramble.storage.set_cache_budget(cache_bytes)
+        elif self.storage == "mmap":
+            attach_block_storage(self.scramble, cache_bytes=cache_bytes)
         self.bounder = get_bounder(bounder) if isinstance(bounder, str) else bounder
         if require_ssi and not self.bounder.ssi:
             raise ValueError(

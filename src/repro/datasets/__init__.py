@@ -12,9 +12,11 @@ from repro.datasets.synthetic import (
     DATASET_GENERATORS,
     clustered_data,
     lognormal_data,
+    make_synthetic_scramble,
     outlier_data,
     two_point_data,
     uniform_data,
+    write_synthetic_block_store,
 )
 
 __all__ = [
@@ -26,7 +28,9 @@ __all__ = [
     "generate_flights",
     "lognormal_data",
     "make_flights_scramble",
+    "make_synthetic_scramble",
     "outlier_data",
     "two_point_data",
     "uniform_data",
+    "write_synthetic_block_store",
 ]

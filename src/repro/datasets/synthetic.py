@@ -18,6 +18,8 @@ __all__ = [
     "outlier_data",
     "lognormal_data",
     "DATASET_GENERATORS",
+    "make_synthetic_scramble",
+    "write_synthetic_block_store",
 ]
 
 
@@ -85,3 +87,62 @@ DATASET_GENERATORS = {
     "outlier": outlier_data,
     "lognormal": lognormal_data,
 }
+
+
+def make_synthetic_scramble(
+    rows: int,
+    seed: int = 0,
+    dataset: str = "lognormal",
+    num_buckets: int = 8,
+):
+    """A scramble over one synthetic distribution plus a group column.
+
+    ``value`` is drawn from the named :data:`DATASET_GENERATORS` entry
+    (with its catalog bounds); ``bucket`` is a uniform categorical so the
+    scramble supports grouped queries out of the box.  Deterministic in
+    ``seed`` end to end (data, encoding, and permutation).
+    """
+    from repro.fastframe.catalog import RangeBounds
+    from repro.fastframe.scramble import Scramble
+    from repro.fastframe.table import Table
+
+    if dataset not in DATASET_GENERATORS:
+        raise KeyError(
+            f"unknown dataset {dataset!r}; available: {sorted(DATASET_GENERATORS)}"
+        )
+    rng = np.random.default_rng(seed)
+    data, a, b = DATASET_GENERATORS[dataset](rows, rng)
+    buckets = rng.integers(num_buckets, size=rows)
+    table = Table()
+    table.add_continuous("value", data, bounds=RangeBounds(float(a), float(b)))
+    table.add_categorical("bucket", [f"b{int(code):02d}" for code in buckets])
+    return Scramble(table, rng=np.random.default_rng(seed + 1))
+
+
+def write_synthetic_block_store(
+    directory: str,
+    rows: int,
+    seed: int = 0,
+    dataset: str = "lognormal",
+    num_buckets: int = 8,
+    block_rows: int | None = None,
+):
+    """Generate a synthetic scramble and persist it as a block store.
+
+    The out-of-core ingestion entry point for benches and examples: the
+    directory can then be served with
+    :func:`repro.fastframe.storage.open_block_scramble` without holding
+    the table in memory.  Returns the written (in-memory) scramble so
+    callers can cross-check results against resident execution.
+    """
+    from repro.fastframe.storage import DEFAULT_STORE_BLOCK_ROWS, write_block_store
+
+    scramble = make_synthetic_scramble(
+        rows, seed=seed, dataset=dataset, num_buckets=num_buckets
+    )
+    write_block_store(
+        directory,
+        scramble,
+        block_rows=block_rows or DEFAULT_STORE_BLOCK_ROWS,
+    )
+    return scramble

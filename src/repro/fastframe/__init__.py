@@ -51,6 +51,8 @@ from repro.fastframe.query import (
     GroupResult,
     Query,
     QueryResult,
+    RecoveryCounters,
+    StorageCounters,
 )
 from repro.fastframe.scan import (
     EVALUATED_STRATEGIES,
@@ -69,6 +71,21 @@ from repro.fastframe.session import (
     Session,
 )
 from repro.fastframe.snowflake import Dimension, ForeignKey, denormalize
+from repro.fastframe.storage import (
+    DEFAULT_CACHE_BYTES,
+    DEFAULT_STORE_BLOCK_ROWS,
+    BlockCache,
+    BlockStoreError,
+    ColumnStore,
+    InMemoryStore,
+    MmapBlockStore,
+    attach_block_storage,
+    open_block_scramble,
+    open_block_store,
+    resolve_cache_bytes,
+    resolve_storage,
+    write_block_store,
+)
 from repro.fastframe.stratified import (
     StratifiedSampleStore,
     StratumResult,
@@ -82,13 +99,18 @@ __all__ = [
     "And",
     "ApproximateExecutor",
     "BlockBitmapIndex",
+    "BlockCache",
+    "BlockStoreError",
     "COUNT_METHODS",
     "Catalog",
     "CategoricalColumn",
     "ColumnKind",
+    "ColumnStore",
     "Compare",
     "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_CACHE_BYTES",
     "DEFAULT_ROUND_ROWS",
+    "DEFAULT_STORE_BLOCK_ROWS",
     "DeltaLedger",
     "ENGINES",
     "Dimension",
@@ -99,8 +121,10 @@ __all__ = [
     "ExecutionMetrics",
     "GroupResult",
     "In",
+    "InMemoryStore",
     "LEDGER_POLICIES",
     "LOOKAHEAD_BATCH_BLOCKS",
+    "MmapBlockStore",
     "Not",
     "Or",
     "OutlierAvgResult",
@@ -114,6 +138,7 @@ __all__ = [
     "QueryResult",
     "QueryRun",
     "RangeBounds",
+    "RecoveryCounters",
     "Session",
     "SamplingStrategy",
     "ScanCursor",
@@ -122,6 +147,7 @@ __all__ = [
     "ActiveSyncStrategy",
     "Scramble",
     "SelectivityState",
+    "StorageCounters",
     "StratifiedSampleStore",
     "StratumResult",
     "Table",
@@ -129,6 +155,7 @@ __all__ = [
     "UnsupportedQueryError",
     "ViewPool",
     "WindowFrame",
+    "attach_block_storage",
     "compose_outlier_avg",
     "count_interval",
     "count_interval_batch",
@@ -138,10 +165,15 @@ __all__ = [
     "hypergeometric_count_interval_batch",
     "hypergeometric_upper_bound_population",
     "hypergeometric_upper_bound_population_batch",
+    "open_block_scramble",
+    "open_block_store",
+    "resolve_cache_bytes",
+    "resolve_storage",
     "run_shared_scan",
     "selectivity_interval",
     "sum_interval",
     "sum_interval_batch",
     "upper_bound_population",
     "upper_bound_population_batch",
+    "write_block_store",
 ]

@@ -97,6 +97,17 @@ class Catalog:
         self._kinds[name] = ColumnKind.CONTINUOUS
         self._bounds[name] = bounds
 
+    def register_continuous_bounds(self, name: str, bounds: RangeBounds) -> None:
+        """Register a continuous column with pre-validated bounds.
+
+        Trusted registration used when attaching out-of-core storage:
+        the bounds were validated when the data was spilled and re-live
+        in the store manifest, so re-scanning the column here would
+        fault the entire mmap in for nothing.
+        """
+        self._kinds[name] = ColumnKind.CONTINUOUS
+        self._bounds[name] = bounds
+
     def register_categorical(self, name: str) -> None:
         """Register a categorical (dictionary-encoded) column."""
         self._kinds[name] = ColumnKind.CATEGORICAL

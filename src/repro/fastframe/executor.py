@@ -330,12 +330,15 @@ class ApproximateExecutor:
         key = ("combined", group_by)
         if key not in cache:
             combined = None
+            # column_codes reads through the attached block store when one
+            # is present; this is a one-time load-level metadata build (the
+            # array is cached on the scramble), not a per-window gather.
             for column, card in zip(group_by, self._cardinalities(group_by)):
-                codes = self.scramble.table.categorical(column).codes
+                codes = self.scramble.column_codes(column)
                 combined = (
                     codes.astype(np.int64)
                     if combined is None
-                    else combined * card + codes
+                    else combined * card + np.asarray(codes)
                 )
             cache[key] = combined
         full = cache[key]
@@ -432,7 +435,10 @@ class ApproximateExecutor:
         column = query.column
         if isinstance(column, str):
             bounds = table.catalog.bounds(column)
-            values = table.continuous(column)
+            # The gather provider: store-backed (zero-copy mmap block
+            # views) when the scramble has storage attached, the resident
+            # array otherwise — identical bytes either way.
+            values = self.scramble.column_values(column)
             return (lambda rows: values[rows]), (bounds.a, bounds.b)
         bounds_by_column = {
             name: table.catalog.bounds(name) for name in column.columns()
@@ -1007,6 +1013,10 @@ class QueryRun:
         self.satisfied = False
         self._scan_ended = False
         self._finalized: QueryResult | None = None
+        # Solo-drive storage accounting: created on the first feed() so a
+        # shared scan (which consumes frames directly) attributes block
+        # I/O to the batch metrics instead, mirroring values_gathered.
+        self._storage_tracker = None
 
     # -- driver interface ----------------------------------------------
 
@@ -1211,10 +1221,15 @@ class QueryRun:
         shared-scan driver takes, with a one-run union.  Returns the
         boolean fetch mask over ``window``.
         """
+        if self._storage_tracker is None:
+            from repro.fastframe.storage import storage_tracker
+
+            self._storage_tracker = storage_tracker(self.executor.scramble)
         mask = self.select_blocks(window)
         frame = WindowFrame(self.executor.scramble, window, mask)
         self.consume(frame, mask, at_end)
         self.metrics.values_gathered += frame.values_gathered
+        self._storage_tracker.drain(self.metrics)
         return mask
 
     def group_snapshots(self) -> dict:
@@ -1364,12 +1379,17 @@ def run_shared_scan(
             task_timeout=task_timeout,
             task_batch=task_batch,
         ).run()
+    from repro.fastframe.storage import storage_tracker
+
     scramble = cursor.scramble
     metrics = ExecutionMetrics()
     start_time = time.perf_counter()
     indexes: dict[str, BlockBitmapIndex] = {}
     for run in runs:
         indexes.update(run.indexes)
+    # Block I/O is a union-level cost like values_gathered: the batch
+    # metrics carry it, per-run metrics record none in shared mode.
+    tracker = storage_tracker(scramble)
 
     for window, at_end in cursor.windows():
         live = [run for run in runs if not run.finished]
@@ -1391,6 +1411,7 @@ def run_shared_scan(
         metrics.rows_read += frame.rows.size
         metrics.values_gathered += frame.values_gathered
         metrics.rounds += 1
+        tracker.drain(metrics)
         if all(run.finished for run in runs):
             break
 

@@ -422,6 +422,13 @@ class ParallelScanDriver:
         for run in self.runs:
             self._indexes.update(run.indexes)
         self._pool = _worker_pool(self.workers) if self.workers > 1 else None
+        # Out-of-core block I/O charged window-by-window to the batch
+        # metrics (and to the solo run, mirroring values_gathered).  Only
+        # main-process reads count: workers re-gather from their own
+        # store attachments and their stats die with the task.
+        from repro.fastframe.storage import storage_tracker
+
+        self._storage_tracker = storage_tracker(cursor.scramble)
         self._pool_rebuilds = 0
         #: Permanent inline degradation: set when pool recovery gives up.
         self._degraded = False
@@ -599,6 +606,9 @@ class ParallelScanDriver:
 
         if self.solo:
             live[0].metrics.values_gathered += frame.values_gathered
+            self._storage_tracker.drain(self.metrics, live[0].metrics)
+        else:
+            self._storage_tracker.drain(self.metrics)
         fetched = int(union.sum())
         self.metrics.blocks_fetched += fetched
         self.metrics.blocks_skipped += int(window.size - fetched)

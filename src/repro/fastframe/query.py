@@ -29,6 +29,7 @@ __all__ = [
     "GroupResult",
     "ExecutionMetrics",
     "RecoveryCounters",
+    "StorageCounters",
     "QueryResult",
 ]
 
@@ -194,6 +195,15 @@ class ExecutionMetrics:
     release at export close.  None of these counters participates in the
     determinism contract — recovery changes *where* a delta is computed,
     never its bytes.
+
+    Out-of-core storage accounting (all zero for the in-memory backend):
+    ``blocks_read`` / ``bytes_read`` count block-file opens charged by
+    the mmap store's cache misses; ``cache_hits`` counts gathers served
+    from the shared block cache; ``cache_evictions`` counts LRU drops
+    under the byte budget; ``prefetch_hits`` counts demand reads whose
+    block the async prefetcher had already been scheduled to warm.  Like
+    the recovery counters, they describe where bytes came from, never
+    what they were — results are byte-identical across backends.
     """
 
     rows_read: int = 0
@@ -214,6 +224,11 @@ class ExecutionMetrics:
     inline_fallbacks: int = 0
     pool_rebuilds: int = 0
     shm_cleanup_failures: int = 0
+    blocks_read: int = 0
+    bytes_read: int = 0
+    cache_hits: int = 0
+    cache_evictions: int = 0
+    prefetch_hits: int = 0
 
     def merge_index_counters(self, indexes) -> None:
         """Pull probe counters from bitmap indexes into this record."""
@@ -232,6 +247,18 @@ class ExecutionMetrics:
             inline_fallbacks=self.inline_fallbacks,
             pool_rebuilds=self.pool_rebuilds,
             shm_cleanup_failures=self.shm_cleanup_failures,
+        )
+
+    def storage_snapshot(self) -> "StorageCounters":
+        """The out-of-core storage counters as one frozen record (truthy
+        iff any block I/O happened) — what rounds() updates and the CLI
+        dashboard surface, mirroring :meth:`recovery_snapshot`."""
+        return StorageCounters(
+            blocks_read=self.blocks_read,
+            bytes_read=self.bytes_read,
+            cache_hits=self.cache_hits,
+            cache_evictions=self.cache_evictions,
+            prefetch_hits=self.prefetch_hits,
         )
 
 
@@ -253,6 +280,27 @@ class RecoveryCounters:
             or self.inline_fallbacks
             or self.pool_rebuilds
             or self.shm_cleanup_failures
+        )
+
+
+@dataclass(frozen=True)
+class StorageCounters:
+    """A frozen snapshot of :class:`ExecutionMetrics`' out-of-core storage
+    counters; ``bool()`` is True exactly when any block I/O happened."""
+
+    blocks_read: int = 0
+    bytes_read: int = 0
+    cache_hits: int = 0
+    cache_evictions: int = 0
+    prefetch_hits: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.blocks_read
+            or self.bytes_read
+            or self.cache_hits
+            or self.cache_evictions
+            or self.prefetch_hits
         )
 
 

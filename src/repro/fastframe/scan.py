@@ -77,9 +77,21 @@ class ScanCursor:
         return self.position >= self.order.size
 
     def next_window(self) -> np.ndarray:
-        """The next lookahead window of block ids (empty when exhausted)."""
+        """The next lookahead window of block ids (empty when exhausted).
+
+        When the scramble reads from an out-of-core block store, consuming
+        window k schedules async page warming for window k+1's blocks (the
+        other half of the peek/next pipelining split): the background
+        reader's I/O overlaps this window's ingest, and by the time the
+        scan demands k+1's blocks their pages are resident.
+        """
         window = self.order[self.position : self.position + self.window_blocks]
         self.position += window.size
+        store = getattr(self.scramble, "storage", None)
+        if store is not None and window.size:
+            upcoming = self.peek_window()
+            if upcoming.size:
+                store.prefetch_scramble_blocks(upcoming, self.scramble.block_size)
         return window
 
     def peek_window(self) -> np.ndarray:

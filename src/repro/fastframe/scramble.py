@@ -56,6 +56,79 @@ class Scramble:
         #: Load-time metadata shared by every executor over this scramble
         #: (bitmap indexes, group domains); see ApproximateExecutor.
         self.metadata_cache: dict = {}
+        #: Attached out-of-core block store (None ⇒ in-memory arrays);
+        #: see repro.fastframe.storage.
+        self.storage = None
+        #: True when the table's column arrays themselves read through
+        #: the store (a scramble opened from a block directory): the
+        #: scramble is then read-only.
+        self._storage_owns_table = False
+
+    @classmethod
+    def from_storage(cls, store, table: Table) -> "Scramble":
+        """A scramble over rows that were permuted when spilled to a store.
+
+        Used by :func:`repro.fastframe.storage.open_block_scramble`: the
+        block directory holds an already-permuted table, so no reshuffle
+        happens (re-permuting would fault every column in and break the
+        on-disk block ↔ row correspondence).
+        """
+        self = cls.__new__(cls)
+        self.permutation = None  # the shuffle happened before the spill
+        self.table = table
+        self.block_size = store.scramble_block_size
+        self.metadata_cache = {}
+        self.storage = store
+        self._storage_owns_table = True
+        return self
+
+    def attach_storage(self, store) -> None:
+        """Route hot-path gathers through an mmap block store.
+
+        The in-memory arrays are kept (metadata built from them stays
+        valid — the store holds identical bytes), but value and code
+        gathers go out-of-core from here on.
+        """
+        if store.num_rows != self.num_rows:
+            raise ValueError(
+                f"store holds {store.num_rows} rows but scramble has {self.num_rows}"
+            )
+        self.storage = store
+
+    def detach_storage(self) -> None:
+        """Fall back to the in-memory arrays (no-op when not attached)."""
+        if self._storage_owns_table:
+            raise RuntimeError(
+                "this scramble was opened from a block directory and has no "
+                "in-memory arrays to fall back to"
+            )
+        self.storage = None
+
+    @property
+    def store(self):
+        """The ColumnStore serving this scramble's gathers.
+
+        The attached block store when one is present, else an
+        :class:`~repro.fastframe.storage.InMemoryStore` view of the
+        resident arrays — the default backend, with zero behavior change.
+        """
+        if self.storage is not None:
+            return self.storage
+        from repro.fastframe.storage import InMemoryStore
+
+        return InMemoryStore(self.table)
+
+    def column_values(self, name: str):
+        """A continuous column for gather (store-backed when attached)."""
+        if self.storage is not None:
+            return self.storage.continuous(name)
+        return self.table.continuous(name)
+
+    def column_codes(self, name: str):
+        """A categorical column's codes for gather (store-backed when attached)."""
+        if self.storage is not None:
+            return self.storage.codes(name)
+        return self.table.categorical(name).codes
 
     @property
     def num_rows(self) -> int:
@@ -126,6 +199,15 @@ class Scramble:
         it is rebuilt lazily on the next query.  Returns the number of rows
         inserted.
         """
+        if self._storage_owns_table:
+            raise RuntimeError(
+                "cannot insert into a scramble opened from a block directory; "
+                "rewrite the store with repro.fastframe.storage.write_block_store"
+            )
+        if self.storage is not None:
+            # The spilled bytes would go stale; fall back to memory (a
+            # later connect() under REPRO_STORAGE=mmap re-spills).
+            self.detach_storage()
         rng = rng or np.random.default_rng()
         added = self.table.append_rows(continuous, categorical)
         for offset in range(added):

@@ -268,8 +268,23 @@ class SharedWindowExport:
             ("rows",): frame.rows,
             ("row_blocks",): frame._row_blocks(),
         }
+        # With an mmap block store attached, plain-column value arrays are
+        # not copied into shm at all: workers attach the store by *path*
+        # and gather the same rows from the same on-disk blocks —
+        # identical bytes, minus the largest per-window segment.
+        # Expression values (computed arrays) still travel via shm.
+        store = getattr(frame.scramble, "storage", None)
+        mmap_layout: dict = {}
         for key, array in frame._values.items():
-            arrays[("values", key)] = array
+            if (
+                store is not None
+                and isinstance(key, tuple)
+                and len(key) == 2
+                and key[0] == "column"
+            ):
+                mmap_layout[("values", key)] = (store.path, key[1])
+            else:
+                arrays[("values", key)] = array
         for group_by, array in frame._combined.items():
             arrays[("combined", group_by)] = array
         for key, array in frame._masks.items():
@@ -293,10 +308,12 @@ class SharedWindowExport:
         except Exception:
             self.close()
             raise
-        #: Picklable attachment recipe: segment names, shapes, dtypes, and
-        #: the frame scalars workers need (row count, window rows).
+        #: Picklable attachment recipe: segment names, shapes, dtypes,
+        #: mmap-by-path value entries, and the frame scalars workers need
+        #: (row count, window rows).
         self.descriptor = {
             "layout": layout,
+            "mmap": mmap_layout,
             "rows_size": int(frame.rows.size),
             "window_rows": int(frame.window_rows),
         }
@@ -323,6 +340,9 @@ class AttachedFrame:
         self.window_rows: int = descriptor["window_rows"]
         self._segments = []
         self._arrays: dict = {}
+        #: Value arrays the exporter left on disk: gathered lazily from
+        #: the mmap block store on first access, then memoized.
+        self._mmap_layout: dict = dict(descriptor.get("mmap", ()))
         try:
             for name, (segment_name, shape, dtype) in descriptor["layout"].items():
                 # NB: attaching registers the name with the (process-tree-wide)
@@ -345,8 +365,21 @@ class AttachedFrame:
             raise
 
     def array(self, *name) -> np.ndarray:
-        """A named exported array (e.g. ``array("values", key)``)."""
-        return self._arrays[tuple(name)]
+        """A named exported array (e.g. ``array("values", key)``).
+
+        Shm-exported arrays are zero-copy views; mmap-by-path value
+        entries are gathered from the block store on first request (the
+        same ``values[rows]`` arithmetic the exporting process ran, over
+        the same on-disk bytes — bit-identical input to the kernels).
+        """
+        name = tuple(name)
+        if name not in self._arrays and name in self._mmap_layout:
+            from repro.fastframe.storage import open_block_store
+
+            store_path, column = self._mmap_layout[name]
+            store = open_block_store(store_path, prefetch=False)
+            self._arrays[name] = store.continuous(column)[self.array("rows")]
+        return self._arrays[name]
 
     def close(self) -> None:
         """Drop the views and close the attachments (no unlink)."""

@@ -22,6 +22,21 @@ def test_package_exports_quickstart_symbols():
     assert repro.__version__
     for name in ("ApproximateExecutor", "ExactExecutor", "Query", "get_bounder"):
         assert hasattr(repro, name)
+    # The out-of-core storage surface must survive packaging: everything
+    # the examples and benches import off the top-level package.
+    for name in (
+        "BlockStoreError",
+        "MmapBlockStore",
+        "StorageCounters",
+        "attach_block_storage",
+        "open_block_scramble",
+        "write_block_store",
+    ):
+        assert hasattr(repro, name)
+    import repro.fastframe as fastframe
+
+    for name in fastframe.__all__:
+        assert hasattr(fastframe, name), name
 
 
 @pytest.mark.parametrize("query_name", sorted(ALL_QUERIES))
